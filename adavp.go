@@ -1,0 +1,258 @@
+// Package adavp is a Go reproduction of "Continuous, Real-Time Object
+// Detection on Mobile Devices without Offloading" (Liu, Ding, Du; ICDCS
+// 2020) — the AdaVP system: a parallel detection-and-tracking pipeline
+// (MPDT) with runtime DNN model-setting adaptation.
+//
+// The package is the public facade over the internal implementation:
+//
+//   - Generate synthetic videos with known ground truth and a controllable
+//     content changing rate (fourteen scenario presets from the paper's
+//     dataset description).
+//   - Run AdaVP or any of the paper's baselines (fixed-setting MPDT,
+//     sequential MARLIN, no-tracking, continuous detection) over a video on
+//     a deterministic virtual clock calibrated to the Jetson TX2, or live on
+//     real goroutines.
+//   - Evaluate runs with the paper's metrics (per-frame F1, per-video
+//     accuracy) and energy model, and regenerate every table and figure of
+//     the paper via the experiments harness.
+//
+// Quick start:
+//
+//	v := adavp.GenerateVideo(adavp.ScenarioHighway, 1, 450)
+//	res, err := adavp.Run(v, adavp.Options{Policy: adavp.PolicyAdaVP})
+//	if err != nil { ... }
+//	fmt.Printf("accuracy: %.3f over %d frames\n", res.Accuracy, len(res.FrameF1))
+//
+// See the runnable programs under examples/ and the experiment index in
+// DESIGN.md.
+package adavp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"adavp/internal/adapt"
+	"adavp/internal/core"
+	"adavp/internal/detect"
+	"adavp/internal/energy"
+	"adavp/internal/experiments"
+	"adavp/internal/rt"
+	"adavp/internal/sim"
+	"adavp/internal/trace"
+	"adavp/internal/track"
+	"adavp/internal/video"
+)
+
+// Re-exported core vocabulary.
+type (
+	// Class is an object category (car, truck, person, ...).
+	Class = core.Class
+	// Detection is a labeled, scored bounding box.
+	Detection = core.Detection
+	// Object is a ground-truth object instance.
+	Object = core.Object
+	// Setting is a DNN model setting (YOLOv3 input size).
+	Setting = core.Setting
+	// Frame is one camera frame (ground truth plus optional pixels).
+	Frame = core.Frame
+	// FrameOutput is the pipeline's displayed result for one frame.
+	FrameOutput = core.FrameOutput
+	// Video is a generated synthetic video.
+	Video = video.Video
+	// Scenario selects one of the fourteen content presets.
+	Scenario = video.Kind
+	// RunTrace is the detailed execution record of a run.
+	RunTrace = trace.Run
+	// EnergyBreakdown is per-rail energy in watt-hours.
+	EnergyBreakdown = energy.Breakdown
+	// AdaptationModel maps measured motion velocity to the next setting.
+	AdaptationModel = adapt.Model
+)
+
+// Model settings.
+const (
+	SettingTiny320 = core.SettingTiny320
+	Setting320     = core.Setting320
+	Setting416     = core.Setting416
+	Setting512     = core.Setting512
+	Setting608     = core.Setting608
+	Setting704     = core.Setting704
+)
+
+// Scenario presets (the paper's fourteen categories).
+const (
+	ScenarioHighway      = video.KindHighway
+	ScenarioIntersection = video.KindIntersection
+	ScenarioCityStreet   = video.KindCityStreet
+	ScenarioTrainStation = video.KindTrainStation
+	ScenarioBusStation   = video.KindBusStation
+	ScenarioResidential  = video.KindResidential
+	ScenarioCarHighway   = video.KindCarHighway
+	ScenarioCarDowntown  = video.KindCarDowntown
+	ScenarioAirplanes    = video.KindAirplanes
+	ScenarioBoat         = video.KindBoat
+	ScenarioWildlife     = video.KindWildlife
+	ScenarioRacetrack    = video.KindRacetrack
+	ScenarioMeetingRoom  = video.KindMeetingRoom
+	ScenarioSkatingRink  = video.KindSkatingRink
+)
+
+// Policy selects the pipeline schedule.
+type Policy = sim.Policy
+
+// Policies.
+const (
+	// PolicyAdaVP is the full system: MPDT plus model adaptation.
+	PolicyAdaVP = sim.PolicyAdaVP
+	// PolicyMPDT is parallel detection and tracking at a fixed setting.
+	PolicyMPDT = sim.PolicyMPDT
+	// PolicyMARLIN is the sequential detect-then-track baseline.
+	PolicyMARLIN = sim.PolicyMARLIN
+	// PolicyNoTracking detects the newest frame and holds results.
+	PolicyNoTracking = sim.PolicyNoTracking
+	// PolicyContinuous detects every frame with no skipping (not real time).
+	PolicyContinuous = sim.PolicyContinuous
+)
+
+// GenerateVideo builds a deterministic synthetic video from a scenario
+// preset, a seed and a length in frames (30 FPS, 320×180).
+func GenerateVideo(s Scenario, seed uint64, frames int) *Video {
+	return video.GenerateKind(fmt.Sprintf("%s-%d", s, seed), s, seed, frames)
+}
+
+// TestSet generates the standard 26-video evaluation set.
+func TestSet(seed uint64, framesPerVideo int) []*Video {
+	return video.TestSet(seed, framesPerVideo)
+}
+
+// TrainingSet generates the standard 32-video training set.
+func TrainingSet(seed uint64, framesPerVideo int) []*Video {
+	return video.TrainingSet(seed, framesPerVideo)
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Policy selects the schedule; default PolicyAdaVP.
+	Policy Policy
+	// Setting is the fixed setting for non-adaptive policies and the
+	// initial setting for AdaVP; default Setting512.
+	Setting Setting
+	// Seed derives all run randomness; runs are reproducible.
+	Seed uint64
+	// Alpha is the per-frame F1 threshold of the accuracy metric (0.7).
+	Alpha float64
+	// IoU is the detection-matching threshold (0.5).
+	IoU float64
+	// PixelMode runs the real pixel detector and Lucas–Kanade tracker over
+	// rendered frames instead of the fast calibrated surrogates.
+	PixelMode bool
+}
+
+// Result is a completed, evaluated run.
+type Result struct {
+	// Accuracy is the paper's per-video metric: the fraction of frames with
+	// F1 at or above Alpha.
+	Accuracy float64
+	// MeanF1 is the mean per-frame F1 score.
+	MeanF1 float64
+	// FrameF1 holds each frame's F1 against ground truth.
+	FrameF1 []float64
+	// Outputs holds the displayed detections per frame.
+	Outputs []FrameOutput
+	// Trace is the full execution record (cycles, switches, busy intervals).
+	Trace *RunTrace
+}
+
+// Run executes a policy over a video on the deterministic virtual clock.
+func Run(v *Video, opts Options) (*Result, error) {
+	if opts.Policy == sim.PolicyInvalid {
+		opts.Policy = PolicyAdaVP
+	}
+	cfg := sim.Config{
+		Policy:  opts.Policy,
+		Setting: opts.Setting,
+		Seed:    opts.Seed,
+		Alpha:   opts.Alpha,
+		IoU:     opts.IoU,
+	}
+	if opts.PixelMode {
+		cfg.PixelMode = true
+		cfg.Detector = detect.NewBlobDetector()
+		cfg.NewTracker = func(uint64) track.Tracker { return track.NewPixelTracker() }
+	}
+	r, err := sim.Run(v, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("adavp: %w", err)
+	}
+	return &Result{
+		Accuracy: r.Accuracy,
+		MeanF1:   r.MeanF1,
+		FrameF1:  r.Run.FrameF1,
+		Outputs:  r.Run.Outputs,
+		Trace:    r.Run,
+	}, nil
+}
+
+// RunLive executes the pipeline on real goroutines (detector thread, tracker
+// thread, camera feeder), with component latencies emulated at the given
+// time scale (1.0 = real time; 0.02 runs fifty times faster). Only AdaVP
+// (adaptive=true) and fixed MPDT are available live.
+func RunLive(ctx context.Context, v *Video, opts Options, timeScale float64) (*Result, error) {
+	cfg := rt.Config{
+		Setting:   opts.Setting,
+		Seed:      opts.Seed,
+		TimeScale: timeScale,
+		PixelMode: opts.PixelMode,
+	}
+	if opts.Policy == sim.PolicyInvalid || opts.Policy == PolicyAdaVP {
+		cfg.Adaptation = adapt.DefaultModel()
+	} else if opts.Policy != PolicyMPDT {
+		return nil, fmt.Errorf("adavp: live pipeline supports PolicyAdaVP and PolicyMPDT, not %v", opts.Policy)
+	}
+	if opts.PixelMode {
+		cfg.Detector = detect.NewBlobDetector()
+		cfg.NewTracker = func(uint64) track.Tracker { return track.NewPixelTracker() }
+	}
+	r, err := rt.Run(ctx, v, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("adavp: %w", err)
+	}
+	return &Result{
+		Accuracy: r.Accuracy,
+		MeanF1:   r.MeanF1,
+		FrameF1:  r.FrameF1,
+		Outputs:  r.Outputs,
+	}, nil
+}
+
+// Energy integrates a run's busy intervals with the TX2 power model.
+func Energy(res *Result) EnergyBreakdown {
+	if res == nil || res.Trace == nil {
+		return EnergyBreakdown{}
+	}
+	return energy.DefaultModel().Energy(res.Trace)
+}
+
+// VideoDuration returns a video's wall-clock length.
+func VideoDuration(v *Video) time.Duration {
+	return time.Duration(v.NumFrames()) * v.FrameInterval()
+}
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// ("fig1".."fig11", "table2", "table3", or "all"), writing the report to w.
+// A zero ExperimentScale uses the fast defaults.
+func RunExperiment(id string, scale ExperimentScale, w io.Writer) error {
+	return experiments.Run(id, experiments.Scale(scale), w)
+}
+
+// ExperimentScale sets experiment dataset sizes; see ExperimentIDs.
+type ExperimentScale = experiments.Scale
+
+// ExperimentIDs lists the available experiment identifiers.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// DefaultAdaptationModel returns the pretrained velocity-threshold model
+// shipped with the library (regenerate with cmd/adavp-train).
+func DefaultAdaptationModel() *AdaptationModel { return adapt.DefaultModel() }

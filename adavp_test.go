@@ -1,0 +1,129 @@
+package adavp
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestGenerateVideoDeterministic(t *testing.T) {
+	a := GenerateVideo(ScenarioHighway, 7, 60)
+	b := GenerateVideo(ScenarioHighway, 7, 60)
+	if a.NumFrames() != 60 || b.NumFrames() != 60 {
+		t.Fatal("wrong length")
+	}
+	for i := 0; i < 60; i++ {
+		ta, tb := a.Truth(i), b.Truth(i)
+		if len(ta) != len(tb) {
+			t.Fatal("non-deterministic video")
+		}
+	}
+}
+
+func TestRunDefaultsToAdaVP(t *testing.T) {
+	v := GenerateVideo(ScenarioHighway, 1, 300)
+	res, err := Run(v, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Policy != "AdaVP" {
+		t.Errorf("default policy = %s", res.Trace.Policy)
+	}
+	if len(res.FrameF1) != 300 || len(res.Outputs) != 300 {
+		t.Error("missing per-frame results")
+	}
+	if res.Accuracy <= 0 || res.Accuracy > 1 {
+		t.Errorf("accuracy = %f", res.Accuracy)
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	v := GenerateVideo(ScenarioCityStreet, 2, 200)
+	for _, p := range []Policy{PolicyAdaVP, PolicyMPDT, PolicyMARLIN, PolicyNoTracking, PolicyContinuous} {
+		res, err := Run(v, Options{Policy: p, Setting: Setting512, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.MeanF1 < 0 || res.MeanF1 > 1 {
+			t.Fatalf("%v: mean F1 %f", p, res.MeanF1)
+		}
+	}
+}
+
+func TestEnergyFromRun(t *testing.T) {
+	v := GenerateVideo(ScenarioHighway, 3, 300)
+	res, err := Run(v, Options{Policy: PolicyMPDT, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Energy(res)
+	if e.Total() <= 0 {
+		t.Errorf("energy total %f", e.Total())
+	}
+	if Energy(nil).Total() != 0 {
+		t.Error("nil result should yield zero energy")
+	}
+}
+
+func TestRunLive(t *testing.T) {
+	v := GenerateVideo(ScenarioHighway, 4, 200)
+	res, err := RunLive(context.Background(), v, Options{Seed: 4}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 200 {
+		t.Errorf("%d outputs", len(res.Outputs))
+	}
+	if _, err := RunLive(context.Background(), v, Options{Policy: PolicyMARLIN}, 0.01); err == nil {
+		t.Error("MARLIN live should be rejected")
+	}
+}
+
+func TestRunPixelMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pixel mode is slow")
+	}
+	v := GenerateVideo(ScenarioHighway, 5, 90)
+	res, err := Run(v, Options{Policy: PolicyMPDT, Setting: Setting512, Seed: 5, PixelMode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanF1 <= 0.05 {
+		t.Errorf("pixel-mode F1 %f: end-to-end pixel pipeline broken", res.MeanF1)
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	scale := ExperimentScale{FramesPerVideo: 120, TrialFrames: 100, Seed: 3}
+	if err := RunExperiment("fig1", scale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 1") {
+		t.Error("fig1 report missing header")
+	}
+	if err := RunExperiment("nope", scale, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(ExperimentIDs()) != 12 {
+		t.Errorf("%d experiment ids, want 12", len(ExperimentIDs()))
+	}
+}
+
+func TestVideoDuration(t *testing.T) {
+	v := GenerateVideo(ScenarioBoat, 6, 300)
+	if got := VideoDuration(v).Seconds(); got < 9.99 || got > 10.01 {
+		t.Errorf("duration = %.4fs, want ~10s", got)
+	}
+}
+
+func TestDefaultAdaptationModelUsable(t *testing.T) {
+	m := DefaultAdaptationModel()
+	if m.Next(Setting512, 0.05) != Setting608 {
+		t.Error("slow content should pick the largest model")
+	}
+	if m.Next(Setting512, 500) != Setting320 {
+		t.Error("very fast content should pick the smallest model")
+	}
+}

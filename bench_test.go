@@ -1,0 +1,276 @@
+package adavp
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper (see DESIGN.md §3), plus ablation benches for the design choices the
+// paper motivates. Each benchmark regenerates its experiment at a reduced
+// scale and reports the headline quantity via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full harness and prints the reproduced numbers. For
+// paper-magnitude runs use cmd/adavp-experiments -paper-scale.
+
+import (
+	"testing"
+
+	"adavp/internal/core"
+	"adavp/internal/energy"
+	"adavp/internal/experiments"
+	"adavp/internal/sim"
+	"adavp/internal/video"
+)
+
+// benchScale keeps every benchmark iteration under a second.
+func benchScale() experiments.Scale {
+	return experiments.Scale{FramesPerVideo: 240, TrialFrames: 200, Seed: 2}
+}
+
+func BenchmarkFig1DetectionLatencyAccuracy(b *testing.B) {
+	var last *experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig1(benchScale())
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.F1, "F1@"+row.Setting.String())
+	}
+}
+
+func BenchmarkFig2TrackingDecay(b *testing.B) {
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig2(benchScale())
+	}
+	b.ReportMetric(float64(last.FastBelow), "fast-frames-to-0.5")
+	b.ReportMetric(float64(last.SlowBelow), "slow-frames-to-0.5")
+}
+
+func BenchmarkTable2ComponentLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table2(benchScale())
+	}
+}
+
+func BenchmarkFig5MPDTSettings(b *testing.B) {
+	var last *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig5(benchScale())
+	}
+	b.ReportMetric(float64(last.Crossovers), "lead-changes")
+}
+
+func BenchmarkFig6OverallAccuracy(b *testing.B) {
+	var last *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.AdaVP, "AdaVP-accuracy")
+	b.ReportMetric(last.MPDT[core.Setting512], "MPDT512-accuracy")
+	b.ReportMetric(last.MARLIN[core.Setting512], "MARLIN512-accuracy")
+}
+
+func BenchmarkFig7SwitchCDF(b *testing.B) {
+	var last *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.PAt1, "P(switch<=1cycle)")
+	b.ReportMetric(last.PAt20, "P(switch<=20cycles)")
+}
+
+func BenchmarkFig8SettingUsage(b *testing.B) {
+	var last *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Usage[core.Setting512]+last.Usage[core.Setting608], "usage-512+608")
+}
+
+func BenchmarkFig9FrameAccuracy(b *testing.B) {
+	var last *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.MeanAdaVP, "AdaVP-meanF1")
+	b.ReportMetric(last.MeanMPDT, "MPDT512-meanF1")
+}
+
+func BenchmarkFig10F1Threshold(b *testing.B) {
+	var last *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.AdaVP, "AdaVP-accuracy@0.75")
+}
+
+func BenchmarkFig11IoUThreshold(b *testing.B) {
+	var last *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.AdaVP, "AdaVP-accuracy@IoU0.6")
+}
+
+func BenchmarkTable3Energy(b *testing.B) {
+	var last *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		if row.Name == "AdaVP" || row.Name == "MPDT-YOLOv3-512" {
+			b.ReportMetric(row.Energy.Total(), "Wh-"+row.Name)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// benchVideos is a small mixed set reused by the ablations.
+func benchVideos() []*video.Video {
+	return video.TestSet(3, 240)
+}
+
+// BenchmarkAblationFrameSelection compares the paper's tracking-frame
+// selection (p = h/f, frames spread across the buffer) against naively
+// tracking every frame until the cycle budget dies (later frames never
+// tracked).
+func BenchmarkAblationFrameSelection(b *testing.B) {
+	videos := benchVideos()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyMPDT, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyMPDT, Seed: 1, TrackAllFrames: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = r1.MeanAccuracy, r2.MeanAccuracy
+	}
+	b.ReportMetric(with, "acc-with-selection")
+	b.ReportMetric(without, "acc-track-all")
+}
+
+// BenchmarkAblationVelocitySmoothing compares AdaVP's smoothed adaptation
+// input against raw per-cycle velocities.
+func BenchmarkAblationVelocitySmoothing(b *testing.B) {
+	videos := benchVideos()
+	var smoothed, raw float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyAdaVP, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyAdaVP, Seed: 1, NoVelocitySmoothing: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		smoothed, raw = r1.MeanAccuracy, r2.MeanAccuracy
+	}
+	b.ReportMetric(smoothed, "acc-smoothed")
+	b.ReportMetric(raw, "acc-raw")
+}
+
+// BenchmarkAblationPerSizeThresholds compares the paper's per-current-setting
+// threshold triples (§IV-D.3) against a single global triple.
+func BenchmarkAblationPerSizeThresholds(b *testing.B) {
+	videos := benchVideos()
+	perSize := DefaultAdaptationModel()
+	// The global model applies the 512 triple regardless of the setting the
+	// velocity was measured under.
+	globalModel := DefaultAdaptationModel()
+	tri := globalModel.PerSetting[core.Setting512]
+	for _, s := range core.AdaptiveSettings {
+		globalModel.PerSetting[s] = tri
+	}
+	var perAcc, globalAcc float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyAdaVP, Adaptation: perSize, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyAdaVP, Adaptation: globalModel, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perAcc, globalAcc = r1.MeanAccuracy, r2.MeanAccuracy
+	}
+	b.ReportMetric(perAcc, "acc-per-size")
+	b.ReportMetric(globalAcc, "acc-global")
+}
+
+// BenchmarkAblationParallelVsSequential is the MPDT-vs-MARLIN schedule
+// ablation: identical detector, tracker and change signal; only the
+// schedule differs.
+func BenchmarkAblationParallelVsSequential(b *testing.B) {
+	videos := benchVideos()
+	var parallel, sequential float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyMPDT, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyMARLIN, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallel, sequential = r1.MeanAccuracy, r2.MeanAccuracy
+	}
+	b.ReportMetric(parallel, "acc-parallel")
+	b.ReportMetric(sequential, "acc-sequential")
+}
+
+// BenchmarkEndToEndAdaVP measures raw simulator throughput (frames/sec of
+// simulated video per wall second).
+func BenchmarkEndToEndAdaVP(b *testing.B) {
+	v := video.GenerateKind("bench", video.KindHighway, 1, 900)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(v, sim.Config{Policy: sim.PolicyAdaVP, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(900*b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkEnergyIntegration measures the Table III energy path.
+func BenchmarkEnergyIntegration(b *testing.B) {
+	v := video.GenerateKind("bench", video.KindHighway, 1, 900)
+	r, err := sim.Run(v, sim.Config{Policy: sim.PolicyAdaVP, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := energy.DefaultModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Energy(r.Run)
+	}
+}

@@ -1,0 +1,48 @@
+// Command adavp-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	adavp-experiments [flags] <experiment>
+//
+// where <experiment> is one of fig1, fig2, table2, fig5, fig6, fig7, fig8,
+// fig9, fig10, fig11, table3, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"adavp/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adavp-experiments: ")
+	var (
+		frames = flag.Int("frames", 450, "frames per test video (13 videos; paper scale: 10800)")
+		trial  = flag.Int("trial-frames", 600, "frame budget for single-video studies (paper: 4000)")
+		seed   = flag.Uint64("seed", 2, "dataset seed")
+		paper  = flag.Bool("paper-scale", false, "run at the paper's dataset magnitude (slow)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: adavp-experiments [flags] <%s|all>\n\nflags:\n",
+			strings.Join(experiments.IDs(), "|"))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	scale := experiments.Scale{FramesPerVideo: *frames, TrialFrames: *trial, Seed: *seed}
+	if *paper {
+		scale = experiments.PaperScale()
+		scale.Seed = *seed
+	}
+	if err := experiments.Run(flag.Arg(0), scale, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

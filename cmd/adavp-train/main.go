@@ -1,0 +1,108 @@
+// Command adavp-train regenerates AdaVP's model-adaptation thresholds
+// (§IV-D.3): it generates the standard synthetic training set, runs
+// fixed-setting MPDT at all four adaptive settings over every video,
+// labels each 1-second chunk with the setting that scored best, fits the
+// per-setting velocity thresholds, and prints them as Go source for
+// internal/adapt.DefaultModel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"adavp/internal/adapt"
+	"adavp/internal/core"
+	"adavp/internal/sim"
+	"adavp/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adavp-train: ")
+	var (
+		frames = flag.Int("frames", 600, "frames per training video (32 videos total)")
+		seed   = flag.Uint64("seed", 1, "dataset seed")
+	)
+	flag.Parse()
+	if err := run(*frames, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(frames int, seed uint64) error {
+	videos := video.TrainingSet(seed, frames)
+	total := 0
+	for _, v := range videos {
+		total += v.NumFrames()
+	}
+	fmt.Fprintf(os.Stderr, "training on %d videos, %d frames\n", len(videos), total)
+
+	samples, err := sim.CollectTrainingSamples(videos, seed)
+	if err != nil {
+		return fmt.Errorf("collecting samples: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "collected %d samples\n", len(samples))
+
+	// Report the label distribution so degenerate training is visible.
+	labels := make(map[core.Setting]int)
+	for _, s := range samples {
+		labels[s.Best]++
+	}
+	for _, s := range core.AdaptiveSettings {
+		fmt.Fprintf(os.Stderr, "  best=%v: %d chunks\n", s, labels[s]/len(core.AdaptiveSettings))
+	}
+
+	model, err := adapt.Train(samples)
+	if err != nil {
+		return fmt.Errorf("training: %w", err)
+	}
+
+	// Report training fit vs the majority-class baseline.
+	correct := 0
+	majority := 0
+	for _, c := range labels {
+		if c > majority {
+			majority = c
+		}
+	}
+	for _, smp := range samples {
+		if model.PerSetting[smp.Current].Decide(smp.Velocity) == smp.Best {
+			correct++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "training accuracy %.3f (majority baseline %.3f)\n",
+		float64(correct)/float64(len(samples)), float64(majority)/float64(len(samples)))
+
+	// Emit Go source for DefaultModel.
+	settings := make([]core.Setting, 0, len(model.PerSetting))
+	for s := range model.PerSetting {
+		settings = append(settings, s)
+	}
+	sort.Slice(settings, func(i, j int) bool { return settings[i] < settings[j] })
+	fmt.Println("return &Model{PerSetting: map[core.Setting]Thresholds{")
+	for _, s := range settings {
+		th := model.PerSetting[s]
+		fmt.Printf("\tcore.%s: {%.2f, %.2f, %.2f},\n", goName(s), th[0], th[1], th[2])
+	}
+	fmt.Println("}}")
+	return nil
+}
+
+// goName maps a setting to its Go identifier.
+func goName(s core.Setting) string {
+	switch s {
+	case core.Setting320:
+		return "Setting320"
+	case core.Setting416:
+		return "Setting416"
+	case core.Setting512:
+		return "Setting512"
+	case core.Setting608:
+		return "Setting608"
+	default:
+		return fmt.Sprintf("Setting(%d)", int(s))
+	}
+}

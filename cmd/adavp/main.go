@@ -1,0 +1,216 @@
+// Command adavp runs the AdaVP pipeline (or a baseline) over a synthetic
+// video and reports the paper's metrics, optionally exporting the per-frame
+// trace as CSV/JSON and rendered frames as PGM images.
+//
+// Examples:
+//
+//	adavp -scenario highway -frames 900
+//	adavp -policy mpdt -setting 512 -scenario racetrack
+//	adavp -scenario city-street -csv run.csv -json run.json
+//	adavp -scenario highway -dump-frames 5 -dump-dir /tmp/frames
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adavp"
+	"adavp/internal/core"
+	"adavp/internal/imgproc"
+	"adavp/internal/metrics"
+	"adavp/internal/overlay"
+	"adavp/internal/sim"
+	"adavp/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adavp: ")
+	var (
+		scenario   = flag.String("scenario", "highway", "scenario preset ("+scenarioList()+")")
+		policyName = flag.String("policy", "adavp", "policy: adavp|mpdt|marlin|notracking|continuous")
+		settingPx  = flag.Int("setting", 512, "fixed model setting (320|416|512|608); initial setting for adavp")
+		frames     = flag.Int("frames", 900, "video length in frames (30 FPS)")
+		seed       = flag.Uint64("seed", 1, "random seed (runs are reproducible)")
+		pixel      = flag.Bool("pixel", false, "use the real pixel detector and Lucas-Kanade tracker (slow)")
+		csvPath    = flag.String("csv", "", "write the per-frame trace as CSV to this file")
+		jsonPath   = flag.String("json", "", "write the run summary as JSON to this file")
+		dumpN      = flag.Int("dump-frames", 0, "render and save this many frames as PGM images")
+		annotate   = flag.Bool("annotate", false, "dump frames as truth-vs-output composites with drawn boxes")
+		perClass   = flag.Bool("per-class", false, "print the per-class precision/recall breakdown")
+		dumpDir    = flag.String("dump-dir", ".", "directory for dumped frames")
+	)
+	flag.Parse()
+	if err := run(*scenario, *policyName, *settingPx, *frames, *seed, *pixel, *perClass, *csvPath, *jsonPath, *dumpN, *annotate, *dumpDir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(scenario, policyName string, settingPx, frames int, seed uint64, pixel, perClass bool, csvPath, jsonPath string, dumpN int, annotate bool, dumpDir string) error {
+	kind, err := parseScenario(scenario)
+	if err != nil {
+		return err
+	}
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	setting, err := parseSetting(settingPx)
+	if err != nil {
+		return err
+	}
+
+	v := adavp.GenerateVideo(kind, seed, frames)
+	fmt.Printf("video: %s — %d frames (%.1f s), mean content change %.2f px/frame\n",
+		v.Name, v.NumFrames(), adavp.VideoDuration(v).Seconds(), v.MeanChangeRate())
+
+	res, err := adavp.Run(v, adavp.Options{
+		Policy: policy, Setting: setting, Seed: seed, PixelMode: pixel,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("policy: %s\n", res.Trace.Policy)
+	fmt.Printf("accuracy (frames with F1>=0.7): %.3f\n", res.Accuracy)
+	fmt.Printf("mean F1: %.3f\n", res.MeanF1)
+	fmt.Printf("detection cycles: %d, setting switches: %d\n", len(res.Trace.Cycles), len(res.Trace.Switches))
+	if usage := res.Trace.SettingUsage(); len(usage) > 1 {
+		fmt.Print("setting usage:")
+		for _, s := range core.AdaptiveSettings {
+			if frac, ok := usage[s]; ok {
+				fmt.Printf(" %d:%.0f%%", s.InputSize(), frac*100)
+			}
+		}
+		fmt.Println()
+	}
+	e := adavp.Energy(res)
+	fmt.Printf("energy (this run): GPU %.4f Wh, CPU %.4f Wh, total %.4f Wh\n", e.GPU, e.CPU, e.Total())
+
+	if perClass {
+		report := metrics.NewClassReport()
+		for i, out := range res.Outputs {
+			report.Add(out.Detections, v.Truth(i), metrics.DefaultIoU)
+		}
+		fmt.Println("\nper-class breakdown:")
+		if err := report.Print(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if csvPath != "" {
+		if err := writeFile(csvPath, res.Trace.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-frame CSV to %s\n", csvPath)
+	}
+	if jsonPath != "" {
+		if err := writeFile(jsonPath, res.Trace.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote run JSON to %s\n", jsonPath)
+	}
+	if dumpN > 0 {
+		if err := dumpFrames(v, res, dumpN, annotate, dumpDir); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d PGM frames to %s\n", dumpN, dumpDir)
+	}
+	return nil
+}
+
+func parseScenario(name string) (adavp.Scenario, error) {
+	for _, k := range video.AllKinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scenario %q (have %s)", name, scenarioList())
+}
+
+func scenarioList() string {
+	names := make([]string, 0, video.NumKinds)
+	for _, k := range video.AllKinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, "|")
+}
+
+func parsePolicy(name string) (adavp.Policy, error) {
+	switch strings.ToLower(name) {
+	case "adavp":
+		return adavp.PolicyAdaVP, nil
+	case "mpdt":
+		return adavp.PolicyMPDT, nil
+	case "marlin":
+		return adavp.PolicyMARLIN, nil
+	case "notracking":
+		return adavp.PolicyNoTracking, nil
+	case "continuous":
+		return adavp.PolicyContinuous, nil
+	default:
+		return sim.PolicyInvalid, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func parseSetting(px int) (adavp.Setting, error) {
+	switch px {
+	case 320:
+		return adavp.Setting320, nil
+	case 416:
+		return adavp.Setting416, nil
+	case 512:
+		return adavp.Setting512, nil
+	case 608:
+		return adavp.Setting608, nil
+	default:
+		return core.SettingInvalid, fmt.Errorf("unknown setting %d (use 320|416|512|608)", px)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func dumpFrames(v *adavp.Video, res *adavp.Result, n int, annotate bool, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	step := v.NumFrames() / n
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n && i*step < v.NumFrames(); i++ {
+		idx := i * step
+		img := v.Render(idx)
+		if annotate {
+			img = overlay.Annotate(img, v.Truth(idx), res.Outputs[idx])
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-frame-%04d.pgm", v.Name, idx))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", path, err)
+		}
+		err = imgproc.EncodePGM(f, img)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Traffic monitoring: the paper's motivating application (§I — automatic
+// warnings from a highway camera). This example compares AdaVP against the
+// fixed-setting MPDT pipelines, the sequential MARLIN baseline and the
+// detector-only baseline on the same highway video, reporting accuracy and
+// energy side by side — a single-video slice of the paper's Fig. 6 and
+// Table III.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adavp"
+)
+
+func main() {
+	v := adavp.GenerateVideo(adavp.ScenarioHighway, 7, 1800) // one minute of traffic
+	fmt.Printf("highway video: %d frames (%.0f s), mean content change %.2f px/frame\n\n",
+		v.NumFrames(), adavp.VideoDuration(v).Seconds(), v.MeanChangeRate())
+
+	type method struct {
+		name    string
+		policy  adavp.Policy
+		setting adavp.Setting
+	}
+	methods := []method{
+		{"AdaVP (adaptive)", adavp.PolicyAdaVP, adavp.Setting512},
+		{"MPDT-YOLOv3-320", adavp.PolicyMPDT, adavp.Setting320},
+		{"MPDT-YOLOv3-512", adavp.PolicyMPDT, adavp.Setting512},
+		{"MPDT-YOLOv3-608", adavp.PolicyMPDT, adavp.Setting608},
+		{"MARLIN-YOLOv3-512", adavp.PolicyMARLIN, adavp.Setting512},
+		{"No tracking (512)", adavp.PolicyNoTracking, adavp.Setting512},
+	}
+
+	fmt.Printf("%-20s %10s %10s %12s\n", "method", "accuracy", "mean F1", "energy (Wh)")
+	for _, m := range methods {
+		res, err := adavp.Run(v, adavp.Options{Policy: m.policy, Setting: m.setting, Seed: 7})
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
+		fmt.Printf("%-20s %10.3f %10.3f %12.4f\n", m.name, res.Accuracy, res.MeanF1, adavp.Energy(res).Total())
+	}
+
+	fmt.Println("\nAdaVP switches the YOLOv3 input size as traffic speeds up and slows down;")
+	fmt.Println("fixed settings pay either with stale tracking (608) or weak detections (320).")
+}

@@ -1,0 +1,3 @@
+module adavp
+
+go 1.22

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassString(t *testing.T) {
+	if got := ClassCar.String(); got != "car" {
+		t.Errorf("ClassCar = %q", got)
+	}
+	if got := ClassSkater.String(); got != "skater" {
+		t.Errorf("ClassSkater = %q", got)
+	}
+	if got := ClassInvalid.String(); !strings.Contains(got, "0") {
+		t.Errorf("ClassInvalid = %q", got)
+	}
+	if got := Class(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("Class(99) = %q", got)
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	if ClassInvalid.Valid() {
+		t.Error("ClassInvalid reported valid")
+	}
+	if !ClassCar.Valid() || !ClassSkater.Valid() {
+		t.Error("defined classes reported invalid")
+	}
+	if Class(NumClasses + 1).Valid() {
+		t.Error("out-of-range class reported valid")
+	}
+}
+
+func TestNumClasses(t *testing.T) {
+	if NumClasses != 14 {
+		t.Errorf("NumClasses = %d, want 14 (paper: 14 scenario types, matching class set)", NumClasses)
+	}
+}
+
+func TestConfusionGroups(t *testing.T) {
+	for c := ClassCar; c < numClasses; c++ {
+		group := c.ConfusionGroup()
+		if len(group) == 0 {
+			t.Fatalf("%v: empty confusion group", c)
+		}
+		found := false
+		for _, g := range group {
+			if g == c {
+				found = true
+			}
+			if !g.Valid() {
+				t.Errorf("%v: invalid member %v", c, g)
+			}
+		}
+		if !found {
+			t.Errorf("%v: confusion group %v does not contain the class itself", c, group)
+		}
+	}
+	// Vehicles confuse with vehicles (the paper's car/truck example).
+	group := ClassCar.ConfusionGroup()
+	if len(group) < 2 {
+		t.Error("car should be confusable with other vehicle classes")
+	}
+}
+
+func TestSettingInputSize(t *testing.T) {
+	cases := []struct {
+		s    Setting
+		want int
+	}{
+		{Setting320, 320},
+		{Setting416, 416},
+		{Setting512, 512},
+		{Setting608, 608},
+		{Setting704, 704},
+		{SettingTiny320, 320},
+		{SettingInvalid, 0},
+		{Setting(99), 0},
+	}
+	for _, c := range cases {
+		if got := c.s.InputSize(); got != c.want {
+			t.Errorf("%v.InputSize() = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestSettingString(t *testing.T) {
+	if got := Setting608.String(); got != "YOLOv3-608" {
+		t.Errorf("Setting608 = %q", got)
+	}
+	if got := SettingTiny320.String(); got != "YOLOv3-tiny-320" {
+		t.Errorf("SettingTiny320 = %q", got)
+	}
+	if got := Setting(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("Setting(42) = %q", got)
+	}
+}
+
+func TestAdaptiveSettingsOrder(t *testing.T) {
+	if len(AdaptiveSettings) != 4 {
+		t.Fatalf("AdaptiveSettings has %d entries, want 4", len(AdaptiveSettings))
+	}
+	for i := 1; i < len(AdaptiveSettings); i++ {
+		if AdaptiveSettings[i].InputSize() <= AdaptiveSettings[i-1].InputSize() {
+			t.Error("AdaptiveSettings not in increasing size order")
+		}
+	}
+	for _, s := range AdaptiveSettings {
+		if !s.Valid() {
+			t.Errorf("invalid adaptive setting %v", s)
+		}
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for _, c := range []struct {
+		s    Source
+		want string
+	}{
+		{SourceNone, "none"},
+		{SourceDetector, "detector"},
+		{SourceTracker, "tracker"},
+		{SourceHeld, "held"},
+	} {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int(c.s), got, c.want)
+		}
+	}
+	if got := Source(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("Source(9) = %q", got)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"time"
+
+	"adavp/internal/rng"
+)
+
+// LatencyModel reproduces the component timings the paper measured on the
+// Jetson TX2 (§III, Table II and Fig. 1):
+//
+//   - YOLOv3 detection: 230 ms (320×320) to 500 ms (608×608), scaling with
+//     the input area; YOLOv3-tiny-320 runs in about 60 ms.
+//   - Good-feature extraction: ~40 ms per DNN-detected frame.
+//   - Feature tracking: 7–20 ms per frame, growing with the object count.
+//   - Overlay drawing + display: ~50 ms per frame.
+//
+// Latencies carry a small multiplicative jitter drawn from the stream passed
+// at construction, making simulated schedules realistically non-periodic yet
+// fully reproducible.
+type LatencyModel struct {
+	rnd *rng.Stream
+	// JitterStd is the relative standard deviation of per-call jitter.
+	// Zero disables jitter (useful in unit tests).
+	jitterStd float64
+}
+
+// NewLatencyModel returns a model drawing jitter from the given stream. A
+// nil stream yields a deterministic (jitter-free) model.
+func NewLatencyModel(rnd *rng.Stream) *LatencyModel {
+	m := &LatencyModel{rnd: rnd}
+	if rnd != nil {
+		m.jitterStd = 0.04
+	}
+	return m
+}
+
+// Mean detection latencies per setting, anchored at the paper's endpoints
+// (230 ms at 320, 500 ms at 608) and interpolated linearly in input *area*
+// for the middle settings, which matches how convolution cost scales.
+var detectMeanMs = map[Setting]float64{
+	SettingTiny320: 60,
+	Setting320:     230,
+	Setting416:     298,
+	Setting512:     384,
+	Setting608:     500,
+	Setting704:     560,
+}
+
+// Tracker-side component means (Table II).
+const (
+	featureExtractMeanMs = 40.0
+	trackBaseMs          = 7.0  // tracking latency floor
+	trackPerObjectMs     = 1.3  // growth per tracked object
+	trackMaxMs           = 20.0 // paper's observed ceiling
+	overlayMeanMs        = 50.0
+	// Model-adaptation overheads (§IV-D.3): motion feature extraction and
+	// DNN setting switch, both negligible.
+	motionFeatureMs = 8.49e-2
+	settingSwitchMs = 1.89e-2
+)
+
+// jitter applies multiplicative Gaussian jitter, clamped to ±3σ.
+func (m *LatencyModel) jitter(mean float64) time.Duration {
+	f := 1.0
+	if m.rnd != nil && m.jitterStd > 0 {
+		g := m.rnd.NormScaled(0, m.jitterStd)
+		if g > 3*m.jitterStd {
+			g = 3 * m.jitterStd
+		}
+		if g < -3*m.jitterStd {
+			g = -3 * m.jitterStd
+		}
+		f += g
+	}
+	return time.Duration(mean * f * float64(time.Millisecond))
+}
+
+// Detect returns the DNN inference latency for one frame at the setting.
+func (m *LatencyModel) Detect(s Setting) time.Duration {
+	mean, ok := detectMeanMs[s]
+	if !ok {
+		mean = detectMeanMs[Setting608]
+	}
+	return m.jitter(mean)
+}
+
+// DetectMean returns the jitter-free mean detection latency for a setting.
+func (m *LatencyModel) DetectMean(s Setting) time.Duration {
+	mean, ok := detectMeanMs[s]
+	if !ok {
+		mean = detectMeanMs[Setting608]
+	}
+	return time.Duration(mean * float64(time.Millisecond))
+}
+
+// FeatureExtract returns the good-features-to-track latency for one
+// DNN-detected frame.
+func (m *LatencyModel) FeatureExtract() time.Duration {
+	return m.jitter(featureExtractMeanMs)
+}
+
+// TrackFrame returns the optical-flow tracking latency for one frame holding
+// the given number of objects (7–20 ms, growing with the object count).
+func (m *LatencyModel) TrackFrame(objects int) time.Duration {
+	if objects < 0 {
+		objects = 0
+	}
+	mean := trackBaseMs + trackPerObjectMs*float64(objects)
+	if mean > trackMaxMs {
+		mean = trackMaxMs
+	}
+	return m.jitter(mean)
+}
+
+// Overlay returns the per-frame overlay drawing + display latency.
+func (m *LatencyModel) Overlay() time.Duration {
+	return m.jitter(overlayMeanMs)
+}
+
+// MotionFeature returns the cost of extracting the motion velocity from the
+// tracker's intermediate results (negligible by design, §IV-D.3).
+func (m *LatencyModel) MotionFeature() time.Duration {
+	return m.jitter(motionFeatureMs)
+}
+
+// SettingSwitch returns the cost of switching the YOLOv3 input size.
+func (m *LatencyModel) SettingSwitch() time.Duration {
+	return m.jitter(settingSwitchMs)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adavp/internal/rng"
+)
+
+func TestDetectLatencyEndpoints(t *testing.T) {
+	m := NewLatencyModel(nil)
+	if got := m.Detect(Setting320); got != 230*time.Millisecond {
+		t.Errorf("320 latency = %v, want 230ms (paper Fig. 1)", got)
+	}
+	if got := m.Detect(Setting608); got != 500*time.Millisecond {
+		t.Errorf("608 latency = %v, want 500ms (paper Fig. 1)", got)
+	}
+	if got := m.Detect(SettingTiny320); got != 60*time.Millisecond {
+		t.Errorf("tiny latency = %v, want 60ms (paper §I)", got)
+	}
+}
+
+func TestDetectLatencyMonotone(t *testing.T) {
+	m := NewLatencyModel(nil)
+	order := []Setting{SettingTiny320, Setting320, Setting416, Setting512, Setting608, Setting704}
+	for i := 1; i < len(order); i++ {
+		if m.Detect(order[i]) <= m.Detect(order[i-1]) {
+			t.Errorf("latency not increasing: %v (%v) <= %v (%v)",
+				order[i], m.Detect(order[i]), order[i-1], m.Detect(order[i-1]))
+		}
+	}
+}
+
+func TestDetectUnknownSettingFallsBack(t *testing.T) {
+	m := NewLatencyModel(nil)
+	if got := m.Detect(Setting(42)); got != m.Detect(Setting608) {
+		t.Errorf("unknown setting latency = %v", got)
+	}
+	if got := m.DetectMean(Setting(42)); got != 500*time.Millisecond {
+		t.Errorf("unknown setting mean = %v", got)
+	}
+}
+
+func TestTrackFrameLatencyRange(t *testing.T) {
+	m := NewLatencyModel(nil)
+	if got := m.TrackFrame(0); got != 7*time.Millisecond {
+		t.Errorf("0 objects = %v, want 7ms (Table II floor)", got)
+	}
+	if got := m.TrackFrame(100); got != 20*time.Millisecond {
+		t.Errorf("100 objects = %v, want 20ms cap (Table II ceiling)", got)
+	}
+	if got := m.TrackFrame(-3); got != 7*time.Millisecond {
+		t.Errorf("negative objects = %v", got)
+	}
+	if m.TrackFrame(5) <= m.TrackFrame(1) {
+		t.Error("tracking latency does not grow with object count")
+	}
+}
+
+func TestTableIIComponentMeans(t *testing.T) {
+	m := NewLatencyModel(nil)
+	if got := m.FeatureExtract(); got != 40*time.Millisecond {
+		t.Errorf("feature extraction = %v, want 40ms", got)
+	}
+	if got := m.Overlay(); got != 50*time.Millisecond {
+		t.Errorf("overlay = %v, want 50ms", got)
+	}
+}
+
+func TestAdaptationOverheadsNegligible(t *testing.T) {
+	m := NewLatencyModel(nil)
+	if got := m.MotionFeature(); got >= time.Millisecond {
+		t.Errorf("motion feature extraction = %v, want << 1ms (paper: 0.0849ms)", got)
+	}
+	if got := m.SettingSwitch(); got >= time.Millisecond {
+		t.Errorf("setting switch = %v, want << 1ms (paper: 0.0189ms)", got)
+	}
+	if m.SettingSwitch() <= 0 || m.MotionFeature() <= 0 {
+		t.Error("adaptation overheads must be positive")
+	}
+}
+
+func TestJitterBoundedAndReproducible(t *testing.T) {
+	a := NewLatencyModel(rng.New(11))
+	b := NewLatencyModel(rng.New(11))
+	for i := 0; i < 500; i++ {
+		la := a.Detect(Setting512)
+		lb := b.Detect(Setting512)
+		if la != lb {
+			t.Fatal("jittered latencies not reproducible from equal seeds")
+		}
+		mean := 384 * time.Millisecond
+		lo := time.Duration(float64(mean) * 0.85)
+		hi := time.Duration(float64(mean) * 1.15)
+		if la < lo || la > hi {
+			t.Fatalf("jittered latency %v outside ±15%% of %v", la, mean)
+		}
+	}
+}
+
+func TestTrackingSlowerThanFrameInterval(t *testing.T) {
+	// Observation 4: tracking+overlay of one frame exceeds the 33ms frame
+	// interval at 30 FPS — the premise of tracking-frame selection.
+	m := NewLatencyModel(nil)
+	perFrame := m.TrackFrame(5) + m.Overlay()
+	if perFrame <= 33*time.Millisecond {
+		t.Errorf("tracking+overlay = %v, expected > 33ms (Observation 4)", perFrame)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+// FrameSelector implements the tracking-frame selection scheme of §IV-C.
+//
+// Tracking plus overlay drawing for one frame costs more than the camera's
+// frame interval (Observation 4), so the tracker cannot process every frame
+// accumulated during a detection cycle. The selector predicts how many frames
+// h_t can be tracked this cycle from the previous cycle's experience:
+//
+//	p   = h_{t-1} / f_{t-1}
+//	h_t = p * f_t
+//
+// and then picks that many frames at regular intervals from the buffer. The
+// frames that are not selected reuse the result of the previous tracked or
+// detected frame.
+type FrameSelector struct {
+	// fraction is p, the fraction of buffered frames tracked last cycle.
+	fraction float64
+	primed   bool
+}
+
+// defaultFraction is used before the first cycle completes. With the paper's
+// component latencies (tracking 7–20 ms + overlay 50 ms per frame vs a 33 ms
+// frame interval at 30 FPS) roughly every second frame can be tracked.
+const defaultFraction = 0.5
+
+// NewFrameSelector returns a selector primed with the default fraction.
+func NewFrameSelector() *FrameSelector {
+	return &FrameSelector{fraction: defaultFraction}
+}
+
+// Fraction returns the current estimate of p.
+func (s *FrameSelector) Fraction() float64 {
+	if s == nil || !s.primed && s.fraction == 0 {
+		return defaultFraction
+	}
+	return s.fraction
+}
+
+// Plan selects which of the f frames buffered this cycle to track. It
+// returns the zero-based indices (into the buffered slice) of the frames the
+// tracker should process, spaced at regular intervals, always including the
+// last buffered frame so the display catches up to the detector's fetch
+// point. An empty buffer yields no selections.
+func (s *FrameSelector) Plan(f int) []int {
+	if f <= 0 {
+		return nil
+	}
+	h := int(s.Fraction()*float64(f) + 0.5)
+	if h < 1 {
+		h = 1
+	}
+	if h > f {
+		h = f
+	}
+	// Choose h indices evenly spread over [0, f), biased toward the end so
+	// the newest frame is always tracked.
+	out := make([]int, 0, h)
+	step := float64(f) / float64(h)
+	for i := 1; i <= h; i++ {
+		idx := int(float64(i)*step+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= f {
+			idx = f - 1
+		}
+		if len(out) > 0 && out[len(out)-1] == idx {
+			continue
+		}
+		out = append(out, idx)
+	}
+	if out[len(out)-1] != f-1 {
+		out = append(out, f-1)
+	}
+	return out
+}
+
+// Update records the outcome of a completed cycle: h frames were actually
+// tracked out of f buffered, refreshing the fraction p for the next cycle.
+// Calls with f <= 0 are ignored.
+func (s *FrameSelector) Update(h, f int) {
+	if f <= 0 {
+		return
+	}
+	if h < 0 {
+		h = 0
+	}
+	if h > f {
+		h = f
+	}
+	p := float64(h) / float64(f)
+	// Clamp away from zero: a cycle in which nothing could be tracked must
+	// not pin the selector at "track nothing" forever.
+	if p < 0.05 {
+		p = 0.05
+	}
+	s.fraction = p
+	s.primed = true
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameSelectorDefaults(t *testing.T) {
+	s := NewFrameSelector()
+	if got := s.Fraction(); got != defaultFraction {
+		t.Errorf("initial fraction = %f, want %f", got, defaultFraction)
+	}
+}
+
+func TestFrameSelectorPlanEmpty(t *testing.T) {
+	s := NewFrameSelector()
+	if got := s.Plan(0); got != nil {
+		t.Errorf("Plan(0) = %v, want nil", got)
+	}
+	if got := s.Plan(-3); got != nil {
+		t.Errorf("Plan(-3) = %v, want nil", got)
+	}
+}
+
+func TestFrameSelectorPlanSingleFrame(t *testing.T) {
+	s := NewFrameSelector()
+	got := s.Plan(1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Plan(1) = %v, want [0]", got)
+	}
+}
+
+func TestFrameSelectorPlanHalf(t *testing.T) {
+	s := NewFrameSelector()
+	s.Update(5, 10) // p = 0.5
+	got := s.Plan(10)
+	if len(got) != 5 {
+		t.Errorf("Plan(10) with p=0.5 selected %d frames: %v", len(got), got)
+	}
+	if got[len(got)-1] != 9 {
+		t.Errorf("last selected frame = %d, want 9 (newest frame must be tracked)", got[len(got)-1])
+	}
+}
+
+// Properties of Plan: indices strictly increasing, in range, last index is
+// always f-1, and count respects the fraction (±1 for rounding).
+func TestFrameSelectorPlanProperties(t *testing.T) {
+	if err := quick.Check(func(fRaw, hRaw uint8) bool {
+		f := int(fRaw%60) + 1
+		h := int(hRaw) % (f + 1)
+		s := NewFrameSelector()
+		s.Update(h, f)
+		plan := s.Plan(f)
+		if len(plan) == 0 {
+			return false
+		}
+		if plan[len(plan)-1] != f-1 {
+			return false
+		}
+		prev := -1
+		for _, idx := range plan {
+			if idx <= prev || idx >= f {
+				return false
+			}
+			prev = idx
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameSelectorUpdateClamps(t *testing.T) {
+	s := NewFrameSelector()
+	s.Update(0, 10) // would be p = 0 -> clamped
+	if got := s.Fraction(); got < 0.05 {
+		t.Errorf("fraction after zero-track cycle = %f, want >= 0.05", got)
+	}
+	s.Update(20, 10) // h > f -> clamped to 1
+	if got := s.Fraction(); got != 1 {
+		t.Errorf("fraction after over-track cycle = %f, want 1", got)
+	}
+	before := s.Fraction()
+	s.Update(3, 0) // ignored
+	if got := s.Fraction(); got != before {
+		t.Errorf("Update with f=0 changed fraction: %f -> %f", before, got)
+	}
+	s.Update(-5, 10) // h clamped to 0 -> p clamped to 0.05
+	if got := s.Fraction(); got != 0.05 {
+		t.Errorf("fraction after negative h = %f, want 0.05", got)
+	}
+}
+
+func TestFrameSelectorAdaptsAcrossCycles(t *testing.T) {
+	// Simulate the paper's scenario: the tracker could only keep up with a
+	// third of the buffered frames last cycle, so this cycle it plans about a
+	// third of the new buffer.
+	s := NewFrameSelector()
+	s.Update(4, 12)
+	plan := s.Plan(15)
+	if len(plan) < 4 || len(plan) > 6 {
+		t.Errorf("Plan(15) with p=1/3 selected %d frames (%v), want ~5", len(plan), plan)
+	}
+}
+
+func TestFrameSelectorFullFraction(t *testing.T) {
+	s := NewFrameSelector()
+	s.Update(10, 10)
+	plan := s.Plan(7)
+	if len(plan) != 7 {
+		t.Fatalf("Plan(7) with p=1 selected %d frames", len(plan))
+	}
+	for i, idx := range plan {
+		if idx != i {
+			t.Fatalf("Plan with p=1 should select every frame, got %v", plan)
+		}
+	}
+}
+
+func TestFrameSelectorNilReceiverFraction(t *testing.T) {
+	var s *FrameSelector
+	if got := s.Fraction(); got != defaultFraction {
+		t.Errorf("nil selector fraction = %f", got)
+	}
+}

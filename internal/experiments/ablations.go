@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adavp/internal/adapt"
+	"adavp/internal/core"
+	"adavp/internal/sim"
+)
+
+// AblationsResult quantifies the design choices DESIGN.md §4 calls out by
+// toggling each one off over the standard test set.
+type AblationsResult struct {
+	Rows []AblationRow
+}
+
+// AblationRow compares one mechanism on vs off (mean accuracy).
+type AblationRow struct {
+	Name    string
+	With    float64
+	Without float64
+	Comment string
+}
+
+// Ablations runs the four toggles.
+func Ablations(s Scale) (*AblationsResult, error) {
+	s = s.withDefaults()
+	videos := s.testSet()
+	run := func(cfg sim.Config) (float64, error) {
+		cfg.Seed = s.Seed
+		r, err := sim.RunSet(videos, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return r.MeanAccuracy, nil
+	}
+
+	res := &AblationsResult{}
+
+	// 1. Tracking-frame selection (§IV-C) vs naively tracking every frame.
+	withSel, err := run(sim.Config{Policy: sim.PolicyMPDT})
+	if err != nil {
+		return nil, err
+	}
+	noSel, err := run(sim.Config{Policy: sim.PolicyMPDT, TrackAllFrames: true})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "tracking-frame selection", With: withSel, Without: noSel,
+		Comment: "without: track frames in order until the cycle budget dies",
+	})
+
+	// 2. Velocity smoothing of the adaptation input.
+	smoothed, err := run(sim.Config{Policy: sim.PolicyAdaVP})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := run(sim.Config{Policy: sim.PolicyAdaVP, NoVelocitySmoothing: true})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "velocity smoothing", With: smoothed, Without: raw,
+		Comment: "without: raw per-cycle velocities drive the setting choice",
+	})
+
+	// 3. Per-current-setting thresholds (§IV-D.3) vs one global triple.
+	global := adapt.DefaultModel()
+	tri := global.PerSetting[core.Setting512]
+	for _, setting := range core.AdaptiveSettings {
+		global.PerSetting[setting] = tri
+	}
+	globalAcc, err := run(sim.Config{Policy: sim.PolicyAdaVP, Adaptation: global})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "per-setting thresholds", With: smoothed, Without: globalAcc,
+		Comment: "without: the 512 threshold triple is used for every current setting",
+	})
+
+	// 4. Parallelism itself (MPDT vs MARLIN's sequential schedule).
+	marlin, err := run(sim.Config{Policy: sim.PolicyMARLIN})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "parallel schedule (MPDT)", With: withSel, Without: marlin,
+		Comment: "without: the sequential MARLIN schedule with the same components",
+	})
+
+	return res, nil
+}
+
+// Print implements printer.
+func (r *AblationsResult) Print(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Ablations — mean accuracy with each mechanism on vs off (test set)"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-28s %8s %8s %8s\n", "mechanism", "with", "without", "delta")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-28s %8.3f %8.3f %+8.3f   (%s)\n",
+			row.Name, row.With, row.Without, row.With-row.Without, row.Comment)
+	}
+	return nil
+}

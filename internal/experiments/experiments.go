@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper's
+// motivation (§III) and evaluation (§VI) sections. Each experiment is a pure
+// function of a Scale (dataset size + seed) returning a structured result
+// with a printer that reports the measured values next to the paper's, so
+// divergences are visible at a glance.
+//
+// Index (see DESIGN.md §3 for the full mapping):
+//
+//	fig1    detection latency & accuracy per model setting
+//	fig2    tracking accuracy decay, fast vs slow video
+//	table2  per-component latency
+//	fig5    frame-level accuracy, MPDT-320 vs MPDT-608
+//	fig6    overall accuracy of AdaVP vs all baselines
+//	fig7    CDF of cycles per model-setting switch
+//	fig8    usage share of each model setting
+//	fig9    frame-accuracy time series, AdaVP vs MPDT-512
+//	fig10   accuracy under F1 thresholds 0.70 and 0.75
+//	fig11   accuracy under IoU thresholds 0.5 and 0.6
+//	table3  energy and accuracy of eight methods
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"adavp/internal/video"
+)
+
+// Scale sets an experiment's dataset size. The paper's full test set holds
+// 141,213 frames across 13 videos; DefaultScale uses the same 13 scenario
+// videos at 450 frames (15 s) each so the whole suite runs in seconds, and
+// PaperScale approaches the paper's magnitude.
+type Scale struct {
+	// FramesPerVideo is the length of each generated test video.
+	FramesPerVideo int
+	// TrialFrames is the per-run frame budget for single-video studies.
+	TrialFrames int
+	// Seed derives the datasets and all run randomness.
+	Seed uint64
+}
+
+// DefaultScale runs every experiment in seconds.
+func DefaultScale() Scale {
+	return Scale{FramesPerVideo: 450, TrialFrames: 600, Seed: 2}
+}
+
+// PaperScale approximates the paper's 141k-frame evaluation (13 videos x
+// ~10,900 frames).
+func PaperScale() Scale {
+	return Scale{FramesPerVideo: 10800, TrialFrames: 4000, Seed: 2}
+}
+
+func (s Scale) withDefaults() Scale {
+	d := DefaultScale()
+	if s.FramesPerVideo <= 0 {
+		s.FramesPerVideo = d.FramesPerVideo
+	}
+	if s.TrialFrames <= 0 {
+		s.TrialFrames = d.TrialFrames
+	}
+	if s.Seed == 0 {
+		s.Seed = d.Seed
+	}
+	return s
+}
+
+// testSet builds the standard evaluation set at this scale.
+func (s Scale) testSet() []*video.Video {
+	return video.TestSet(s.Seed, s.FramesPerVideo)
+}
+
+// Runner executes one experiment and writes its report.
+type Runner func(s Scale, w io.Writer) error
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"fig1":      func(s Scale, w io.Writer) error { return runPrint(Fig1(s), w) },
+	"fig2":      func(s Scale, w io.Writer) error { return runPrint(Fig2(s), w) },
+	"table2":    func(s Scale, w io.Writer) error { return runPrint(Table2(s), w) },
+	"fig5":      func(s Scale, w io.Writer) error { return runPrint(Fig5(s), w) },
+	"fig6":      func(s Scale, w io.Writer) error { return printErr(Fig6(s))(w) },
+	"fig7":      func(s Scale, w io.Writer) error { return printErr(Fig7(s))(w) },
+	"fig8":      func(s Scale, w io.Writer) error { return printErr(Fig8(s))(w) },
+	"fig9":      func(s Scale, w io.Writer) error { return printErr(Fig9(s))(w) },
+	"fig10":     func(s Scale, w io.Writer) error { return printErr(Fig10(s))(w) },
+	"fig11":     func(s Scale, w io.Writer) error { return printErr(Fig11(s))(w) },
+	"table3":    func(s Scale, w io.Writer) error { return printErr(Table3(s))(w) },
+	"ablations": func(s Scale, w io.Writer) error { return printErr(Ablations(s))(w) },
+}
+
+// printer is implemented by every experiment result.
+type printer interface {
+	Print(w io.Writer) error
+}
+
+func runPrint(p printer, w io.Writer) error { return p.Print(w) }
+
+// printErr adapts (result, error) pairs.
+func printErr[T printer](p T, err error) func(io.Writer) error {
+	return func(w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		return p.Print(w)
+	}
+}
+
+// IDs returns the experiment identifiers in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id ("all" runs the full suite).
+func Run(id string, s Scale, w io.Writer) error {
+	s = s.withDefaults()
+	if id == "all" {
+		for _, each := range IDs() {
+			if _, err := fmt.Fprintf(w, "\n===== %s =====\n", each); err != nil {
+				return err
+			}
+			if err := registry[each](s, w); err != nil {
+				return fmt.Errorf("experiments: %s: %w", each, err)
+			}
+		}
+		return nil
+	}
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(s, w)
+}

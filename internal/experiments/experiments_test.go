@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adavp/internal/core"
+)
+
+// smallScale keeps unit tests fast.
+func smallScale() Scale {
+	return Scale{FramesPerVideo: 150, TrialFrames: 150, Seed: 3}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	s := (Scale{}).withDefaults()
+	d := DefaultScale()
+	if s != d {
+		t.Errorf("withDefaults = %+v, want %+v", s, d)
+	}
+	p := PaperScale()
+	if p.FramesPerVideo <= d.FramesPerVideo {
+		t.Error("paper scale not larger than default")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"ablations", "fig1", "fig10", "fig11", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", smallScale(), &buf); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r := Fig1(smallScale())
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].LatencyMs <= r.Rows[i-1].LatencyMs {
+			t.Error("latency not increasing with setting")
+		}
+		if r.Rows[i].F1 <= r.Rows[i-1].F1 {
+			t.Error("F1 not increasing with setting")
+		}
+	}
+	// Within calibration tolerance of the paper.
+	for _, row := range r.Rows {
+		if diff := row.F1 - row.PaperF1; diff < -0.08 || diff > 0.08 {
+			t.Errorf("%v: F1 %.3f vs paper %.2f", row.Setting, row.F1, row.PaperF1)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 1") {
+		t.Error("missing header")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pixel tracking is slow")
+	}
+	r := Fig2(smallScale())
+	if r.FastBelow >= r.SlowBelow {
+		t.Errorf("fast decays at %d, slow at %d; want fast < slow", r.FastBelow, r.SlowBelow)
+	}
+	// The paper's shape: fast video collapses within ~a dozen frames, slow
+	// survives past twenty.
+	if r.FastBelow > 16 {
+		t.Errorf("fast video survives %d frames, want <= 16 (paper: 9)", r.FastBelow)
+	}
+	if r.SlowBelow < 20 {
+		t.Errorf("slow video collapses at %d frames, want >= 20 (paper: 27)", r.SlowBelow)
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2(smallScale())
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"230-500 ms", "40 ms", "7-20 ms", "50 ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II report missing %q", want)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := Fig5(smallScale())
+	if len(r.Frames) == 0 {
+		t.Fatal("no frames")
+	}
+	if r.Crossovers == 0 {
+		t.Error("the two settings never traded the lead")
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is slow")
+	}
+	r, err := Fig6(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range core.AdaptiveSettings {
+		if r.MPDT[s] <= r.MARLIN[s] {
+			t.Errorf("MPDT-%v (%.3f) not above MARLIN (%.3f)", s, r.MPDT[s], r.MARLIN[s])
+		}
+	}
+	// AdaVP competitive with the best fixed setting.
+	best := 0.0
+	for _, acc := range r.MPDT {
+		if acc > best {
+			best = acc
+		}
+	}
+	if r.AdaVP < best*0.9 {
+		t.Errorf("AdaVP %.3f far below best fixed %.3f", r.AdaVP, best)
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig7Fig8Shape(t *testing.T) {
+	r7, err := Fig7(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r7.Samples == 0 {
+		t.Fatal("no switches observed")
+	}
+	if r7.PAt1 > r7.PAt20 || r7.PAt20 > r7.PAt40 {
+		t.Error("CDF not monotone")
+	}
+	r8, err := Fig8(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, frac := range r8.Usage {
+		total += frac
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("usage sums to %.3f", total)
+	}
+	// The paper's qualitative claim: 512+608 dominate.
+	if r8.Usage[core.Setting512]+r8.Usage[core.Setting608] < 0.5 {
+		t.Errorf("512+608 usage %.2f, want > 0.5", r8.Usage[core.Setting512]+r8.Usage[core.Setting608])
+	}
+	var buf bytes.Buffer
+	if err := r7.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r8.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AdaVP) == 0 || len(r.AdaVP) != len(r.MPDT) {
+		t.Fatal("missing series")
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10Fig11TightenMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grids are slow")
+	}
+	base, err := Fig6(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightF1, err := Fig10(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightIoU, err := Fig11(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stricter thresholds can only lower accuracy.
+	if tightF1.AdaVP > base.AdaVP+1e-9 {
+		t.Errorf("α=0.75 accuracy %.3f above α=0.7's %.3f", tightF1.AdaVP, base.AdaVP)
+	}
+	if tightIoU.AdaVP > base.AdaVP+1e-9 {
+		t.Errorf("IoU=0.6 accuracy %.3f above IoU=0.5's %.3f", tightIoU.AdaVP, base.AdaVP)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight-method sweep is slow")
+	}
+	r, err := Table3(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(r.Rows))
+	}
+	byName := map[string]Table3Row{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+		if row.Energy.Total() <= 0 {
+			t.Errorf("%s: non-positive energy", row.Name)
+		}
+	}
+	// The Table III orderings that define the result.
+	if byName["MARLIN-YOLOv3-512"].Energy.Total() >= byName["MPDT-YOLOv3-512"].Energy.Total() {
+		t.Error("MARLIN not cheaper than MPDT")
+	}
+	if byName["YOLOv3-608 (cont.)"].Energy.Total() < 5*byName["AdaVP"].Energy.Total() {
+		t.Error("continuous 608 not dwarfing AdaVP energy")
+	}
+	if byName["YOLOv3-608 (cont.)"].Accuracy <= byName["AdaVP"].Accuracy {
+		t.Error("continuous 608 should be the accuracy ceiling")
+	}
+	if byName["YOLOv3-608 (cont.)"].LatencyX < 5 {
+		t.Error("continuous 608 should be far from real time")
+	}
+	if byName["AdaVP"].LatencyX > 1.2 {
+		t.Error("AdaVP should be real time")
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow")
+	}
+	var buf bytes.Buffer
+	tiny := Scale{FramesPerVideo: 120, TrialFrames: 100, Seed: 4}
+	if err := Run("all", tiny, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(buf.String(), "===== "+id+" =====") {
+			t.Errorf("suite output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"adavp/internal/core"
+	"adavp/internal/detect"
+	"adavp/internal/metrics"
+	"adavp/internal/rng"
+	"adavp/internal/video"
+)
+
+// Fig1Result reproduces Fig. 1: per model setting, the mean detection
+// latency per frame (bars) and the mean detection F1 (stars), measured by
+// running the detector over every frame of a mixed video sample.
+type Fig1Result struct {
+	Frames int
+	Rows   []Fig1Row
+}
+
+// Fig1Row is one model setting's measurement.
+type Fig1Row struct {
+	Setting   core.Setting
+	LatencyMs float64
+	F1        float64
+	// PaperLatencyMs and PaperF1 are the values read off the paper's Fig. 1
+	// (zero where the paper does not report one).
+	PaperLatencyMs float64
+	PaperF1        float64
+}
+
+// paperFig1 holds the reference values.
+var paperFig1 = map[core.Setting][2]float64{ // latency ms, F1
+	core.Setting320: {230, 0.62},
+	core.Setting416: {298, 0.72}, // latency interpolated in input area
+	core.Setting512: {384, 0.81},
+	core.Setting608: {500, 0.88},
+}
+
+// Fig1 measures detection latency and accuracy per frame for the four
+// adaptive settings (the paper processes 4,000 frames; the scale's
+// TrialFrames bounds the sample here).
+func Fig1(s Scale) *Fig1Result {
+	s = s.withDefaults()
+	// A mixed sample: slices of several scenarios.
+	kinds := []video.Kind{video.KindHighway, video.KindCityStreet, video.KindWildlife, video.KindMeetingRoom, video.KindRacetrack}
+	perKind := s.TrialFrames / len(kinds)
+	res := &Fig1Result{}
+	lat := core.NewLatencyModel(rng.New(s.Seed).DeriveString("fig1"))
+	for _, setting := range core.AdaptiveSettings {
+		var f1s []float64
+		var latSum time.Duration
+		var latN int
+		for ki, k := range kinds {
+			v := video.GenerateKind(fmt.Sprintf("fig1-%s", k), k, s.Seed^uint64(ki+1), perKind)
+			d := detect.NewSimDetector(s.Seed^uint64(ki+100), v.Params.W, v.Params.H)
+			for i := 0; i < v.NumFrames(); i++ {
+				f := v.Frame(i)
+				f1s = append(f1s, metrics.FrameF1(d.Detect(f, setting), f.Truth, metrics.DefaultIoU))
+				latSum += lat.Detect(setting)
+				latN++
+			}
+		}
+		ref := paperFig1[setting]
+		res.Rows = append(res.Rows, Fig1Row{
+			Setting:        setting,
+			LatencyMs:      float64(latSum.Milliseconds()) / float64(latN),
+			F1:             metrics.Mean(f1s),
+			PaperLatencyMs: ref[0],
+			PaperF1:        ref[1],
+		})
+		res.Frames = latN
+	}
+	return res
+}
+
+// Print implements printer.
+func (r *Fig1Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 1 — Detection latency and accuracy per frame (%d frames per setting)\n", r.Frames); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-14s %12s %12s %8s %8s\n", "setting", "latency(ms)", "paper(ms)", "F1", "paperF1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %12.0f %12.0f %8.3f %8.2f\n",
+			row.Setting, row.LatencyMs, row.PaperLatencyMs, row.F1, row.PaperF1)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adavp/internal/core"
+	"adavp/internal/detect"
+	"adavp/internal/metrics"
+	"adavp/internal/track"
+	"adavp/internal/video"
+)
+
+// Fig2Result reproduces Fig. 2: tracking accuracy as a function of frames
+// since the last detection, for a fast-changing and a slow-changing video,
+// averaged over ten detect-then-track trials per video. The paper's fast
+// video drops below F1 0.5 after 9 frames; its slow one after 27.
+type Fig2Result struct {
+	Steps  int
+	Trials int
+	// FastF1 and SlowF1 hold the mean F1 at each tracked step (1-based).
+	FastF1, SlowF1 []float64
+	// FastBelow and SlowBelow are the first steps at which F1 < 0.5
+	// (Steps+1 when it never happens).
+	FastBelow, SlowBelow int
+	// Paper references.
+	PaperFastBelow, PaperSlowBelow int
+}
+
+// decayTrial runs one detect-once-track-rest trial with YOLOv3-608 as the
+// initial detector (as the paper's Fig. 2 does) and the pixel tracker.
+func decayTrial(v *video.Video, start, steps int, seed uint64) []float64 {
+	det := detect.NewSimDetector(seed, v.Params.W, v.Params.H)
+	tr := track.NewPixelTracker()
+	ref := v.FrameWithPixels(start)
+	dets := det.Detect(ref, core.Setting608)
+	tr.Init(ref, dets)
+	out := make([]float64, 0, steps)
+	for i := 1; i <= steps; i++ {
+		f := v.FrameWithPixels(start + i)
+		stepDets, _ := tr.Step(f)
+		out = append(out, metrics.FrameF1(stepDets, f.Truth, metrics.DefaultIoU))
+	}
+	return out
+}
+
+// Fig2 runs the decay study on the standard fast/slow pair.
+func Fig2(s Scale) *Fig2Result {
+	s = s.withDefaults()
+	const steps = 30
+	const trials = 10
+	frames := steps*trials + steps + 10
+	fast, slow := video.FastSlowPair(s.Seed, frames)
+	res := &Fig2Result{
+		Steps: steps, Trials: trials,
+		FastF1: make([]float64, steps), SlowF1: make([]float64, steps),
+		PaperFastBelow: 9, PaperSlowBelow: 27,
+	}
+	for t := 0; t < trials; t++ {
+		start := t * steps
+		ff := decayTrial(fast, start, steps, s.Seed^uint64(t+1))
+		sf := decayTrial(slow, start, steps, s.Seed^uint64(t+51))
+		for i := 0; i < steps; i++ {
+			res.FastF1[i] += ff[i] / trials
+			res.SlowF1[i] += sf[i] / trials
+		}
+	}
+	res.FastBelow = firstBelow(res.FastF1, 0.5)
+	res.SlowBelow = firstBelow(res.SlowF1, 0.5)
+	return res
+}
+
+func firstBelow(xs []float64, th float64) int {
+	for i, x := range xs {
+		if x < th {
+			return i + 1
+		}
+	}
+	return len(xs) + 1
+}
+
+// Print implements printer.
+func (r *Fig2Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 2 — Tracking accuracy decay (%d trials, YOLOv3-608 initial detection, pixel tracker)\n", r.Trials); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-6s %10s %10s\n", "step", "fast(F1)", "slow(F1)")
+	for i := 0; i < r.Steps; i++ {
+		fmt.Fprintf(w, "%-6d %10.3f %10.3f\n", i+1, r.FastF1[i], r.SlowF1[i])
+	}
+	fmt.Fprintf(w, "first step below 0.5: fast=%s slow=%s (paper: fast=9, slow=27)\n",
+		stepOrNever(r.FastBelow, r.Steps), stepOrNever(r.SlowBelow, r.Steps))
+	return nil
+}
+
+func stepOrNever(step, steps int) string {
+	if step > steps {
+		return fmt.Sprintf(">%d", steps)
+	}
+	return fmt.Sprintf("%d", step)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adavp/internal/core"
+	"adavp/internal/sim"
+	"adavp/internal/video"
+)
+
+// Fig5Result reproduces Fig. 5: the frame-by-frame accuracy of fixed-setting
+// MPDT at 320×320 and at 608×608 on the same clip. The small setting starts
+// each cycle lower but recalibrates more often; the large one starts high
+// and decays longer — the sawtooths interleave.
+type Fig5Result struct {
+	Frames []Fig5Frame
+	// Crossovers counts frames where the two settings' lead flips — the
+	// qualitative content of Fig. 5 ("for some frames MPDT-320 is better,
+	// for others MPDT-608").
+	Crossovers int
+}
+
+// Fig5Frame is one frame's pair of results.
+type Fig5Frame struct {
+	Index          int
+	F320, F608     float64
+	Src320, Src608 core.Source
+}
+
+// Fig5 runs the two settings over one traffic clip.
+func Fig5(s Scale) *Fig5Result {
+	s = s.withDefaults()
+	v := video.GenerateKind("fig5-highway", video.KindHighway, s.Seed^0xf15, 90)
+	r320, err := sim.Run(v, sim.Config{Policy: sim.PolicyMPDT, Setting: core.Setting320, Seed: s.Seed})
+	if err != nil {
+		panic(err) // cannot happen: video is non-empty and policy valid
+	}
+	r608, err := sim.Run(v, sim.Config{Policy: sim.PolicyMPDT, Setting: core.Setting608, Seed: s.Seed})
+	if err != nil {
+		panic(err)
+	}
+	res := &Fig5Result{}
+	leader := 0
+	for i := 0; i < v.NumFrames(); i++ {
+		res.Frames = append(res.Frames, Fig5Frame{
+			Index: i,
+			F320:  r320.Run.FrameF1[i], F608: r608.Run.FrameF1[i],
+			Src320: r320.Run.Outputs[i].Source, Src608: r608.Run.Outputs[i].Source,
+		})
+		cur := 0
+		switch {
+		case r320.Run.FrameF1[i] > r608.Run.FrameF1[i]:
+			cur = 1
+		case r608.Run.FrameF1[i] > r320.Run.FrameF1[i]:
+			cur = 2
+		}
+		if cur != 0 && leader != 0 && cur != leader {
+			res.Crossovers++
+		}
+		if cur != 0 {
+			leader = cur
+		}
+	}
+	return res
+}
+
+// Print implements printer.
+func (r *Fig5Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig. 5 — Frame accuracy of MPDT-YOLOv3-320 vs MPDT-YOLOv3-608 (one clip)"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-7s %8s %-9s %8s %-9s\n", "frame", "F1@320", "src@320", "F1@608", "src@608")
+	for i, f := range r.Frames {
+		if i%3 != 0 { // print every third frame to keep the table readable
+			continue
+		}
+		fmt.Fprintf(w, "%-7d %8.2f %-9s %8.2f %-9s\n", f.Index, f.F320, f.Src320, f.F608, f.Src608)
+	}
+	fmt.Fprintf(w, "lead changes between the two settings: %d (paper: the settings trade the lead within one clip)\n", r.Crossovers)
+	return nil
+}

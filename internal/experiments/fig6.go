@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adavp/internal/core"
+	"adavp/internal/sim"
+)
+
+// Fig6Result reproduces Fig. 6 (and, at other thresholds, Figs. 10 and 11):
+// the overall accuracy of AdaVP against fixed-setting MPDT, MARLIN and the
+// no-tracking baseline on the full test set. Accuracy is the paper's metric:
+// mean over videos of the fraction of frames with F1 ≥ Alpha at the given
+// IoU threshold.
+type Fig6Result struct {
+	Alpha, IoU float64
+	AdaVP      float64
+	// Per fixed setting (320/416/512/608).
+	MPDT, MARLIN, NoTracking map[core.Setting]float64
+	// Paper reference statements.
+	PaperNotes []string
+}
+
+// overallComparison runs the full policy grid at the given thresholds.
+func overallComparison(s Scale, alpha, iou float64) (*Fig6Result, error) {
+	s = s.withDefaults()
+	videos := s.testSet()
+	res := &Fig6Result{
+		Alpha: alpha, IoU: iou,
+		MPDT:       make(map[core.Setting]float64),
+		MARLIN:     make(map[core.Setting]float64),
+		NoTracking: make(map[core.Setting]float64),
+	}
+	adavp, err := sim.RunSet(videos, sim.Config{Policy: sim.PolicyAdaVP, Seed: s.Seed, Alpha: alpha, IoU: iou})
+	if err != nil {
+		return nil, err
+	}
+	res.AdaVP = adavp.MeanAccuracy
+	for _, setting := range core.AdaptiveSettings {
+		for _, pc := range []struct {
+			policy sim.Policy
+			dst    map[core.Setting]float64
+		}{
+			{sim.PolicyMPDT, res.MPDT},
+			{sim.PolicyMARLIN, res.MARLIN},
+			{sim.PolicyNoTracking, res.NoTracking},
+		} {
+			r, err := sim.RunSet(videos, sim.Config{Policy: pc.policy, Setting: setting, Seed: s.Seed, Alpha: alpha, IoU: iou})
+			if err != nil {
+				return nil, err
+			}
+			pc.dst[setting] = r.MeanAccuracy
+		}
+	}
+	return res, nil
+}
+
+// Fig6 runs the comparison at the default thresholds (α=0.7, IoU=0.5).
+func Fig6(s Scale) (*Fig6Result, error) {
+	r, err := overallComparison(s, 0.7, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	r.PaperNotes = []string{
+		"paper: AdaVP +20.4%..43.9% over MARLIN, +13.4%..34.1% over MPDT (relative)",
+		"paper: MPDT +7.1%..21.95% over MARLIN, +2.3%..37.3% over no-tracking",
+		"paper: YOLOv3-512 is the best fixed setting",
+	}
+	return r, nil
+}
+
+// Fig10 tightens the per-frame F1 threshold to 0.75.
+func Fig10(s Scale) (*Fig6Result, error) {
+	r, err := overallComparison(s, 0.75, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	r.PaperNotes = []string{"paper: at α=0.75 AdaVP improves MPDT by 14.9%..42.6% (relative)"}
+	return r, nil
+}
+
+// Fig11 tightens the IoU threshold to 0.6.
+func Fig11(s Scale) (*Fig6Result, error) {
+	r, err := overallComparison(s, 0.7, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	r.PaperNotes = []string{"paper: at IoU=0.6 AdaVP improves MPDT by 16.1%..41.8% (relative)"}
+	return r, nil
+}
+
+// Print implements printer.
+func (r *Fig6Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Overall accuracy (α=%.2f, IoU=%.1f; fraction of frames with F1 ≥ α, averaged per video)\n", r.Alpha, r.IoU); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "policy", "320", "416", "512", "608")
+	printRow := func(name string, m map[core.Setting]float64) {
+		fmt.Fprintf(w, "%-12s", name)
+		for _, setting := range core.AdaptiveSettings {
+			fmt.Fprintf(w, " %10.3f", m[setting])
+		}
+		fmt.Fprintln(w)
+	}
+	printRow("MPDT", r.MPDT)
+	printRow("MARLIN", r.MARLIN)
+	printRow("NoTracking", r.NoTracking)
+	fmt.Fprintf(w, "%-12s %10.3f (adaptive; relative gain over MPDT: ", "AdaVP", r.AdaVP)
+	for i, setting := range core.AdaptiveSettings {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		gain := 0.0
+		if r.MPDT[setting] > 0 {
+			gain = (r.AdaVP/r.MPDT[setting] - 1) * 100
+		}
+		fmt.Fprintf(w, "%+.1f%%@%d", gain, setting.InputSize())
+	}
+	fmt.Fprintln(w, ")")
+	for _, note := range r.PaperNotes {
+		fmt.Fprintln(w, note)
+	}
+	return nil
+}

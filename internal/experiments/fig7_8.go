@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adavp/internal/core"
+	"adavp/internal/metrics"
+	"adavp/internal/sim"
+)
+
+// Fig7Result reproduces Fig. 7: the cumulative distribution of the number of
+// detection cycles between consecutive model-setting switches in AdaVP runs
+// over the test set. The paper reports ~50% of switches happen after a
+// single cycle and 90% within 20 cycles.
+type Fig7Result struct {
+	Samples int
+	// CDF points at the cycle counts the paper calls out.
+	PAt1, PAt5, PAt10, PAt20, PAt40 float64
+	// Series holds (cycles, cumulative probability) pairs for plotting.
+	Series [][2]float64
+}
+
+// Fig7 collects switch gaps across the test set.
+func Fig7(s Scale) (*Fig7Result, error) {
+	s = s.withDefaults()
+	var gaps []float64
+	for i, v := range s.testSet() {
+		r, err := sim.Run(v, sim.Config{Policy: sim.PolicyAdaVP, Seed: s.Seed ^ uint64(i+1)})
+		if err != nil {
+			return nil, err
+		}
+		gaps = append(gaps, r.Run.CyclesPerSwitch()...)
+	}
+	cdf := metrics.NewCDF(gaps)
+	res := &Fig7Result{
+		Samples: len(gaps),
+		PAt1:    cdf.P(1), PAt5: cdf.P(5), PAt10: cdf.P(10),
+		PAt20: cdf.P(20), PAt40: cdf.P(40),
+	}
+	for _, x := range []float64{1, 2, 3, 5, 8, 12, 16, 20, 30, 40, 60} {
+		res.Series = append(res.Series, [2]float64{x, cdf.P(x)})
+	}
+	return res, nil
+}
+
+// Print implements printer.
+func (r *Fig7Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 7 — CDF of cycles per model-setting switch (%d switches observed)\n", r.Samples); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %12s\n", "cycles", "P(X<=cycles)")
+	for _, pt := range r.Series {
+		fmt.Fprintf(w, "%-8.0f %12.3f\n", pt[0], pt[1])
+	}
+	fmt.Fprintf(w, "P(1)=%.2f (paper ~0.5)  P(20)=%.2f (paper ~0.9)  P(40)=%.2f (paper ~0.95)\n",
+		r.PAt1, r.PAt20, r.PAt40)
+	return nil
+}
+
+// Fig8Result reproduces Fig. 8: the fraction of detection cycles run at each
+// model setting under AdaVP. The paper reports 512 and 608 dominating with
+// 320 and 416 each around 10%.
+type Fig8Result struct {
+	Cycles int
+	Usage  map[core.Setting]float64
+}
+
+// Fig8 aggregates setting usage across the test set.
+func Fig8(s Scale) (*Fig8Result, error) {
+	s = s.withDefaults()
+	counts := make(map[core.Setting]int)
+	total := 0
+	for i, v := range s.testSet() {
+		r, err := sim.Run(v, sim.Config{Policy: sim.PolicyAdaVP, Seed: s.Seed ^ uint64(i+1)})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range r.Run.Cycles {
+			counts[c.Setting]++
+			total++
+		}
+	}
+	res := &Fig8Result{Cycles: total, Usage: make(map[core.Setting]float64)}
+	for _, setting := range core.AdaptiveSettings {
+		if total > 0 {
+			res.Usage[setting] = float64(counts[setting]) / float64(total)
+		}
+	}
+	return res, nil
+}
+
+// Print implements printer.
+func (r *Fig8Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 8 — Usage share per model setting under AdaVP (%d cycles)\n", r.Cycles); err != nil {
+		return err
+	}
+	for _, setting := range core.AdaptiveSettings {
+		fmt.Fprintf(w, "%-14s %6.1f%%\n", setting, r.Usage[setting]*100)
+	}
+	fmt.Fprintln(w, "paper: 512 and 608 are used most; 320 and 416 each around 10%")
+	return nil
+}

@@ -1,0 +1,152 @@
+package features
+
+import (
+	"testing"
+
+	"adavp/internal/geom"
+	"adavp/internal/imgproc"
+	"adavp/internal/video"
+)
+
+func TestDetectFASTFindsRectangleCorners(t *testing.T) {
+	img := imgproc.NewGray(64, 64)
+	drawRect(img, 20, 20, 20, 20, 1)
+	feats := DetectFAST(img, nil, DefaultFASTParams())
+	if len(feats) < 4 {
+		t.Fatalf("found %d corners, want >= 4", len(feats))
+	}
+	corners := []geom.Point{{X: 20, Y: 20}, {X: 39, Y: 20}, {X: 20, Y: 39}, {X: 39, Y: 39}}
+	for _, c := range corners {
+		best := 1e9
+		for _, f := range feats {
+			if d := f.Pt.Dist(c); d < best {
+				best = d
+			}
+		}
+		if best > 4 {
+			t.Errorf("no FAST corner within 4px of %v (closest %.1f)", c, best)
+		}
+	}
+}
+
+func TestDetectFASTFlatImage(t *testing.T) {
+	img := imgproc.NewGray(32, 32)
+	img.Fill(0.5)
+	if feats := DetectFAST(img, nil, DefaultFASTParams()); len(feats) != 0 {
+		t.Errorf("flat image produced %d corners", len(feats))
+	}
+}
+
+func TestDetectFASTRejectsEdges(t *testing.T) {
+	// A long straight edge is not a FAST corner: no 9-contiguous arc exists
+	// at interior edge pixels.
+	img := imgproc.NewGray(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 32; x < 64; x++ {
+			img.Set(x, y, 1)
+		}
+	}
+	feats := DetectFAST(img, nil, DefaultFASTParams())
+	for _, f := range feats {
+		if f.Pt.Y > 10 && f.Pt.Y < 54 {
+			t.Errorf("FAST corner on straight edge at %v", f.Pt)
+		}
+	}
+}
+
+func TestDetectFASTMask(t *testing.T) {
+	img := imgproc.NewGray(96, 64)
+	drawRect(img, 10, 10, 12, 12, 1)
+	drawRect(img, 60, 30, 12, 12, 1)
+	mask := []geom.Rect{{Left: 55, Top: 25, W: 25, H: 25}}
+	feats := DetectFAST(img, mask, DefaultFASTParams())
+	if len(feats) == 0 {
+		t.Fatal("no corners in mask")
+	}
+	for _, f := range feats {
+		if !mask[0].Contains(f.Pt) {
+			t.Errorf("corner %v outside mask", f.Pt)
+		}
+	}
+}
+
+func TestDetectFASTCapsAndSpacing(t *testing.T) {
+	img := imgproc.NewGray(128, 128)
+	for i := 0; i < 20; i++ {
+		drawRect(img, 6+(i%5)*24, 6+(i/5)*28, 10, 10, 1)
+	}
+	p := DefaultFASTParams()
+	p.MaxCorners = 12
+	p.MinDistance = 6
+	feats := DetectFAST(img, nil, p)
+	if len(feats) > 12 {
+		t.Errorf("cap violated: %d corners", len(feats))
+	}
+	for i := range feats {
+		for j := i + 1; j < len(feats); j++ {
+			if feats[i].Pt.Dist(feats[j].Pt) < 6 {
+				t.Fatalf("corners %v and %v too close", feats[i].Pt, feats[j].Pt)
+			}
+		}
+	}
+}
+
+func TestDetectFASTTinyImageAndBadParams(t *testing.T) {
+	if DetectFAST(imgproc.NewGray(4, 4), nil, DefaultFASTParams()) != nil {
+		t.Error("tiny image produced corners")
+	}
+	img := imgproc.NewGray(64, 64)
+	drawRect(img, 20, 20, 20, 20, 1)
+	// Invalid N and threshold fall back to defaults instead of crashing.
+	feats := DetectFAST(img, nil, FASTParams{N: 99, Threshold: -1})
+	if len(feats) == 0 {
+		t.Error("fallback params found nothing")
+	}
+}
+
+// The paper's §IV-C conclusion: GFTT corners are better anchors for
+// Lucas–Kanade on real(istic) video, while FAST is much faster. This test
+// documents the quality half; BenchmarkGFTTvsFAST the speed half.
+func TestFASTNoisierThanGFTTOnRenderedVideo(t *testing.T) {
+	v := video.GenerateKind("v", video.KindHighway, 5, 10)
+	f := v.FrameWithPixels(5)
+	masks := make([]geom.Rect, 0, len(f.Truth))
+	for _, o := range f.Truth {
+		masks = append(masks, o.Box)
+	}
+	if len(masks) == 0 {
+		t.Skip("no objects")
+	}
+	gftt := Detect(f.Pixels, masks, DefaultParams())
+	fast := DetectFAST(f.Pixels, masks, DefaultFASTParams())
+	if len(gftt) == 0 {
+		t.Fatal("GFTT found nothing on a rendered frame")
+	}
+	// Both detectors must find corners inside object boxes; the comparison
+	// here is structural (they see the same content), the tracking-quality
+	// comparison lives in the flow package's tests.
+	if len(fast) == 0 {
+		t.Error("FAST found nothing on a rendered frame")
+	}
+}
+
+func BenchmarkGFTTvsFAST(b *testing.B) {
+	v := video.GenerateKind("v", video.KindHighway, 5, 10)
+	f := v.FrameWithPixels(5)
+	masks := make([]geom.Rect, 0, len(f.Truth))
+	for _, o := range f.Truth {
+		masks = append(masks, o.Box)
+	}
+	b.Run("gftt", func(b *testing.B) {
+		p := DefaultParams()
+		for i := 0; i < b.N; i++ {
+			_ = Detect(f.Pixels, masks, p)
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		p := DefaultFASTParams()
+		for i := 0; i < b.N; i++ {
+			_ = DetectFAST(f.Pixels, masks, p)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package flow implements pyramidal Lucas–Kanade optical flow (Lucas &
+// Kanade, IJCAI 1981; pyramidal formulation after Bouguet), the tracking
+// method AdaVP uses to follow good features between DNN-detected frames.
+//
+// For each feature, the displacement d minimizing the window SSD
+//
+//	Σ_w (I(x) − J(x + d))²
+//
+// is found by Newton iterations on the linearized system G·ν = b, where G is
+// the spatial gradient (structure tensor) matrix of the template window and
+// b accumulates gradient-weighted residuals. A coarse-to-fine pyramid
+// extends the usable displacement range far beyond the window radius, which
+// is what keeps tracking viable on fast-changing videos (the paper's
+// Observation 3 regime).
+package flow
+
+import (
+	"math"
+
+	"adavp/internal/geom"
+	"adavp/internal/imgproc"
+)
+
+// Params configures the tracker. Zero-value fields are replaced by the
+// corresponding DefaultParams values.
+type Params struct {
+	// WindowRadius r gives a (2r+1)×(2r+1) integration window. OpenCV's
+	// calcOpticalFlowPyrLK default winSize 21×21 corresponds to r = 10.
+	WindowRadius int
+	// MaxLevels caps the number of pyramid levels used (>= 1).
+	MaxLevels int
+	// MaxIters bounds the Newton iterations per level.
+	MaxIters int
+	// Epsilon stops iterating once the update step is shorter than this.
+	Epsilon float64
+	// MinEigThreshold rejects points whose normalized structure tensor is
+	// ill-conditioned (untrackable: flat or purely 1-D texture).
+	MinEigThreshold float64
+	// MaxResidual marks a point lost when the final mean absolute window
+	// residual exceeds it. Negative disables the check; zero selects the
+	// default.
+	MaxResidual float64
+}
+
+// DefaultParams mirrors the OpenCV defaults used by the paper's artifact.
+func DefaultParams() Params {
+	return Params{
+		WindowRadius:    10,
+		MaxLevels:       3,
+		MaxIters:        30,
+		Epsilon:         0.01,
+		MinEigThreshold: 1e-4,
+		MaxResidual:     0.25,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.WindowRadius <= 0 {
+		p.WindowRadius = d.WindowRadius
+	}
+	if p.MaxLevels <= 0 {
+		p.MaxLevels = d.MaxLevels
+	}
+	if p.MaxIters <= 0 {
+		p.MaxIters = d.MaxIters
+	}
+	if p.Epsilon <= 0 {
+		p.Epsilon = d.Epsilon
+	}
+	if p.MinEigThreshold <= 0 {
+		p.MinEigThreshold = d.MinEigThreshold
+	}
+	if p.MaxResidual == 0 {
+		p.MaxResidual = d.MaxResidual
+	}
+	return p
+}
+
+// Result is the tracked position of one input point.
+type Result struct {
+	// Pt is the estimated position in the next frame.
+	Pt geom.Point
+	// OK reports whether tracking succeeded. When false, Pt is the best
+	// guess and should not be trusted.
+	OK bool
+	// Residual is the final mean absolute intensity difference over the
+	// window; small values mean a confident match.
+	Residual float64
+}
+
+// Track estimates, for every point pts[i] in the previous frame, its position
+// in the next frame. The two pyramids must be built from same-sized images.
+func Track(prev, next *imgproc.Pyramid, pts []geom.Point, p Params) []Result {
+	p = p.withDefaults()
+	levels := len(prev.Levels)
+	if l := len(next.Levels); l < levels {
+		levels = l
+	}
+	if levels > p.MaxLevels {
+		levels = p.MaxLevels
+	}
+	// Precompute gradients of the previous image once per level; every point
+	// reuses them.
+	gxs := make([]*imgproc.Gray, levels)
+	gys := make([]*imgproc.Gray, levels)
+	for l := 0; l < levels; l++ {
+		gxs[l], gys[l] = imgproc.Gradients(prev.Levels[l])
+	}
+	out := make([]Result, len(pts))
+	for i, pt := range pts {
+		out[i] = trackOne(prev, next, gxs, gys, pt, levels, p)
+	}
+	return out
+}
+
+// trackOne runs the coarse-to-fine estimation for a single point.
+func trackOne(prev, next *imgproc.Pyramid, gxs, gys []*imgproc.Gray, pt geom.Point, levels int, p Params) Result {
+	r := p.WindowRadius
+	// Displacement guess carried across levels, expressed at the current level.
+	var guess geom.Point
+	ok := true
+	var residual float64
+	for l := levels - 1; l >= 0; l-- {
+		scale := 1 / float64(int(1)<<uint(l))
+		base := pt.Scale(scale)
+		I := prev.Levels[l]
+		J := next.Levels[l]
+		gx := gxs[l]
+		gy := gys[l]
+
+		// Structure tensor of the template window around base in I.
+		var a, b2, c float64
+		tmplX := make([]float64, 0, (2*r+1)*(2*r+1))
+		tmplY := make([]float64, 0, (2*r+1)*(2*r+1))
+		tmplI := make([]float64, 0, (2*r+1)*(2*r+1))
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				x := base.X + float64(dx)
+				y := base.Y + float64(dy)
+				ix := float64(gx.Bilinear(x, y))
+				iy := float64(gy.Bilinear(x, y))
+				a += ix * ix
+				b2 += ix * iy
+				c += iy * iy
+				tmplX = append(tmplX, ix)
+				tmplY = append(tmplY, iy)
+				tmplI = append(tmplI, float64(I.Bilinear(x, y)))
+			}
+		}
+		n := float64(len(tmplI))
+		// Minimum eigenvalue normalized by window size, as in OpenCV.
+		tr := (a + c) / 2
+		det := math.Sqrt(((a-c)/2)*((a-c)/2) + b2*b2)
+		minEig := (tr - det) / n
+		if minEig < p.MinEigThreshold {
+			ok = false
+			break
+		}
+		invDet := a*c - b2*b2
+		if invDet <= 0 {
+			ok = false
+			break
+		}
+
+		// Newton iterations refining the displacement at this level.
+		nu := guess
+		for iter := 0; iter < p.MaxIters; iter++ {
+			var bx, by float64
+			k := 0
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					x := base.X + float64(dx)
+					y := base.Y + float64(dy)
+					diff := tmplI[k] - float64(J.Bilinear(x+nu.X, y+nu.Y))
+					bx += diff * tmplX[k]
+					by += diff * tmplY[k]
+					k++
+				}
+			}
+			// Solve [a b2; b2 c] step = [bx; by].
+			stepX := (c*bx - b2*by) / invDet
+			stepY := (a*by - b2*bx) / invDet
+			nu.X += stepX
+			nu.Y += stepY
+			if math.Hypot(stepX, stepY) < p.Epsilon {
+				break
+			}
+		}
+		guess = nu
+		if l > 0 {
+			guess = guess.Scale(2)
+		} else {
+			// Final residual at full resolution.
+			var sum float64
+			k := 0
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					x := base.X + float64(dx)
+					y := base.Y + float64(dy)
+					sum += math.Abs(tmplI[k] - float64(J.Bilinear(x+nu.X, y+nu.Y)))
+					k++
+				}
+			}
+			residual = sum / n
+		}
+	}
+	final := pt.Add(guess)
+	if ok {
+		// Lost if the point left the frame.
+		img := next.Levels[0]
+		if final.X < 0 || final.Y < 0 || final.X > float64(img.W-1) || final.Y > float64(img.H-1) {
+			ok = false
+		}
+		if p.MaxResidual > 0 && residual > p.MaxResidual {
+			ok = false
+		}
+	}
+	return Result{Pt: final, OK: ok, Residual: residual}
+}

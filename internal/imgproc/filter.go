@@ -1,0 +1,123 @@
+package imgproc
+
+import "math"
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel for the given
+// sigma. The radius is ceil(3*sigma), covering 99.7% of the distribution.
+// Sigma values <= 0 return the identity kernel [1].
+func GaussianKernel(sigma float64) []float32 {
+	if sigma <= 0 {
+		return []float32{1}
+	}
+	radius := int(math.Ceil(3 * sigma))
+	k := make([]float32, 2*radius+1)
+	var sum float64
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+radius] = float32(v)
+		sum += v
+	}
+	inv := float32(1 / sum)
+	for i := range k {
+		k[i] *= inv
+	}
+	return k
+}
+
+// convolve1D applies a 1-D kernel along the given axis with border clamping.
+func convolve1D(g *Gray, kernel []float32, horizontal bool) *Gray {
+	out := NewGray(g.W, g.H)
+	radius := len(kernel) / 2
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var acc float32
+			for i, kv := range kernel {
+				off := i - radius
+				if horizontal {
+					acc += kv * g.At(x+off, y)
+				} else {
+					acc += kv * g.At(x, y+off)
+				}
+			}
+			out.Pix[y*g.W+x] = acc
+		}
+	}
+	return out
+}
+
+// GaussianBlur returns the image smoothed with a separable Gaussian of the
+// given sigma. Sigma <= 0 returns a copy of the input.
+func GaussianBlur(g *Gray, sigma float64) *Gray {
+	if sigma <= 0 {
+		return g.Clone()
+	}
+	k := GaussianKernel(sigma)
+	return convolve1D(convolve1D(g, k, true), k, false)
+}
+
+// Scharr gradient kernels. Scharr's 3×3 operator has better rotational
+// symmetry than Sobel, which matters for the structure-tensor eigenvalues
+// used by the good-features-to-track detector.
+//
+// The separable form of the Scharr x-gradient is smooth [3 10 3]/16 along y
+// and difference [-1 0 1]/2 along x.
+var (
+	scharrSmooth = []float32{3.0 / 16, 10.0 / 16, 3.0 / 16}
+	scharrDiff   = []float32{-0.5, 0, 0.5}
+)
+
+// gradientAxis computes a smoothed derivative along one axis.
+func gradientAxis(g *Gray, horizontal bool) *Gray {
+	if horizontal {
+		return convolve1D(convolve1D(g, scharrDiff, true), scharrSmooth, false)
+	}
+	return convolve1D(convolve1D(g, scharrSmooth, true), scharrDiff, false)
+}
+
+// Gradients returns the Scharr image gradients (dI/dx, dI/dy).
+func Gradients(g *Gray) (gx, gy *Gray) {
+	return gradientAxis(g, true), gradientAxis(g, false)
+}
+
+// Downsample2 returns the image reduced by a factor of two with the
+// Burt–Adelson [1 4 6 4 1]/16 anti-aliasing filter applied along both axes
+// before decimation. It is the pyramid reduction step used by pyramidal
+// Lucas–Kanade. Images with odd dimensions lose the last row/column,
+// matching OpenCV's buildOpticalFlowPyramid.
+func Downsample2(g *Gray) *Gray {
+	blur := []float32{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	sm := convolve1D(convolve1D(g, blur, true), blur, false)
+	w := g.W / 2
+	h := g.H / 2
+	out := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = sm.At(2*x, 2*y)
+		}
+	}
+	return out
+}
+
+// Pyramid is a coarse-to-fine stack of images. Level 0 is the original
+// resolution; level i has roughly 2^-i the linear size.
+type Pyramid struct {
+	Levels []*Gray
+}
+
+// NewPyramid builds a pyramid with up to maxLevels levels (at least one).
+// Construction stops early once a level would shrink below 16 pixels on a
+// side, because Lucas–Kanade windows no longer fit.
+func NewPyramid(g *Gray, maxLevels int) *Pyramid {
+	if maxLevels < 1 {
+		maxLevels = 1
+	}
+	p := &Pyramid{Levels: []*Gray{g}}
+	for len(p.Levels) < maxLevels {
+		last := p.Levels[len(p.Levels)-1]
+		if last.W/2 < 16 || last.H/2 < 16 {
+			break
+		}
+		p.Levels = append(p.Levels, Downsample2(last))
+	}
+	return p
+}

@@ -1,0 +1,150 @@
+// Package imgproc implements the grayscale image-processing primitives that
+// AdaVP's object tracker is built on: bilinear sampling and resize, separable
+// Gaussian smoothing, Scharr gradients, image pyramids, integral images and
+// PGM serialization.
+//
+// Images use float32 pixels in [0, 1]. Floating-point pixels keep the
+// Lucas–Kanade solver numerically clean (sub-pixel interpolation, gradient
+// products) without repeated conversions.
+package imgproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gray is a single-channel image with float32 pixels in row-major order.
+// Pixel values are nominally in [0, 1] but the type does not enforce it.
+type Gray struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewGray allocates a zeroed W×H image. It panics if either dimension is
+// negative.
+func NewGray(w, h int) *Gray {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Gray) Clone() *Gray {
+	out := &Gray{W: g.W, H: g.H, Pix: make([]float32, len(g.Pix))}
+	copy(out.Pix, g.Pix)
+	return out
+}
+
+// Bounds reports whether (x, y) lies inside the image.
+func (g *Gray) Bounds(x, y int) bool {
+	return x >= 0 && x < g.W && y >= 0 && y < g.H
+}
+
+// At returns the pixel at (x, y) with border clamping: coordinates outside
+// the image are clamped to the nearest edge pixel. Sampling an empty image
+// returns 0.
+func (g *Gray) At(x, y int) float32 {
+	if g.W == 0 || g.H == 0 {
+		return 0
+	}
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y). Out-of-bounds writes are ignored.
+func (g *Gray) Set(x, y int, v float32) {
+	if !g.Bounds(x, y) {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Fill sets every pixel to v.
+func (g *Gray) Fill(v float32) {
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+}
+
+// Bilinear samples the image at continuous coordinates (x, y) using bilinear
+// interpolation with border clamping. The pixel grid convention places pixel
+// centers at integer coordinates.
+func (g *Gray) Bilinear(x, y float64) float32 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	v00 := g.At(x0, y0)
+	v10 := g.At(x0+1, y0)
+	v01 := g.At(x0, y0+1)
+	v11 := g.At(x0+1, y0+1)
+	top := v00 + fx*(v10-v00)
+	bot := v01 + fx*(v11-v01)
+	return top + fy*(bot-top)
+}
+
+// Resize returns the image scaled to w×h by bilinear interpolation. This is
+// the operation that models feeding a camera frame into a DNN at a given
+// input size (e.g. YOLOv3-320 vs YOLOv3-608): the smaller the target, the
+// more fine detail is destroyed.
+func (g *Gray) Resize(w, h int) *Gray {
+	out := NewGray(w, h)
+	if w == 0 || h == 0 || g.W == 0 || g.H == 0 {
+		return out
+	}
+	sx := float64(g.W) / float64(w)
+	sy := float64(g.H) / float64(h)
+	for y := 0; y < h; y++ {
+		// Sample at the center of each destination pixel mapped to source
+		// coordinates; the -0.5 terms align the two pixel grids.
+		srcY := (float64(y)+0.5)*sy - 0.5
+		for x := 0; x < w; x++ {
+			srcX := (float64(x)+0.5)*sx - 0.5
+			out.Pix[y*w+x] = g.Bilinear(srcX, srcY)
+		}
+	}
+	return out
+}
+
+// Mean returns the average pixel value, or 0 for an empty image.
+func (g *Gray) Mean() float64 {
+	if len(g.Pix) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range g.Pix {
+		sum += float64(v)
+	}
+	return sum / float64(len(g.Pix))
+}
+
+// AbsDiffMean returns the mean absolute pixel difference between g and o.
+// It is used as a cheap frame-difference measure in tests and by the MARLIN
+// baseline's scene-change heuristics. It panics if dimensions differ.
+func (g *Gray) AbsDiffMean(o *Gray) float64 {
+	if g.W != o.W || g.H != o.H {
+		panic(fmt.Sprintf("imgproc: AbsDiffMean size mismatch %dx%d vs %dx%d", g.W, g.H, o.W, o.H))
+	}
+	if len(g.Pix) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range g.Pix {
+		d := float64(g.Pix[i] - o.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(g.Pix))
+}

@@ -1,0 +1,86 @@
+package imgproc
+
+import (
+	"math"
+	"testing"
+
+	"adavp/internal/rng"
+)
+
+func TestIntegralBoxSumMatchesBruteForce(t *testing.T) {
+	s := rng.New(61)
+	g := NewGray(13, 9)
+	for i := range g.Pix {
+		g.Pix[i] = float32(s.Float64())
+	}
+	it := NewIntegral(g)
+	brute := func(x0, y0, x1, y1 int) float64 {
+		var sum float64
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				if g.Bounds(x, y) {
+					sum += float64(g.Pix[y*g.W+x])
+				}
+			}
+		}
+		return sum
+	}
+	for i := 0; i < 500; i++ {
+		x0 := s.Intn(15) - 1
+		y0 := s.Intn(11) - 1
+		x1 := x0 + s.Intn(15)
+		y1 := y0 + s.Intn(11)
+		got := it.BoxSum(x0, y0, x1, y1)
+		want := brute(clampInt(x0, 0, g.W), clampInt(y0, 0, g.H), clampInt(x1, 0, g.W), clampInt(y1, 0, g.H))
+		if math.Abs(got-want) > 1e-4 {
+			t.Fatalf("BoxSum(%d,%d,%d,%d) = %f, want %f", x0, y0, x1, y1, got, want)
+		}
+	}
+}
+
+func TestIntegralBoxMean(t *testing.T) {
+	g := NewGray(4, 4)
+	g.Fill(0.5)
+	it := NewIntegral(g)
+	if got := it.BoxMean(0, 0, 4, 4); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("BoxMean full = %f", got)
+	}
+	if got := it.BoxMean(1, 1, 3, 3); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("BoxMean interior = %f", got)
+	}
+	if got := it.BoxMean(2, 2, 2, 2); got != 0 {
+		t.Errorf("BoxMean of empty region = %f", got)
+	}
+	// Degenerate/inverted regions are empty.
+	if got := it.BoxSum(3, 3, 1, 1); got != 0 {
+		t.Errorf("inverted BoxSum = %f", got)
+	}
+}
+
+func TestIntegralWholeSum(t *testing.T) {
+	g := NewGray(5, 3)
+	var want float64
+	for i := range g.Pix {
+		g.Pix[i] = float32(i)
+		want += float64(i)
+	}
+	it := NewIntegral(g)
+	if got := it.BoxSum(0, 0, 5, 3); math.Abs(got-want) > 1e-6 {
+		t.Errorf("whole-image BoxSum = %f, want %f", got, want)
+	}
+	// Clipping: oversized query equals whole image.
+	if got := it.BoxSum(-10, -10, 99, 99); math.Abs(got-want) > 1e-6 {
+		t.Errorf("clipped BoxSum = %f, want %f", got, want)
+	}
+}
+
+func BenchmarkIntegralBuild(b *testing.B) {
+	g := NewGray(320, 180)
+	for i := range g.Pix {
+		g.Pix[i] = float32(i%7) / 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewIntegral(g)
+	}
+}

@@ -1,0 +1,111 @@
+package imgproc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// EncodePGM writes the image as a binary PGM (P5) file with 8-bit depth,
+// clamping pixel values to [0, 1]. PGM is the traditional debug format for
+// grayscale vision pipelines: every image viewer opens it and it needs no
+// codec dependencies.
+func EncodePGM(w io.Writer, g *Gray) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return fmt.Errorf("imgproc: writing PGM header: %w", err)
+	}
+	row := make([]byte, g.W)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := g.Pix[y*g.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			row[x] = byte(v*255 + 0.5)
+		}
+		if _, err := bw.Write(row); err != nil {
+			return fmt.Errorf("imgproc: writing PGM row %d: %w", y, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("imgproc: flushing PGM: %w", err)
+	}
+	return nil
+}
+
+// DecodePGM reads a binary PGM (P5) image with max value 255.
+func DecodePGM(r io.Reader) (*Gray, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxVal int
+	if err := scanPGMHeader(br, &magic, &w, &h, &maxVal); err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imgproc: unsupported PGM magic %q", magic)
+	}
+	if maxVal != 255 {
+		return nil, fmt.Errorf("imgproc: unsupported PGM max value %d", maxVal)
+	}
+	if w < 0 || h < 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("imgproc: unreasonable PGM size %dx%d", w, h)
+	}
+	g := NewGray(w, h)
+	buf := make([]byte, w)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("imgproc: reading PGM row %d: %w", y, err)
+		}
+		for x, b := range buf {
+			g.Pix[y*w+x] = float32(b) / 255
+		}
+	}
+	return g, nil
+}
+
+// scanPGMHeader parses the whitespace/comment-separated PGM header fields.
+func scanPGMHeader(br *bufio.Reader, magic *string, w, h, maxVal *int) error {
+	read := func() (string, error) {
+		var tok []byte
+		for {
+			b, err := br.ReadByte()
+			if err != nil {
+				if len(tok) > 0 {
+					return string(tok), nil
+				}
+				return "", fmt.Errorf("imgproc: reading PGM header: %w", err)
+			}
+			switch {
+			case b == '#':
+				// Skip the comment through end of line.
+				if _, err := br.ReadString('\n'); err != nil {
+					return "", fmt.Errorf("imgproc: reading PGM comment: %w", err)
+				}
+			case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+				if len(tok) > 0 {
+					return string(tok), nil
+				}
+			default:
+				tok = append(tok, b)
+			}
+		}
+	}
+	m, err := read()
+	if err != nil {
+		return err
+	}
+	*magic = m
+	for _, dst := range []*int{w, h, maxVal} {
+		tok, err := read()
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", dst); err != nil {
+			return fmt.Errorf("imgproc: parsing PGM header field %q: %w", tok, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package imgproc
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"adavp/internal/rng"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	s := rng.New(71)
+	g := NewGray(31, 17)
+	for i := range g.Pix {
+		g.Pix[i] = float32(s.Float64())
+	}
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, g); err != nil {
+		t.Fatalf("EncodePGM: %v", err)
+	}
+	back, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatalf("DecodePGM: %v", err)
+	}
+	if back.W != g.W || back.H != g.H {
+		t.Fatalf("round trip size %dx%d, want %dx%d", back.W, back.H, g.W, g.H)
+	}
+	for i := range g.Pix {
+		if math.Abs(float64(back.Pix[i]-g.Pix[i])) > 1.0/255+1e-6 {
+			t.Fatalf("pixel %d differs beyond quantization: %f vs %f", i, g.Pix[i], back.Pix[i])
+		}
+	}
+}
+
+func TestEncodePGMClampsRange(t *testing.T) {
+	g := NewGray(2, 1)
+	g.Pix[0] = -0.5
+	g.Pix[1] = 2.0
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, g); err != nil {
+		t.Fatalf("EncodePGM: %v", err)
+	}
+	back, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatalf("DecodePGM: %v", err)
+	}
+	if back.Pix[0] != 0 || back.Pix[1] != 1 {
+		t.Errorf("clamping failed: %v", back.Pix)
+	}
+}
+
+func TestDecodePGMWithComments(t *testing.T) {
+	data := "P5\n# a comment line\n2 1\n# another\n255\n\x10\x20"
+	g, err := DecodePGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("DecodePGM: %v", err)
+	}
+	if g.W != 2 || g.H != 1 {
+		t.Fatalf("size %dx%d", g.W, g.H)
+	}
+}
+
+func TestDecodePGMErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"wrong magic", "P6\n2 2\n255\nxxxx"},
+		{"bad max value", "P5\n2 2\n65535\nxxxx"},
+		{"truncated pixels", "P5\n4 4\n255\nxx"},
+		{"empty", ""},
+		{"garbage header", "P5\nab cd\n255\n"},
+	}
+	for _, c := range cases {
+		if _, err := DecodePGM(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// failWriter fails after n bytes to exercise encode error paths.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errShortWrite
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errShortWrite
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errShortWrite = &pgmTestError{"simulated write failure"}
+
+type pgmTestError struct{ msg string }
+
+func (e *pgmTestError) Error() string { return e.msg }
+
+func TestEncodePGMWriteError(t *testing.T) {
+	g := NewGray(64, 64)
+	if err := EncodePGM(&failWriter{n: 10}, g); err == nil {
+		t.Error("expected error from failing writer")
+	}
+}

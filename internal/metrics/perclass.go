@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"adavp/internal/core"
+)
+
+// ClassReport aggregates matching outcomes per object class across many
+// frames — the standard per-category evaluation view. It distinguishes the
+// two failure modes the paper's detector analysis cares about: objects
+// missed entirely versus objects found but mislabeled (Fig. 5's car/truck
+// confusions).
+type ClassReport struct {
+	perClass map[core.Class]*classCounts
+}
+
+type classCounts struct {
+	tp, fn int // ground-truth side
+	fp     int // detection side
+	// mislabeled counts ground-truth objects that overlapped a detection of
+	// the wrong class (a subset of fn on the truth side).
+	mislabeled int
+}
+
+// NewClassReport returns an empty report.
+func NewClassReport() *ClassReport {
+	return &ClassReport{perClass: make(map[core.Class]*classCounts)}
+}
+
+// Add matches one frame and folds the outcome into the report.
+func (r *ClassReport) Add(dets []core.Detection, truth []core.Object, iouThresh float64) {
+	if iouThresh <= 0 {
+		iouThresh = DefaultIoU
+	}
+	matchedDet := make([]bool, len(dets))
+	for _, g := range truth {
+		c := r.counts(g.Class)
+		// Same-class match?
+		found := false
+		for di, d := range dets {
+			if matchedDet[di] || d.Class != g.Class {
+				continue
+			}
+			if d.Box.IoU(g.Box) >= iouThresh {
+				matchedDet[di] = true
+				found = true
+				break
+			}
+		}
+		if found {
+			c.tp++
+			continue
+		}
+		c.fn++
+		// Wrong-label overlap?
+		for _, d := range dets {
+			if d.Class != g.Class && d.Box.IoU(g.Box) >= iouThresh {
+				c.mislabeled++
+				break
+			}
+		}
+	}
+	for di, d := range dets {
+		if !matchedDet[di] {
+			r.counts(d.Class).fp++
+		}
+	}
+}
+
+func (r *ClassReport) counts(c core.Class) *classCounts {
+	cc, ok := r.perClass[c]
+	if !ok {
+		cc = &classCounts{}
+		r.perClass[c] = cc
+	}
+	return cc
+}
+
+// Row is one class's aggregated result.
+type Row struct {
+	Class      core.Class
+	TP, FP, FN int
+	// Mislabeled is the number of missed ground-truth objects that a
+	// wrong-class detection overlapped.
+	Mislabeled int
+	Precision  float64
+	Recall     float64
+	F1         float64
+}
+
+// Rows returns the per-class results for classes with any ground truth or
+// detections, sorted by class.
+func (r *ClassReport) Rows() []Row {
+	classes := make([]core.Class, 0, len(r.perClass))
+	for c := range r.perClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	out := make([]Row, 0, len(classes))
+	for _, c := range classes {
+		cc := r.perClass[c]
+		m := MatchResult{TP: cc.tp, FP: cc.fp, FN: cc.fn}
+		out = append(out, Row{
+			Class: c, TP: cc.tp, FP: cc.fp, FN: cc.fn, Mislabeled: cc.mislabeled,
+			Precision: m.Precision(), Recall: m.Recall(), F1: m.F1(),
+		})
+	}
+	return out
+}
+
+// Print writes the report as an aligned table.
+func (r *ClassReport) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-12s %6s %6s %6s %10s %10s %8s %8s\n",
+		"class", "TP", "FP", "FN", "mislabeled", "precision", "recall", "F1"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows() {
+		if _, err := fmt.Fprintf(w, "%-12s %6d %6d %6d %10d %10.3f %8.3f %8.3f\n",
+			row.Class, row.TP, row.FP, row.FN, row.Mislabeled, row.Precision, row.Recall, row.F1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"adavp/internal/core"
+)
+
+func TestClassReportBasic(t *testing.T) {
+	r := NewClassReport()
+	truth := []core.Object{
+		obj(1, core.ClassCar, 0, 0, 20, 10),
+		obj(2, core.ClassPerson, 50, 0, 8, 20),
+	}
+	dets := []core.Detection{
+		det(core.ClassCar, 0, 0, 20, 10, 0.9),     // TP for car
+		det(core.ClassDog, 100, 100, 10, 10, 0.5), // FP for dog
+	}
+	r.Add(dets, truth, 0.5)
+	rows := r.Rows()
+	byClass := map[core.Class]Row{}
+	for _, row := range rows {
+		byClass[row.Class] = row
+	}
+	if got := byClass[core.ClassCar]; got.TP != 1 || got.FP != 0 || got.FN != 0 {
+		t.Errorf("car = %+v", got)
+	}
+	if got := byClass[core.ClassPerson]; got.FN != 1 || got.Mislabeled != 0 {
+		t.Errorf("person = %+v", got)
+	}
+	if got := byClass[core.ClassDog]; got.FP != 1 {
+		t.Errorf("dog = %+v", got)
+	}
+}
+
+func TestClassReportMislabeled(t *testing.T) {
+	// A truck detected where a car sits: car FN+mislabeled, truck FP —
+	// the Fig. 5 confusion signature.
+	r := NewClassReport()
+	truth := []core.Object{obj(1, core.ClassCar, 0, 0, 20, 10)}
+	dets := []core.Detection{det(core.ClassTruck, 0, 0, 20, 10, 0.9)}
+	r.Add(dets, truth, 0.5)
+	byClass := map[core.Class]Row{}
+	for _, row := range r.Rows() {
+		byClass[row.Class] = row
+	}
+	if got := byClass[core.ClassCar]; got.FN != 1 || got.Mislabeled != 1 {
+		t.Errorf("car = %+v", got)
+	}
+	if got := byClass[core.ClassTruck]; got.FP != 1 {
+		t.Errorf("truck = %+v", got)
+	}
+}
+
+func TestClassReportAccumulatesFrames(t *testing.T) {
+	r := NewClassReport()
+	truth := []core.Object{obj(1, core.ClassCar, 0, 0, 20, 10)}
+	dets := []core.Detection{det(core.ClassCar, 0, 0, 20, 10, 0.9)}
+	for i := 0; i < 5; i++ {
+		r.Add(dets, truth, 0.5)
+	}
+	rows := r.Rows()
+	if len(rows) != 1 || rows[0].TP != 5 {
+		t.Errorf("rows = %+v", rows)
+	}
+	if math.Abs(rows[0].F1-1) > 1e-9 {
+		t.Errorf("F1 = %f", rows[0].F1)
+	}
+}
+
+func TestClassReportRowsSorted(t *testing.T) {
+	r := NewClassReport()
+	r.Add([]core.Detection{det(core.ClassSkater, 0, 0, 5, 5, 1)}, nil, 0.5)
+	r.Add([]core.Detection{det(core.ClassCar, 0, 0, 5, 5, 1)}, nil, 0.5)
+	rows := r.Rows()
+	if len(rows) != 2 || rows[0].Class != core.ClassCar {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestClassReportDefaultIoU(t *testing.T) {
+	r := NewClassReport()
+	r.Add([]core.Detection{det(core.ClassCar, 0, 0, 20, 10, 1)},
+		[]core.Object{obj(1, core.ClassCar, 0, 0, 20, 10)}, 0)
+	if rows := r.Rows(); rows[0].TP != 1 {
+		t.Errorf("zero IoU threshold did not default: %+v", rows)
+	}
+}
+
+func TestClassReportPrint(t *testing.T) {
+	r := NewClassReport()
+	r.Add([]core.Detection{det(core.ClassCar, 0, 0, 20, 10, 1)},
+		[]core.Object{obj(1, core.ClassCar, 0, 0, 20, 10)}, 0.5)
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "car") {
+		t.Error("report missing class row")
+	}
+}

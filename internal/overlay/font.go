@@ -1,0 +1,95 @@
+package overlay
+
+import (
+	"strings"
+
+	"adavp/internal/imgproc"
+)
+
+// A compact 5×7 bitmap font for overlay labels. Each glyph is seven rows of
+// five bits (most significant bit = leftmost pixel). Lowercase input is
+// rendered with the uppercase glyphs; unknown runes draw as a filled block.
+const (
+	glyphW = 5
+	glyphH = 7
+)
+
+var font = map[rune][glyphH]uint8{
+	' ': {0, 0, 0, 0, 0, 0, 0},
+	'-': {0b00000, 0b00000, 0b00000, 0b11111, 0b00000, 0b00000, 0b00000},
+	'.': {0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b00110, 0b00110},
+	'%': {0b11001, 0b11010, 0b00010, 0b00100, 0b01000, 0b01011, 0b10011},
+	'/': {0b00001, 0b00010, 0b00010, 0b00100, 0b01000, 0b01000, 0b10000},
+	':': {0b00000, 0b00110, 0b00110, 0b00000, 0b00110, 0b00110, 0b00000},
+	'0': {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},
+	'1': {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'2': {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},
+	'3': {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110},
+	'4': {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},
+	'5': {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},
+	'6': {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},
+	'7': {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},
+	'8': {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},
+	'9': {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},
+	'A': {0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'B': {0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110},
+	'C': {0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110},
+	'D': {0b11100, 0b10010, 0b10001, 0b10001, 0b10001, 0b10010, 0b11100},
+	'E': {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111},
+	'F': {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000},
+	'G': {0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111},
+	'H': {0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'I': {0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'J': {0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100},
+	'K': {0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001},
+	'L': {0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111},
+	'M': {0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001},
+	'N': {0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001},
+	'O': {0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'P': {0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000},
+	'Q': {0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101},
+	'R': {0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001},
+	'S': {0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110},
+	'T': {0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100},
+	'U': {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'V': {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100},
+	'W': {0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010},
+	'X': {0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001},
+	'Y': {0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100},
+	'Z': {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111},
+}
+
+// unknownGlyph is the filled block drawn for runes outside the font.
+var unknownGlyph = [glyphH]uint8{0b11111, 0b11111, 0b11111, 0b11111, 0b11111, 0b11111, 0b11111}
+
+// DrawText renders a label at (x, y) (top-left of the first glyph) with the
+// given intensity. Text outside the image is clipped. It returns the width
+// drawn in pixels.
+func DrawText(img *imgproc.Gray, x, y int, text string, v float32) int {
+	cx := x
+	for _, r := range strings.ToUpper(text) {
+		glyph, ok := font[r]
+		if !ok {
+			glyph = unknownGlyph
+		}
+		for row := 0; row < glyphH; row++ {
+			bits := glyph[row]
+			for col := 0; col < glyphW; col++ {
+				if bits&(1<<(glyphW-1-col)) != 0 {
+					img.Set(cx+col, y+row, v)
+				}
+			}
+		}
+		cx += glyphW + 1
+	}
+	return cx - x
+}
+
+// TextWidth returns the pixel width DrawText would use for the text.
+func TextWidth(text string) int {
+	n := len([]rune(text))
+	if n == 0 {
+		return 0
+	}
+	return n*(glyphW+1) - 1
+}

@@ -1,0 +1,121 @@
+// Package overlay implements the paper's overlay drawer module (Fig. 3):
+// it takes a frame and the pipeline's detections and draws labeled bounding
+// boxes on the raster — the "views with overlaid augmented objects" that
+// AdaVP displays on the mobile screen. Boxes are drawn as bright outlines
+// with a small bitmap-font label above each.
+//
+// The module also composes evaluation views (ground truth beside pipeline
+// output) used by the CLI's frame-dump mode.
+package overlay
+
+import (
+	"fmt"
+
+	"adavp/internal/core"
+	"adavp/internal/imgproc"
+)
+
+// Style configures the drawer. The zero value is unusable; use DefaultStyle.
+type Style struct {
+	// BoxLuma is the outline intensity (white = 1).
+	BoxLuma float32
+	// LabelLuma is the text intensity.
+	LabelLuma float32
+	// Thickness is the outline width in pixels (>= 1).
+	Thickness int
+	// DrawScores appends the confidence to each label.
+	DrawScores bool
+}
+
+// DefaultStyle draws bright single-pixel outlines with labels.
+func DefaultStyle() Style {
+	return Style{BoxLuma: 1, LabelLuma: 1, Thickness: 1, DrawScores: false}
+}
+
+// Draw renders the detections onto a copy of the frame (the input image is
+// not modified) and returns the overlaid image. A nil raster yields nil.
+func Draw(img *imgproc.Gray, dets []core.Detection, style Style) *imgproc.Gray {
+	if img == nil {
+		return nil
+	}
+	if style.Thickness < 1 {
+		style.Thickness = 1
+	}
+	out := img.Clone()
+	for _, d := range dets {
+		drawRect(out, d, style)
+		label := d.Class.String()
+		if style.DrawScores {
+			label = fmt.Sprintf("%s %.2f", d.Class, d.Score)
+		}
+		x := int(d.Box.Left)
+		y := int(d.Box.Top) - glyphH - 2
+		if y < 0 {
+			y = int(d.Box.Top) + 2
+		}
+		DrawText(out, x, y, label, style.LabelLuma)
+	}
+	return out
+}
+
+// drawRect draws the box outline with the style's thickness, clipped to the
+// image.
+func drawRect(img *imgproc.Gray, d core.Detection, style Style) {
+	x0 := int(d.Box.Left)
+	y0 := int(d.Box.Top)
+	x1 := int(d.Box.Right())
+	y1 := int(d.Box.Bottom())
+	for t := 0; t < style.Thickness; t++ {
+		drawHLine(img, x0, x1, y0+t, style.BoxLuma)
+		drawHLine(img, x0, x1, y1-t, style.BoxLuma)
+		drawVLine(img, x0+t, y0, y1, style.BoxLuma)
+		drawVLine(img, x1-t, y0, y1, style.BoxLuma)
+	}
+}
+
+func drawHLine(img *imgproc.Gray, x0, x1, y int, v float32) {
+	for x := x0; x <= x1; x++ {
+		img.Set(x, y, v)
+	}
+}
+
+func drawVLine(img *imgproc.Gray, x, y0, y1 int, v float32) {
+	for y := y0; y <= y1; y++ {
+		img.Set(x, y, v)
+	}
+}
+
+// SideBySide composes two equally-sized images horizontally with a 2-pixel
+// separator — used to show ground truth next to pipeline output. It panics
+// if the heights differ.
+func SideBySide(left, right *imgproc.Gray) *imgproc.Gray {
+	if left.H != right.H {
+		panic(fmt.Sprintf("overlay: SideBySide height mismatch %d vs %d", left.H, right.H))
+	}
+	const sep = 2
+	out := imgproc.NewGray(left.W+sep+right.W, left.H)
+	for y := 0; y < left.H; y++ {
+		copy(out.Pix[y*out.W:], left.Pix[y*left.W:(y+1)*left.W])
+		for x := 0; x < sep; x++ {
+			out.Set(left.W+x, y, 0.5)
+		}
+		copy(out.Pix[y*out.W+left.W+sep:], right.Pix[y*right.W:(y+1)*right.W])
+	}
+	return out
+}
+
+// Annotate renders a complete evaluation view for one frame: ground truth
+// (left) beside the pipeline's output (right), with a header line naming the
+// frame and the output source.
+func Annotate(img *imgproc.Gray, truth []core.Object, out core.FrameOutput) *imgproc.Gray {
+	style := DefaultStyle()
+	gtDets := make([]core.Detection, 0, len(truth))
+	for _, o := range truth {
+		gtDets = append(gtDets, core.Detection{Class: o.Class, Box: o.Box, Score: 1})
+	}
+	left := Draw(img, gtDets, style)
+	DrawText(left, 2, 2, "TRUTH", 1)
+	right := Draw(img, out.Detections, style)
+	DrawText(right, 2, 2, fmt.Sprintf("F%d %s", out.FrameIndex, out.Source), 1)
+	return SideBySide(left, right)
+}

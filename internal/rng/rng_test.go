@@ -1,0 +1,268 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams with equal seeds diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestStableOutput(t *testing.T) {
+	// Pin the first outputs so a future refactor cannot silently change every
+	// checked-in calibration constant.
+	s := New(1)
+	want := []uint64{
+		0x910a2dec89025cc1,
+		0xbeeb8da1658eec67,
+		0xf893a2eefb32555e,
+		0x71c18690ee42c90b,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Derive(1)
+	b := root.Derive(2)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("streams derived with different tags produced identical output")
+	}
+	// Derivation must not consume parent output.
+	c := New(7)
+	_ = c.Derive(1)
+	r1 := root.Uint64()
+	r2 := c.Uint64()
+	if r1 != r2 {
+		t.Fatalf("Derive consumed parent output: %d != %d", r1, r2)
+	}
+}
+
+func TestDeriveOrderMatters(t *testing.T) {
+	root := New(9)
+	ab := root.Derive(1, 2).Uint64()
+	ba := root.Derive(2, 1).Uint64()
+	if ab == ba {
+		t.Fatal("Derive(1,2) and Derive(2,1) produced identical streams")
+	}
+}
+
+func TestDeriveString(t *testing.T) {
+	root := New(3)
+	a := root.DeriveString("detector").Uint64()
+	b := root.DeriveString("scene").Uint64()
+	if a == b {
+		t.Fatal("different string tags produced identical streams")
+	}
+	c := root.DeriveString("detector").Uint64()
+	if a != c {
+		t.Fatal("same string tag produced different streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			f := s.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		sum += f
+		buckets[int(f*10)]++
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean = %f, want ~0.5", mean)
+	}
+	for i, b := range buckets {
+		if math.Abs(float64(b)-n/10) > n/100 {
+			t.Errorf("bucket %d holds %d values, want ~%d", i, b, n/10)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 7, 100} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 100; i++ {
+		v := s.Range(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Range(-2,3) = %f out of range", v)
+		}
+	}
+	if got := s.Range(5, 5); got != 5 {
+		t.Errorf("Range(5,5) = %f, want 5", got)
+	}
+	if got := s.Range(5, 1); got != 5 {
+		t.Errorf("Range(5,1) = %f, want lo", got)
+	}
+}
+
+func TestBool(t *testing.T) {
+	s := New(17)
+	if s.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit rate = %f", rate)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(19)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %f, want ~1", variance)
+	}
+}
+
+func TestNormScaled(t *testing.T) {
+	s := New(23)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.NormScaled(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %f, want ~10", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(29)
+	for _, mean := range []float64{0.1, 1, 4} {
+		const n = 50000
+		var sum int
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*math.Max(mean, 1) {
+			t.Errorf("Poisson(%f) sample mean = %f", mean, got)
+		}
+	}
+	if s.Poisson(0) != 0 {
+		t.Error("Poisson(0) != 0")
+	}
+	if s.Poisson(-1) != 0 {
+		t.Error("Poisson(-1) != 0")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(31)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Errorf("Exp(3) sample mean = %f", mean)
+	}
+	if s.Exp(0) != 0 {
+		t.Error("Exp(0) != 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		p := s.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Stream
+	_ = s.Uint64() // must not panic
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Norm()
+	}
+}

@@ -1,0 +1,415 @@
+// Package rt is the real-time, multithreaded implementation of the AdaVP
+// pipeline — the concurrency structure of the paper's §IV-B and §V built
+// with actual goroutines rather than the virtual clock of internal/sim:
+//
+//   - The main thread feeds camera frames into the shared frame buffer at
+//     the capture rate and assembles the displayed outputs.
+//   - The object detector thread repeatedly fetches the newest frame from
+//     the buffer, runs the DNN (its latency is emulated by sleeping the
+//     calibrated duration, scaled by Config.TimeScale), and hands the
+//     results to the tracker.
+//   - The object tracker thread tracks the frames accumulated between two
+//     detections, honoring the tracking-frame selection scheme, and cancels
+//     its remaining work after finishing the current task once the detector
+//     has fetched a new frame (§IV-B's synchronization rule).
+//
+// Shared data (frame buffer, detection results, display outputs) is guarded
+// by mutexes; cross-thread signalling uses a condition variable for frame
+// arrival and a channel for detection hand-off, mirroring the paper's
+// "lock + event" design. The package is exercised under the race detector.
+package rt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adavp/internal/adapt"
+	"adavp/internal/core"
+	"adavp/internal/detect"
+	"adavp/internal/metrics"
+	"adavp/internal/rng"
+	"adavp/internal/track"
+	"adavp/internal/video"
+)
+
+// Config parameterizes a live run.
+type Config struct {
+	// Setting is the fixed (or initial, when Adaptation is set) DNN setting.
+	// Default: Setting512.
+	Setting core.Setting
+	// Adaptation enables AdaVP's runtime model switching; nil runs fixed
+	// MPDT.
+	Adaptation *adapt.Model
+	// Detector overrides the default calibrated detector.
+	Detector detect.Detector
+	// NewTracker overrides the default tracker factory.
+	NewTracker func(seed uint64) track.Tracker
+	// TimeScale scales all emulated latencies and the camera interval.
+	// 1.0 is real time; 0.02 runs fifty times faster. Default: 0.02.
+	TimeScale float64
+	// Seed derives detector noise and latency jitter.
+	Seed uint64
+	// PixelMode renders frames for pixel-based detectors/trackers.
+	PixelMode bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Setting == core.SettingInvalid {
+		c.Setting = core.Setting512
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 0.02
+	}
+	return c
+}
+
+// Result summarizes a live run.
+type Result struct {
+	Outputs  []core.FrameOutput
+	FrameF1  []float64
+	Accuracy float64
+	MeanF1   float64
+	// Cycles counts completed detection cycles; Switches counts setting
+	// changes (AdaVP only).
+	Cycles   int
+	Switches int
+}
+
+// frameBuffer is the shared camera buffer: the camera thread publishes the
+// newest captured frame index; the detector blocks until a frame newer than
+// its last fetch arrives.
+type frameBuffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	latest int
+	closed bool
+}
+
+func newFrameBuffer() *frameBuffer {
+	b := &frameBuffer{latest: -1}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// push publishes a newly captured frame.
+func (b *frameBuffer) push(i int) {
+	b.mu.Lock()
+	if i > b.latest {
+		b.latest = i
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// close marks the end of the stream.
+func (b *frameBuffer) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// waitNewer blocks until a frame newer than `than` is available, returning
+// its index. ok is false once the stream has ended with nothing newer.
+func (b *frameBuffer) waitNewer(than int) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.latest <= than && !b.closed {
+		b.cond.Wait()
+	}
+	if b.latest > than {
+		return b.latest, true
+	}
+	return 0, false
+}
+
+// cycleWork is one detection hand-off from the detector to the tracker:
+// track frames (RefFrame, EndFrame) against RefDets.
+type cycleWork struct {
+	RefFrame   int
+	RefDets    []core.Detection
+	EndFrame   int
+	Setting    core.Setting
+	Generation uint64
+}
+
+// Run executes the live pipeline over a video. It returns when every frame
+// has been fed and all in-flight work has drained, or when ctx is cancelled.
+func Run(ctx context.Context, v *video.Video, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if v == nil || v.NumFrames() == 0 {
+		return nil, fmt.Errorf("rt: empty video")
+	}
+	det := cfg.Detector
+	if det == nil {
+		det = detect.NewSimDetector(cfg.Seed, v.Params.W, v.Params.H)
+	}
+	var tr track.Tracker
+	if cfg.NewTracker != nil {
+		tr = cfg.NewTracker(cfg.Seed)
+	} else {
+		mt := track.NewModelTracker(cfg.Seed)
+		mt.SetBounds(v.Bounds())
+		tr = mt
+	}
+	// Each thread gets its own latency model: the jitter stream is not
+	// safe for concurrent use.
+	root := rng.New(cfg.Seed)
+	latDet := core.NewLatencyModel(root.DeriveString("rt-latency-detector"))
+	latTrk := core.NewLatencyModel(root.DeriveString("rt-latency-tracker"))
+
+	p := &pipeline{
+		v:        v,
+		cfg:      cfg,
+		det:      det,
+		tracker:  tr,
+		latDet:   latDet,
+		latTrk:   latTrk,
+		buffer:   newFrameBuffer(),
+		selector: core.NewFrameSelector(),
+		outputs:  make([]core.FrameOutput, v.NumFrames()),
+		work:     make(chan cycleWork, 1),
+	}
+	return p.run(ctx)
+}
+
+// pipeline holds the shared state of one live run.
+type pipeline struct {
+	v        *video.Video
+	cfg      Config
+	det      detect.Detector
+	tracker  track.Tracker
+	latDet   *core.LatencyModel // detector-thread latency emulation
+	latTrk   *core.LatencyModel // tracker-thread latency emulation
+	buffer   *frameBuffer
+	selector *core.FrameSelector
+
+	work chan cycleWork
+	// generation counts detector fetches; the tracker cancels its remaining
+	// tasks once the detector has moved on (§IV-B).
+	generation atomic.Uint64
+	// velocityBits shares the tracker's latest cycle velocity (Eq. 3) with
+	// the detector thread for model adaptation.
+	velocityBits atomic.Uint64
+
+	outMu    sync.Mutex
+	outputs  []core.FrameOutput
+	cycles   atomic.Int64
+	switches atomic.Int64
+}
+
+// frame fetches a frame (with pixels only in pixel mode).
+func (p *pipeline) frame(i int) core.Frame {
+	if p.cfg.PixelMode {
+		return p.v.FrameWithPixels(i)
+	}
+	return p.v.Frame(i)
+}
+
+// sleep emulates a component latency, scaled.
+func (p *pipeline) sleep(d time.Duration) {
+	scaled := time.Duration(float64(d) * p.cfg.TimeScale)
+	if scaled > 0 {
+		time.Sleep(scaled)
+	}
+}
+
+// setOutput records a frame's displayed result.
+func (p *pipeline) setOutput(out core.FrameOutput) {
+	p.outMu.Lock()
+	p.outputs[out.FrameIndex] = out
+	p.outMu.Unlock()
+}
+
+func (p *pipeline) run(ctx context.Context) (*Result, error) {
+	var wg sync.WaitGroup
+	// Camera (main-thread duty): publish frames at the scaled capture rate.
+	// Pacing is absolute (frame index derived from elapsed wall time) so
+	// coarse OS timer resolution cannot skew the frame rate relative to the
+	// scaled component latencies.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer p.buffer.close()
+		interval := time.Duration(float64(p.v.FrameInterval()) * p.cfg.TimeScale)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		start := time.Now()
+		ticker := time.NewTicker(maxDur(interval, 200*time.Microsecond))
+		defer ticker.Stop()
+		for {
+			due := int(time.Since(start) / interval)
+			if due >= p.v.NumFrames() {
+				due = p.v.NumFrames() - 1
+			}
+			p.buffer.push(due)
+			if due >= p.v.NumFrames()-1 {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+
+	// Object detector thread.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(p.work)
+		p.detectorLoop(ctx)
+	}()
+
+	// Object tracker thread.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.trackerLoop(ctx)
+	}()
+
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("rt: run cancelled: %w", err)
+	}
+	return p.finish(), nil
+}
+
+// detectorLoop is the GPU thread: fetch newest frame, adapt the setting,
+// detect, hand off to the tracker.
+func (p *pipeline) detectorLoop(ctx context.Context) {
+	setting := p.cfg.Setting
+	prevFrame := -1
+	var prevDets []core.Detection
+	for ctx.Err() == nil {
+		frameIdx, ok := p.buffer.waitNewer(prevFrame)
+		if !ok {
+			return
+		}
+		// Fetching a new frame tells the tracker to wind down (§IV-B).
+		gen := p.generation.Add(1)
+
+		// Model adaptation: the velocity measured during the previous cycle
+		// picks this cycle's setting.
+		if p.cfg.Adaptation != nil && prevFrame >= 0 {
+			if bits := p.velocityBits.Load(); bits != 0 {
+				vel := float64FromBits(bits)
+				if next := p.cfg.Adaptation.Next(setting, vel); next != setting {
+					p.sleep(p.latDet.SettingSwitch())
+					p.switches.Add(1)
+					setting = next
+				}
+			}
+		}
+
+		// Hand the accumulated frames to the tracker before starting the
+		// new inference, so both work in parallel.
+		if prevFrame >= 0 {
+			select {
+			case p.work <- cycleWork{RefFrame: prevFrame, RefDets: prevDets, EndFrame: frameIdx, Setting: setting, Generation: gen}:
+			case <-ctx.Done():
+				return
+			}
+		}
+
+		dets := p.det.Detect(p.frame(frameIdx), setting)
+		p.sleep(p.latDet.Detect(setting))
+		p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceDetector, Setting: setting, Detections: dets})
+		p.cycles.Add(1)
+		prevFrame = frameIdx
+		prevDets = dets
+	}
+}
+
+// trackerLoop is the CPU thread: process each cycle's buffered frames.
+func (p *pipeline) trackerLoop(ctx context.Context) {
+	for w := range p.work {
+		if ctx.Err() != nil {
+			return
+		}
+		buffered := w.EndFrame - 1 - w.RefFrame
+		if buffered <= 0 {
+			continue
+		}
+		p.tracker.Init(p.frame(w.RefFrame), w.RefDets)
+		p.sleep(p.latTrk.FeatureExtract())
+
+		plan := p.selector.Plan(buffered)
+		tracked := 0
+		var velSum float64
+		var velN int
+		cur := w.RefDets
+		for _, idx := range plan {
+			// §IV-B: cancel after the current task once the detector has
+			// fetched a newer frame.
+			if p.generation.Load() > w.Generation {
+				break
+			}
+			frameIdx := w.RefFrame + 1 + idx
+			dets, vel := p.tracker.Step(p.frame(frameIdx))
+			p.sleep(p.latTrk.TrackFrame(len(cur)))
+			p.sleep(p.latTrk.Overlay())
+			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceTracker, Setting: w.Setting, Detections: dets})
+			cur = dets
+			tracked++
+			if vel > 0 {
+				velSum += vel
+				velN++
+			}
+		}
+		p.selector.Update(tracked, buffered)
+		if velN > 0 {
+			p.velocityBits.Store(float64ToBits(velSum / float64(velN)))
+		}
+	}
+}
+
+// finish hold-fills unprocessed frames and evaluates the run.
+func (p *pipeline) finish() *Result {
+	n := p.v.NumFrames()
+	res := &Result{
+		Outputs:  p.outputs,
+		FrameF1:  make([]float64, n),
+		Cycles:   int(p.cycles.Load()),
+		Switches: int(p.switches.Load()),
+	}
+	var last core.FrameOutput
+	haveLast := false
+	for i := 0; i < n; i++ {
+		if p.outputs[i].Source == core.SourceNone {
+			if haveLast {
+				p.outputs[i] = core.FrameOutput{
+					FrameIndex: i, Source: core.SourceHeld,
+					Setting: last.Setting, Detections: last.Detections,
+				}
+			} else {
+				p.outputs[i] = core.FrameOutput{FrameIndex: i, Source: core.SourceNone}
+			}
+		} else {
+			p.outputs[i].FrameIndex = i
+			last = p.outputs[i]
+			haveLast = true
+		}
+		res.FrameF1[i] = metrics.FrameF1(p.outputs[i].Detections, p.v.Truth(i), metrics.DefaultIoU)
+	}
+	res.Accuracy = metrics.VideoAccuracy(res.FrameF1, metrics.DefaultAlpha)
+	res.MeanF1 = metrics.Mean(res.FrameF1)
+	return res
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// float bit helpers for the atomic velocity cell.
+func float64ToBits(f float64) uint64   { return math.Float64bits(f) }
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }

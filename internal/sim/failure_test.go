@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"adavp/internal/core"
+	"adavp/internal/detect"
+	"adavp/internal/geom"
+	"adavp/internal/track"
+	"adavp/internal/video"
+)
+
+// Failure-injection tests: the pipeline must stay well-formed (one output
+// per frame, bounded scores, no panics) when its components misbehave —
+// empty results, garbage boxes, NaNs, detectors that fail intermittently.
+
+// emptyDetector never detects anything.
+type emptyDetector struct{}
+
+func (emptyDetector) Detect(core.Frame, core.Setting) []core.Detection { return nil }
+
+// garbageDetector returns malformed detections: negative sizes, NaN
+// coordinates, invalid classes, out-of-frame boxes.
+type garbageDetector struct{}
+
+func (garbageDetector) Detect(f core.Frame, _ core.Setting) []core.Detection {
+	return []core.Detection{
+		{Class: core.Class(99), Box: geom.Rect{Left: -50, Top: -50, W: -10, H: -10}, Score: 2},
+		{Class: core.ClassCar, Box: geom.Rect{Left: math.NaN(), Top: 10, W: 20, H: 10}, Score: 0.5},
+		{Class: core.ClassCar, Box: geom.Rect{Left: 1e9, Top: 1e9, W: 5, H: 5}, Score: -1},
+	}
+}
+
+// flakyDetector fails (returns nothing) on every other invocation.
+type flakyDetector struct {
+	inner detect.Detector
+	calls int
+}
+
+func (d *flakyDetector) Detect(f core.Frame, s core.Setting) []core.Detection {
+	d.calls++
+	if d.calls%2 == 0 {
+		return nil
+	}
+	return d.inner.Detect(f, s)
+}
+
+func runWithDetector(t *testing.T, d detect.Detector, policy Policy) *Result {
+	t.Helper()
+	v := video.GenerateKind("fi", video.KindHighway, 5, 300)
+	r, err := Run(v, Config{Policy: policy, Detector: d, Seed: 1})
+	if err != nil {
+		t.Fatalf("%v with injected detector: %v", policy, err)
+	}
+	if len(r.Run.Outputs) != v.NumFrames() {
+		t.Fatalf("%v: %d outputs", policy, len(r.Run.Outputs))
+	}
+	for i, f1 := range r.Run.FrameF1 {
+		if math.IsNaN(f1) || f1 < 0 || f1 > 1 {
+			t.Fatalf("%v: frame %d F1 = %f", policy, i, f1)
+		}
+	}
+	return r
+}
+
+func TestPipelineSurvivesEmptyDetector(t *testing.T) {
+	for _, p := range allPolicies() {
+		r := runWithDetector(t, emptyDetector{}, p)
+		// With no detections ever, accuracy reflects only frames with empty
+		// ground truth.
+		if r.Accuracy > 0.6 {
+			t.Errorf("%v: accuracy %.2f with a blind detector", p, r.Accuracy)
+		}
+	}
+}
+
+func TestPipelineSurvivesGarbageDetector(t *testing.T) {
+	for _, p := range allPolicies() {
+		r := runWithDetector(t, garbageDetector{}, p)
+		if r.MeanF1 > 0.5 {
+			t.Errorf("%v: garbage detections scored %.2f mean F1", p, r.MeanF1)
+		}
+	}
+}
+
+func TestPipelineSurvivesFlakyDetector(t *testing.T) {
+	v := video.GenerateKind("fi", video.KindHighway, 5, 300)
+	inner := detect.NewSimDetector(1, v.Params.W, v.Params.H)
+	r := runWithDetector(t, &flakyDetector{inner: inner}, PolicyAdaVP)
+	// Half the detections vanish; the pipeline keeps going and still scores
+	// on the cycles that worked.
+	if r.Accuracy <= 0 {
+		t.Error("flaky detector zeroed accuracy entirely")
+	}
+}
+
+// nanTracker reports NaN velocities and drops boxes randomly.
+type nanTracker struct{ dets []core.Detection }
+
+func (t *nanTracker) Init(_ core.Frame, dets []core.Detection) int {
+	t.dets = dets
+	return 0
+}
+
+func (t *nanTracker) Step(core.Frame) ([]core.Detection, float64) {
+	return t.dets, math.NaN()
+}
+
+func TestPipelineSurvivesNaNVelocity(t *testing.T) {
+	v := video.GenerateKind("fi", video.KindHighway, 7, 300)
+	r, err := Run(v, Config{
+		Policy: PolicyAdaVP,
+		NewTracker: func(uint64) track.Tracker {
+			return &nanTracker{}
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptation must not be corrupted into an invalid setting.
+	for _, c := range r.Run.Cycles {
+		if !c.Setting.Valid() {
+			t.Fatalf("cycle %d has invalid setting after NaN velocity", c.Index)
+		}
+	}
+}
+
+func TestPipelineOneFrameVideo(t *testing.T) {
+	v := video.GenerateKind("one", video.KindHighway, 9, 1)
+	for _, p := range allPolicies() {
+		r, err := Run(v, Config{Policy: p, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(r.Run.Outputs) != 1 {
+			t.Fatalf("%v: %d outputs", p, len(r.Run.Outputs))
+		}
+	}
+}
+
+func TestPipelineVeryShortVideos(t *testing.T) {
+	for frames := 1; frames <= 12; frames++ {
+		v := video.GenerateKind("short", video.KindCityStreet, uint64(frames), frames)
+		for _, p := range allPolicies() {
+			if _, err := Run(v, Config{Policy: p, Seed: 1}); err != nil {
+				t.Fatalf("%d frames, %v: %v", frames, p, err)
+			}
+		}
+	}
+}

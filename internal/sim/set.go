@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"adavp/internal/adapt"
+	"adavp/internal/core"
+	"adavp/internal/metrics"
+	"adavp/internal/video"
+)
+
+// SetResult aggregates a policy's runs over a whole video set.
+type SetResult struct {
+	PerVideo []*Result
+	// MeanAccuracy is the average per-video accuracy — the paper's headline
+	// metric ("we use the average percentage per video as accuracy").
+	MeanAccuracy float64
+	// MeanF1 is the average per-video mean F1.
+	MeanF1 float64
+}
+
+// RunSet executes one configuration over every video, deriving a distinct
+// seed per video.
+func RunSet(videos []*video.Video, cfg Config) (*SetResult, error) {
+	if len(videos) == 0 {
+		return nil, fmt.Errorf("sim: empty video set")
+	}
+	out := &SetResult{PerVideo: make([]*Result, 0, len(videos))}
+	var accSum, f1Sum float64
+	for i, v := range videos {
+		c := cfg
+		c.Seed = cfg.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		r, err := Run(v, c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: running %s: %w", v.Name, err)
+		}
+		out.PerVideo = append(out.PerVideo, r)
+		accSum += r.Accuracy
+		f1Sum += r.MeanF1
+	}
+	out.MeanAccuracy = accSum / float64(len(videos))
+	out.MeanF1 = f1Sum / float64(len(videos))
+	return out, nil
+}
+
+// CollectTrainingSamples reproduces the paper's §IV-D.3 training-data
+// pipeline: every video is processed by fixed-setting MPDT at all four
+// adaptive settings; each 1-second chunk yields (per setting) a mean motion
+// velocity and a mean accuracy; the setting with the highest accuracy is the
+// chunk's label. One sample is emitted per (chunk, measuring setting).
+func CollectTrainingSamples(videos []*video.Video, seed uint64) ([]adapt.Sample, error) {
+	var samples []adapt.Sample
+	for vi, v := range videos {
+		chunk := v.FPS() // frames per 1-second chunk
+		if chunk <= 0 || v.NumFrames() < chunk {
+			continue
+		}
+		numChunks := v.NumFrames() / chunk
+		type perSetting struct {
+			f1  []float64   // per chunk
+			vel [][]float64 // per chunk: one smoothed velocity per cycle
+		}
+		bySetting := make(map[core.Setting]perSetting, len(core.AdaptiveSettings))
+		for _, s := range core.AdaptiveSettings {
+			r, err := Run(v, Config{
+				Policy:  PolicyMPDT,
+				Setting: s,
+				Seed:    seed ^ (uint64(vi+1) * 7919) ^ uint64(s),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sim: training run %s/%v: %w", v.Name, s, err)
+			}
+			ps := perSetting{f1: make([]float64, numChunks), vel: make([][]float64, numChunks)}
+			// Chunked mean F1.
+			for c := 0; c < numChunks; c++ {
+				ps.f1[c] = metrics.Mean(r.Run.FrameF1[c*chunk : (c+1)*chunk])
+			}
+			// Per-cycle velocities, smoothed exactly like the runtime
+			// adaptation input (EWMA over cycles) so the training feature
+			// distribution matches what the deployed module will see, and
+			// attributed to the chunk containing the cycle's end.
+			ewma := -1.0
+			for _, cyc := range r.Run.Cycles {
+				if cyc.Velocity < 0 {
+					continue
+				}
+				if ewma < 0 {
+					ewma = cyc.Velocity
+				} else {
+					ewma = 0.3*ewma + 0.7*cyc.Velocity
+				}
+				c := int(cyc.End / v.FrameInterval() / time.Duration(chunk))
+				if c >= 0 && c < numChunks {
+					ps.vel[c] = append(ps.vel[c], ewma)
+				}
+			}
+			bySetting[s] = ps
+		}
+		// Label each chunk with the best setting and emit samples carrying
+		// the full per-setting score vector (soft training costs).
+		for c := 0; c < numChunks; c++ {
+			best := core.SettingInvalid
+			bestF1 := -1.0
+			scores := make(map[core.Setting]float64, len(core.AdaptiveSettings))
+			for _, s := range core.AdaptiveSettings {
+				f1 := bySetting[s].f1[c]
+				scores[s] = f1
+				if f1 > bestF1 {
+					bestF1 = f1
+					best = s
+				}
+			}
+			for _, s := range core.AdaptiveSettings {
+				for _, vel := range bySetting[s].vel[c] {
+					samples = append(samples, adapt.Sample{Current: s, Velocity: vel, Best: best, Scores: scores})
+				}
+			}
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("sim: no training samples collected")
+	}
+	return samples, nil
+}

@@ -1,0 +1,531 @@
+// Package sim executes AdaVP and its baselines over synthetic videos on a
+// deterministic virtual clock modelling the Jetson TX2: a GPU that runs one
+// DNN inference at a time, a CPU that runs feature extraction, optical-flow
+// tracking and overlay drawing, and a camera producing frames at a fixed
+// rate. The schedule — which frame is processed by what, when — is exactly
+// the paper's §IV-B semantics; all component durations come from the
+// calibrated latency model (Table II / Fig. 1).
+//
+// Five policies are implemented:
+//
+//   - PolicyAdaVP: MPDT plus runtime model-setting adaptation (the paper's
+//     full system).
+//   - PolicyMPDT: parallel detection and tracking at a fixed setting.
+//   - PolicyMARLIN: the sequential baseline — detector and tracker never
+//     run concurrently; detection is re-triggered by a scene-change
+//     threshold on the tracker's motion velocity.
+//   - PolicyNoTracking: detector only; skipped frames reuse the previous
+//     detection (the paper's "without tracking" baseline).
+//   - PolicyContinuous: detect every frame with no skipping; runtime
+//     stretches far beyond real time (the 7×/10.3× rows of Table III).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"adavp/internal/adapt"
+	"adavp/internal/core"
+	"adavp/internal/detect"
+	"adavp/internal/metrics"
+	"adavp/internal/rng"
+	"adavp/internal/trace"
+	"adavp/internal/track"
+	"adavp/internal/video"
+)
+
+// Policy selects the pipeline schedule.
+type Policy int
+
+// Policies.
+const (
+	PolicyInvalid Policy = iota
+	PolicyAdaVP
+	PolicyMPDT
+	PolicyMARLIN
+	PolicyNoTracking
+	PolicyContinuous
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAdaVP:
+		return "AdaVP"
+	case PolicyMPDT:
+		return "MPDT"
+	case PolicyMARLIN:
+		return "MARLIN"
+	case PolicyNoTracking:
+		return "NoTracking"
+	case PolicyContinuous:
+		return "Continuous"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a run. Zero-value fields take documented defaults.
+type Config struct {
+	// Policy selects the schedule; required.
+	Policy Policy
+	// Setting is the fixed model setting for non-adaptive policies and the
+	// initial setting for AdaVP. Default: Setting512.
+	Setting core.Setting
+	// Adaptation overrides the pretrained model (AdaVP only).
+	Adaptation *adapt.Model
+	// Detector overrides the default calibrated SimDetector.
+	Detector detect.Detector
+	// NewTracker overrides the default ModelTracker factory.
+	NewTracker func(seed uint64) track.Tracker
+	// PixelMode renders every processed frame and is required when Detector
+	// or NewTracker operate on pixels. Slow; meant for small studies.
+	PixelMode bool
+	// MARLINTrigger is the scene-change velocity threshold (px/frame) that
+	// re-triggers detection in PolicyMARLIN. Default: 0.1, tuned for best
+	// MARLIN accuracy over the standard test set (the paper likewise tunes
+	// its baseline's threshold for best accuracy).
+	MARLINTrigger float64
+	// Seed derives all run randomness (latency jitter, detector noise).
+	Seed uint64
+	// Alpha is the per-frame F1 threshold for the accuracy metric (0.7).
+	Alpha float64
+	// IoU is the matching threshold (0.5).
+	IoU float64
+
+	// Ablation switches (see DESIGN.md §4).
+
+	// TrackAllFrames disables the tracking-frame selection of §IV-C: the
+	// tracker attempts every buffered frame in order until the cycle budget
+	// runs out, instead of spreading a feasible subset across the buffer.
+	TrackAllFrames bool
+	// NoVelocitySmoothing feeds raw per-cycle velocities to the adaptation
+	// module instead of the light EWMA.
+	NoVelocitySmoothing bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Setting == core.SettingInvalid {
+		c.Setting = core.Setting512
+	}
+	if c.MARLINTrigger <= 0 {
+		c.MARLINTrigger = 0.1
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = metrics.DefaultAlpha
+	}
+	if c.IoU <= 0 {
+		c.IoU = metrics.DefaultIoU
+	}
+	return c
+}
+
+// Result is a completed run plus its evaluation.
+type Result struct {
+	Run *trace.Run
+	// Accuracy is the fraction of frames with F1 >= Alpha (the paper's
+	// per-video accuracy metric).
+	Accuracy float64
+	// MeanF1 is the mean per-frame F1.
+	MeanF1 float64
+}
+
+// Run executes one policy over one video.
+func Run(v *video.Video, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if v == nil || v.NumFrames() == 0 {
+		return nil, fmt.Errorf("sim: empty video")
+	}
+	e := newEngine(v, cfg)
+	switch cfg.Policy {
+	case PolicyAdaVP, PolicyMPDT:
+		e.runParallel(cfg.Policy == PolicyAdaVP)
+	case PolicyMARLIN:
+		e.runMARLIN()
+	case PolicyNoTracking:
+		e.runNoTracking()
+	case PolicyContinuous:
+		e.runContinuous()
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %v", cfg.Policy)
+	}
+	return e.finish(), nil
+}
+
+// engine holds one run's mutable state.
+type engine struct {
+	v        *video.Video
+	cfg      Config
+	lat      *core.LatencyModel
+	det      detect.Detector
+	tracker  track.Tracker
+	selector *core.FrameSelector
+	model    *adapt.Model
+	delta    time.Duration
+	run      *trace.Run
+	outputs  []core.FrameOutput
+}
+
+func newEngine(v *video.Video, cfg Config) *engine {
+	root := rng.New(cfg.Seed).DeriveString("sim")
+	det := cfg.Detector
+	if det == nil {
+		det = detect.NewSimDetector(cfg.Seed, v.Params.W, v.Params.H)
+	}
+	var tr track.Tracker
+	if cfg.NewTracker != nil {
+		tr = cfg.NewTracker(cfg.Seed)
+	} else {
+		mt := track.NewModelTracker(cfg.Seed)
+		mt.SetBounds(v.Bounds())
+		tr = mt
+	}
+	model := cfg.Adaptation
+	if model == nil {
+		model = adapt.DefaultModel()
+	}
+	return &engine{
+		v:        v,
+		cfg:      cfg,
+		lat:      core.NewLatencyModel(root.DeriveString("latency")),
+		det:      det,
+		tracker:  tr,
+		selector: core.NewFrameSelector(),
+		model:    model,
+		delta:    v.FrameInterval(),
+		run:      &trace.Run{Video: v.Name, Policy: cfg.Policy.String()},
+		outputs:  make([]core.FrameOutput, v.NumFrames()),
+	}
+}
+
+// frame fetches a frame, rendering pixels only in pixel mode.
+func (e *engine) frame(i int) core.Frame {
+	if e.cfg.PixelMode {
+		return e.v.FrameWithPixels(i)
+	}
+	return e.v.Frame(i)
+}
+
+// capturedAt returns the newest frame index captured at or before t.
+func (e *engine) capturedAt(t time.Duration) int {
+	idx := int(t / e.delta)
+	if idx >= e.v.NumFrames() {
+		idx = e.v.NumFrames() - 1
+	}
+	return idx
+}
+
+// busy records a busy interval and returns its end.
+func (e *engine) busy(res trace.Resource, s core.Setting, start, dur time.Duration) time.Duration {
+	end := start + dur
+	e.run.Busy = append(e.run.Busy, trace.Interval{Resource: res, Setting: s, Start: start, End: end})
+	return end
+}
+
+// runParallel implements MPDT and AdaVP: GPU and CPU work concurrently.
+func (e *engine) runParallel(adaptive bool) {
+	n := e.v.NumFrames()
+	setting := e.cfg.Setting
+	var now time.Duration
+
+	// Bootstrap: detect frame 0.
+	prevFrame := 0
+	dur := e.lat.Detect(setting)
+	end := e.busy(trace.ResourceGPU, setting, now, dur)
+	prevDets := e.det.Detect(e.frame(0), setting)
+	e.outputs[0] = core.FrameOutput{FrameIndex: 0, Source: core.SourceDetector, Setting: setting, Detections: prevDets, Ready: end}
+	e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: 0, Setting: setting, DetectedFrame: 0, Start: now, End: end, Velocity: -1})
+	now = end
+	lastVelocity := -1.0 // EWMA of per-cycle velocity; <0 means no measurement
+
+	cycle := 1
+	for {
+		// Adaptation decision (AdaVP): velocity measured during the cycle
+		// that just completed chooses the setting for the next one.
+		if adaptive && lastVelocity >= 0 {
+			next := e.model.Next(setting, lastVelocity)
+			if next != setting {
+				e.run.Switches = append(e.run.Switches, trace.Switch{CycleIndex: cycle, From: setting, To: next, At: now})
+				now += e.lat.SettingSwitch()
+				setting = next
+			}
+		}
+
+		nextFrame := e.capturedAt(now)
+		if nextFrame <= prevFrame {
+			nextFrame = prevFrame + 1
+		}
+		if nextFrame >= n {
+			break
+		}
+
+		// GPU: detect nextFrame with the (possibly new) setting.
+		detDur := e.lat.Detect(setting)
+		detEnd := e.busy(trace.ResourceGPU, setting, now, detDur)
+		nextDets := e.det.Detect(e.frame(nextFrame), setting)
+
+		// CPU, concurrently: track the buffered frames (prevFrame+1 ..
+		// nextFrame-1) against prevFrame's detections, within the detection
+		// budget.
+		buffered := nextFrame - 1 - prevFrame
+		tracked, velocity := e.trackCycle(prevFrame, prevDets, nextFrame, setting, now, detDur)
+		if buffered > 0 {
+			e.selector.Update(tracked, buffered)
+		}
+		// Lightly smooth the velocity across cycles: single-cycle
+		// measurements are noisy (few tracked steps) and the training
+		// distribution is 1-second chunk means.
+		if velocity >= 0 {
+			if lastVelocity < 0 || e.cfg.NoVelocitySmoothing {
+				lastVelocity = velocity
+			} else {
+				lastVelocity = 0.3*lastVelocity + 0.7*velocity
+			}
+		}
+
+		e.run.Cycles = append(e.run.Cycles, trace.Cycle{
+			Index: cycle, Setting: setting, DetectedFrame: nextFrame,
+			Start: now, End: detEnd,
+			FramesBuffered: buffered, FramesTracked: tracked, Velocity: velocity,
+		})
+		e.outputs[nextFrame] = core.FrameOutput{FrameIndex: nextFrame, Source: core.SourceDetector, Setting: setting, Detections: nextDets, Ready: detEnd}
+
+		prevFrame = nextFrame
+		prevDets = nextDets
+		now = detEnd
+		cycle++
+	}
+	e.run.Duration = maxDuration(now, time.Duration(n)*e.delta)
+}
+
+// trackCycle runs the tracker over the frames buffered during one detection,
+// writing tracked outputs. It returns the number of frames tracked and the
+// mean motion velocity observed (-1 when nothing could be measured).
+func (e *engine) trackCycle(refFrame int, refDets []core.Detection, endFrame int, setting core.Setting, start, budget time.Duration) (int, float64) {
+	buffered := endFrame - 1 - refFrame
+	if buffered <= 0 {
+		return 0, -1
+	}
+	deadline := start + budget
+	cursor := start
+
+	// Feature extraction on the reference frame (Table II: ~40 ms).
+	featDur := e.lat.FeatureExtract()
+	if cursor+featDur > deadline {
+		return 0, -1
+	}
+	e.tracker.Init(e.frame(refFrame), refDets)
+	cursor = e.busy(trace.ResourceCPUTrack, core.SettingInvalid, cursor, featDur)
+	// The adaptation module also reads the motion features (negligible).
+	cursor += e.lat.MotionFeature()
+
+	plan := e.selector.Plan(buffered)
+	if e.cfg.TrackAllFrames {
+		plan = plan[:0]
+		for i := 0; i < buffered; i++ {
+			plan = append(plan, i)
+		}
+	}
+	tracked := 0
+	var velSum float64
+	var velN int
+	cur := refDets
+	for _, idx := range plan {
+		frameIdx := refFrame + 1 + idx
+		trackDur := e.lat.TrackFrame(len(cur))
+		overlayDur := e.lat.Overlay()
+		if cursor+trackDur+overlayDur > deadline {
+			// §IV-B: when the detector finishes, the tracker cancels its
+			// remaining tasks.
+			break
+		}
+		dets, vel := e.tracker.Step(e.frame(frameIdx))
+		cursor = e.busy(trace.ResourceCPUTrack, core.SettingInvalid, cursor, trackDur)
+		cursor = e.busy(trace.ResourceCPUOverlay, core.SettingInvalid, cursor, overlayDur)
+		e.outputs[frameIdx] = core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceTracker, Setting: setting, Detections: dets, Ready: cursor}
+		if vel > 0 {
+			velSum += vel
+			velN++
+		}
+		cur = dets
+		tracked++
+	}
+	if velN == 0 {
+		return tracked, -1
+	}
+	return tracked, velSum / float64(velN)
+}
+
+// runMARLIN implements the sequential baseline: the tracker runs between
+// detections and a scene-change threshold on its velocity re-triggers the
+// detector; the two never overlap.
+func (e *engine) runMARLIN() {
+	n := e.v.NumFrames()
+	setting := e.cfg.Setting
+	var now time.Duration
+	cycle := 0
+
+	detFrame := 0
+	for {
+		// Detection (tracker idle).
+		dur := e.lat.Detect(setting)
+		end := e.busy(trace.ResourceGPU, setting, now, dur)
+		dets := e.det.Detect(e.frame(detFrame), setting)
+		e.outputs[detFrame] = core.FrameOutput{FrameIndex: detFrame, Source: core.SourceDetector, Setting: setting, Detections: dets, Ready: end}
+		e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: cycle, Setting: setting, DetectedFrame: detFrame, Start: now, End: end})
+		cycle++
+		now = end
+
+		// Feature extraction, then sequential tracking: the tracker works
+		// through the backlog that accumulated during detection (Fig. 4's
+		// frames m0+1 .. m1-1), round by round, applying the same
+		// tracking-frame selection as MPDT. A tracked step whose velocity
+		// exceeds the scene-change threshold re-triggers the detector.
+		featDur := e.lat.FeatureExtract()
+		e.tracker.Init(e.frame(detFrame), dets)
+		now = e.busy(trace.ResourceCPUTrack, core.SettingInvalid, now, featDur)
+
+		cursorFrame := detFrame
+		cur := dets
+		triggered := false
+		for !triggered {
+			live := e.capturedAt(now)
+			if live <= cursorFrame {
+				if cursorFrame >= n-1 {
+					break
+				}
+				// Caught up: wait for the next capture.
+				now = time.Duration(cursorFrame+1) * e.delta
+				live = cursorFrame + 1
+			}
+			backlog := live - cursorFrame
+			plan := e.selector.Plan(backlog)
+			tracked := 0
+			var velSum float64
+			var velN int
+			for _, idx := range plan {
+				frameIdx := cursorFrame + 1 + idx
+				trackDur := e.lat.TrackFrame(len(cur))
+				overlayDur := e.lat.Overlay()
+				dets2, vel := e.tracker.Step(e.frame(frameIdx))
+				now = e.busy(trace.ResourceCPUTrack, core.SettingInvalid, now, trackDur)
+				now = e.busy(trace.ResourceCPUOverlay, core.SettingInvalid, now, overlayDur)
+				e.outputs[frameIdx] = core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceTracker, Setting: setting, Detections: dets2, Ready: now}
+				cur = dets2
+				tracked++
+				if vel > 0 {
+					velSum += vel
+					velN++
+				}
+			}
+			cursorFrame = live
+			e.selector.Update(tracked, backlog)
+			// The change detector evaluates the round's aggregate velocity;
+			// a significant change re-triggers the detector.
+			if velN > 0 && velSum/float64(velN) > e.cfg.MARLINTrigger {
+				triggered = true
+			}
+		}
+		if !triggered || cursorFrame >= n-1 {
+			break
+		}
+		// Trigger: detect the newest frame.
+		detFrame = e.capturedAt(now)
+		if detFrame <= cursorFrame {
+			detFrame = cursorFrame + 1
+			now = time.Duration(detFrame) * e.delta
+		}
+		if detFrame >= n {
+			break
+		}
+	}
+	e.run.Duration = maxDuration(now, time.Duration(n)*e.delta)
+}
+
+// runNoTracking implements the detector-only baseline: always detect the
+// newest frame; every other frame reuses the previous result.
+func (e *engine) runNoTracking() {
+	n := e.v.NumFrames()
+	setting := e.cfg.Setting
+	var now time.Duration
+	frame := 0
+	cycle := 0
+	for frame < n {
+		dur := e.lat.Detect(setting)
+		end := e.busy(trace.ResourceGPU, setting, now, dur)
+		dets := e.det.Detect(e.frame(frame), setting)
+		e.outputs[frame] = core.FrameOutput{FrameIndex: frame, Source: core.SourceDetector, Setting: setting, Detections: dets, Ready: end}
+		e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: cycle, Setting: setting, DetectedFrame: frame, Start: now, End: end})
+		cycle++
+		now = end
+		next := e.capturedAt(now)
+		if next <= frame {
+			next = frame + 1
+		}
+		frame = next
+	}
+	e.run.Duration = maxDuration(now, time.Duration(n)*e.delta)
+}
+
+// runContinuous detects every frame in order with no skipping. The GPU is
+// busy for frames × latency — the 7× / 10.3× real-time rows of Table III.
+// Accuracy is scored per frame against that frame's own detections (the
+// paper's "latency not considered" convention).
+func (e *engine) runContinuous() {
+	n := e.v.NumFrames()
+	setting := e.cfg.Setting
+	var now time.Duration
+	for i := 0; i < n; i++ {
+		dur := e.lat.Detect(setting)
+		end := e.busy(trace.ResourceGPU, setting, now, dur)
+		dets := e.det.Detect(e.frame(i), setting)
+		e.outputs[i] = core.FrameOutput{FrameIndex: i, Source: core.SourceDetector, Setting: setting, Detections: dets, Ready: end}
+		if i%64 == 0 || i == n-1 {
+			e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: i, Setting: setting, DetectedFrame: i, Start: now, End: end})
+		}
+		now = end
+	}
+	e.run.Duration = now
+}
+
+// finish fills held outputs, evaluates per-frame F1 and assembles the result.
+func (e *engine) finish() *Result {
+	n := e.v.NumFrames()
+	var last core.FrameOutput
+	haveLast := false
+	for i := 0; i < n; i++ {
+		if e.outputs[i].Source == core.SourceNone {
+			if haveLast {
+				e.outputs[i] = core.FrameOutput{
+					FrameIndex: i,
+					Source:     core.SourceHeld,
+					Setting:    last.Setting,
+					Detections: last.Detections,
+					Ready:      last.Ready,
+				}
+			} else {
+				e.outputs[i] = core.FrameOutput{FrameIndex: i, Source: core.SourceNone}
+			}
+		} else {
+			last = e.outputs[i]
+			haveLast = true
+		}
+	}
+	e.run.Outputs = e.outputs
+	e.run.FrameF1 = make([]float64, n)
+	for i := 0; i < n; i++ {
+		e.run.FrameF1[i] = metrics.FrameF1(e.outputs[i].Detections, e.v.Truth(i), e.cfg.IoU)
+	}
+	return &Result{
+		Run:      e.run,
+		Accuracy: metrics.VideoAccuracy(e.run.FrameF1, e.cfg.Alpha),
+		MeanF1:   metrics.Mean(e.run.FrameF1),
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

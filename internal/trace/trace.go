@@ -1,0 +1,239 @@
+// Package trace defines the execution record a pipeline run produces: the
+// per-frame outputs, the detection/tracking cycles, model-setting switches,
+// and the hardware busy intervals that the energy model integrates over.
+// It also implements the paper's "data storage" facility (§V): exporting the
+// per-frame results as CSV or JSON for offline analysis.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"adavp/internal/core"
+)
+
+// Resource identifies a hardware unit of the TX2 in busy intervals.
+type Resource int
+
+// Resources.
+const (
+	ResourceInvalid Resource = iota
+	// ResourceGPU runs DNN inference.
+	ResourceGPU
+	// ResourceCPUTrack runs feature extraction and optical flow.
+	ResourceCPUTrack
+	// ResourceCPUOverlay draws boxes and displays frames.
+	ResourceCPUOverlay
+)
+
+// String implements fmt.Stringer.
+func (r Resource) String() string {
+	switch r {
+	case ResourceGPU:
+		return "gpu"
+	case ResourceCPUTrack:
+		return "cpu-track"
+	case ResourceCPUOverlay:
+		return "cpu-overlay"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// Interval is a half-open busy span [Start, End) of one resource.
+type Interval struct {
+	Resource Resource
+	// Setting is the model setting for GPU intervals; zero otherwise.
+	Setting core.Setting
+	Start   time.Duration
+	End     time.Duration
+}
+
+// Dur returns the interval length (zero for inverted intervals).
+func (iv Interval) Dur() time.Duration {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Cycle summarizes one detection/tracking cycle.
+type Cycle struct {
+	// Index is the zero-based cycle number.
+	Index int
+	// Setting is the DNN setting the cycle's detection ran at.
+	Setting core.Setting
+	// DetectedFrame is the frame the detector processed.
+	DetectedFrame int
+	// Start and End bound the detection execution.
+	Start, End time.Duration
+	// FramesBuffered is f_t, the frames accumulated for the tracker.
+	FramesBuffered int
+	// FramesTracked is h_t, the frames the tracker actually processed.
+	FramesTracked int
+	// Velocity is the mean motion velocity the tracker measured (Eq. 3).
+	Velocity float64
+}
+
+// Switch records a model-setting change between consecutive cycles.
+type Switch struct {
+	// CycleIndex is the cycle that first ran with the new setting.
+	CycleIndex int
+	From, To   core.Setting
+	At         time.Duration
+}
+
+// Run is the complete record of one pipeline execution over one video.
+type Run struct {
+	Video  string
+	Policy string
+	// Outputs holds exactly one entry per camera frame, in frame order.
+	Outputs []core.FrameOutput
+	// FrameF1 is filled by the evaluator (same length as Outputs).
+	FrameF1  []float64
+	Cycles   []Cycle
+	Switches []Switch
+	Busy     []Interval
+	// Duration is the simulated wall-clock length of the run.
+	Duration time.Duration
+}
+
+// BusyTime sums the busy time of one resource, optionally filtered to a
+// setting (SettingInvalid matches all).
+func (r *Run) BusyTime(res Resource, s core.Setting) time.Duration {
+	var total time.Duration
+	for _, iv := range r.Busy {
+		if iv.Resource != res {
+			continue
+		}
+		if s != core.SettingInvalid && iv.Setting != s {
+			continue
+		}
+		total += iv.Dur()
+	}
+	return total
+}
+
+// CyclesPerSwitch returns, for each switch, the number of cycles the
+// previous setting persisted — the quantity whose CDF is the paper's Fig. 7.
+func (r *Run) CyclesPerSwitch() []float64 {
+	if len(r.Switches) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(r.Switches))
+	prev := 0
+	for _, sw := range r.Switches {
+		out = append(out, float64(sw.CycleIndex-prev))
+		prev = sw.CycleIndex
+	}
+	return out
+}
+
+// SettingUsage returns the fraction of cycles run at each setting (Fig. 8).
+func (r *Run) SettingUsage() map[core.Setting]float64 {
+	if len(r.Cycles) == 0 {
+		return nil
+	}
+	counts := make(map[core.Setting]int)
+	for _, c := range r.Cycles {
+		counts[c.Setting]++
+	}
+	out := make(map[core.Setting]float64, len(counts))
+	for s, n := range counts {
+		out[s] = float64(n) / float64(len(r.Cycles))
+	}
+	return out
+}
+
+// WriteCSV exports the per-frame record (frame number, source, setting,
+// object count, F1) — the data the paper's runtime saves for offline
+// evaluation.
+func (r *Run) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"frame", "source", "setting", "objects", "f1"}); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for i, out := range r.Outputs {
+		f1 := ""
+		if i < len(r.FrameF1) {
+			f1 = strconv.FormatFloat(r.FrameF1[i], 'f', 4, 64)
+		}
+		rec := []string{
+			strconv.Itoa(out.FrameIndex),
+			out.Source.String(),
+			out.Setting.String(),
+			strconv.Itoa(len(out.Detections)),
+			f1,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// jsonRun is the serialized shape of a Run.
+type jsonRun struct {
+	Video    string       `json:"video"`
+	Policy   string       `json:"policy"`
+	Duration float64      `json:"duration_sec"`
+	Frames   int          `json:"frames"`
+	Cycles   []jsonCycle  `json:"cycles"`
+	Switches []jsonSwitch `json:"switches"`
+	FrameF1  []float64    `json:"frame_f1,omitempty"`
+}
+
+type jsonCycle struct {
+	Index    int     `json:"index"`
+	Setting  string  `json:"setting"`
+	Frame    int     `json:"frame"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+	Buffered int     `json:"buffered"`
+	Tracked  int     `json:"tracked"`
+	Velocity float64 `json:"velocity"`
+}
+
+type jsonSwitch struct {
+	Cycle int     `json:"cycle"`
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+	AtSec float64 `json:"at_sec"`
+}
+
+// WriteJSON exports the run summary as indented JSON.
+func (r *Run) WriteJSON(w io.Writer) error {
+	out := jsonRun{
+		Video:    r.Video,
+		Policy:   r.Policy,
+		Duration: r.Duration.Seconds(),
+		Frames:   len(r.Outputs),
+		FrameF1:  r.FrameF1,
+	}
+	for _, c := range r.Cycles {
+		out.Cycles = append(out.Cycles, jsonCycle{
+			Index: c.Index, Setting: c.Setting.String(), Frame: c.DetectedFrame,
+			StartSec: c.Start.Seconds(), EndSec: c.End.Seconds(),
+			Buffered: c.FramesBuffered, Tracked: c.FramesTracked, Velocity: c.Velocity,
+		})
+	}
+	for _, s := range r.Switches {
+		out.Switches = append(out.Switches, jsonSwitch{
+			Cycle: s.CycleIndex, From: s.From.String(), To: s.To.String(), AtSec: s.At.Seconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encoding JSON: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package track
+
+import (
+	"adavp/internal/core"
+	"adavp/internal/features"
+	"adavp/internal/flow"
+	"adavp/internal/geom"
+	"adavp/internal/imgproc"
+)
+
+// PixelTracker is the faithful §IV-C implementation over rendered frames.
+//
+// Workflow (matching the paper's numbered list):
+//  1. Receive the detection results of frame n₀ and the frame raster.
+//  2. Extract good feature points inside all bounding boxes (§V uses box
+//     masks so extraction cost scales with object area, not frame area).
+//  3. Associate features to the boxes containing them.
+//  4. Estimate optical flow to the next processed frame with pyramidal
+//     Lucas–Kanade.
+//  5. Shift each box by the median moving vector of its features.
+//  6. Repeat from the shifted boxes.
+type PixelTracker struct {
+	// FeatureParams configures good-features-to-track extraction.
+	FeatureParams features.Params
+	// FlowParams configures the Lucas–Kanade solver.
+	FlowParams flow.Params
+	// PyramidLevels bounds the image pyramids built per frame.
+	PyramidLevels int
+	// ForwardBackward enables round-trip verification of tracked features
+	// (~2x flow cost): a feature is kept only when tracking it backward
+	// returns within FBMaxError pixels of its origin. Catches features that
+	// silently slid onto other surfaces.
+	ForwardBackward bool
+	// FBMaxError is the round-trip rejection threshold (<= 0 selects 1.0).
+	FBMaxError float64
+
+	prevPyr   *imgproc.Pyramid
+	prevIndex int
+	objs      []trackedObject
+	bounds    geom.Rect
+}
+
+// trackedObject is one detection being followed.
+type trackedObject struct {
+	det  core.Detection
+	pts  []geom.Point
+	lost bool
+}
+
+// NewPixelTracker returns a tracker with the OpenCV-equivalent defaults the
+// paper's implementation uses.
+func NewPixelTracker() *PixelTracker {
+	fp := features.DefaultParams()
+	fp.MaxCorners = 60
+	fp.MinDistance = 4
+	return &PixelTracker{
+		FeatureParams: fp,
+		FlowParams:    flow.DefaultParams(),
+		PyramidLevels: 3,
+	}
+}
+
+// Init implements Tracker. The reference frame must carry pixels; a frame
+// without pixels clears the tracker.
+func (t *PixelTracker) Init(ref core.Frame, dets []core.Detection) int {
+	t.objs = t.objs[:0]
+	t.prevPyr = nil
+	if ref.Pixels == nil {
+		return 0
+	}
+	t.bounds = geom.Rect{W: float64(ref.Pixels.W), H: float64(ref.Pixels.H)}
+	masks := make([]geom.Rect, 0, len(dets))
+	for _, d := range dets {
+		masks = append(masks, d.Box)
+	}
+	feats := features.Detect(ref.Pixels, masks, t.FeatureParams)
+	total := 0
+	for _, d := range dets {
+		obj := trackedObject{det: d}
+		for _, f := range feats {
+			if d.Box.Contains(f.Pt) {
+				obj.pts = append(obj.pts, f.Pt)
+			}
+		}
+		total += len(obj.pts)
+		t.objs = append(t.objs, obj)
+	}
+	t.prevPyr = imgproc.NewPyramid(ref.Pixels, t.PyramidLevels)
+	t.prevIndex = ref.Index
+	return total
+}
+
+// Step implements Tracker. Objects whose features are all lost keep their
+// last box (the paper's tracker cannot re-acquire without a new detection).
+func (t *PixelTracker) Step(next core.Frame) ([]core.Detection, float64) {
+	out := make([]core.Detection, 0, len(t.objs))
+	if next.Pixels == nil || t.prevPyr == nil {
+		for _, o := range t.objs {
+			out = append(out, o.det)
+		}
+		return out, 0
+	}
+	nextPyr := imgproc.NewPyramid(next.Pixels, t.PyramidLevels)
+
+	// Gather all live feature points into one flow batch.
+	var batch []geom.Point
+	idx := make([][2]int, 0, 64) // (object index, point index)
+	for oi := range t.objs {
+		if t.objs[oi].lost {
+			continue
+		}
+		for pi, p := range t.objs[oi].pts {
+			batch = append(batch, p)
+			idx = append(idx, [2]int{oi, pi})
+		}
+	}
+	var results []flow.Result
+	if t.ForwardBackward {
+		fb := flow.TrackFB(t.prevPyr, nextPyr, batch, t.FlowParams, t.FBMaxError)
+		results = make([]flow.Result, len(fb))
+		for i, r := range fb {
+			results[i] = r.Result
+		}
+	} else {
+		results = flow.Track(t.prevPyr, nextPyr, batch, t.FlowParams)
+	}
+
+	// Per-object displacement lists.
+	dxs := make([][]float64, len(t.objs))
+	dys := make([][]float64, len(t.objs))
+	kept := make([][]geom.Point, len(t.objs))
+	var velocitySum float64
+	var velocityN int
+	for bi, r := range results {
+		oi := idx[bi][0]
+		if !r.OK {
+			continue
+		}
+		d := r.Pt.Sub(batch[bi])
+		dxs[oi] = append(dxs[oi], d.X)
+		dys[oi] = append(dys[oi], d.Y)
+		kept[oi] = append(kept[oi], r.Pt)
+		velocitySum += d.Norm()
+		velocityN++
+	}
+
+	// Eq. 3 normalizes by the frame gap because the tracking-frame selector
+	// skips frames (j - i may exceed 1).
+	gap := next.Index - t.prevIndex
+	if gap < 1 {
+		gap = 1
+	}
+	// Shift boxes by the median per-object moving vector. The median makes a
+	// single mistracked feature harmless.
+	for oi := range t.objs {
+		o := &t.objs[oi]
+		if o.lost {
+			out = append(out, o.det)
+			continue
+		}
+		if len(dxs[oi]) == 0 {
+			// All features lost: freeze the box; it will be recycled at the
+			// next detector calibration.
+			o.lost = true
+			out = append(out, o.det)
+			continue
+		}
+		move := geom.Point{X: median(dxs[oi]), Y: median(dys[oi])}
+		o.det.Box = o.det.Box.Translate(move).Clip(t.bounds)
+		o.pts = kept[oi]
+		out = append(out, o.det)
+	}
+	t.prevPyr = nextPyr
+	t.prevIndex = next.Index
+
+	var velocity float64
+	if velocityN > 0 {
+		velocity = velocitySum / float64(velocityN) / float64(gap)
+	}
+	return out, velocity
+}
+
+// LiveFeatures returns the number of feature points still being tracked.
+func (t *PixelTracker) LiveFeatures() int {
+	n := 0
+	for _, o := range t.objs {
+		if !o.lost {
+			n += len(o.pts)
+		}
+	}
+	return n
+}

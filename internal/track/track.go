@@ -1,0 +1,85 @@
+// Package track implements AdaVP's object tracker (§IV-C): extract good
+// features inside the DNN-detected bounding boxes, follow them across the
+// accumulated frames with pyramidal Lucas–Kanade optical flow, estimate a
+// per-object moving vector, and shift the boxes accordingly. As a unique
+// by-product (§IV-D.2), the tracker reports the mean motion velocity of its
+// features — AdaVP's video-content changing-rate signal.
+//
+// Two implementations are provided behind one interface:
+//
+//   - PixelTracker runs the real algorithms over rendered frames. It is the
+//     faithful reproduction, used by the motivation experiments (Fig. 2,
+//     Table II) and the examples.
+//
+//   - ModelTracker is a calibrated statistical surrogate whose error growth
+//     is fitted to the pixel tracker's decay curves. The large evaluation
+//     sweeps (hundreds of thousands of frames across policies and settings)
+//     use it so they finish in seconds; see DESIGN.md §1 for the
+//     substitution argument.
+package track
+
+import (
+	"adavp/internal/core"
+	"adavp/internal/geom"
+)
+
+// Tracker follows a set of detections from a reference frame through
+// subsequent frames.
+type Tracker interface {
+	// Init installs the reference frame and its detections, replacing any
+	// previous state. It reports the number of feature points extracted
+	// (0 for trackers that do not use features).
+	Init(ref core.Frame, dets []core.Detection) int
+	// Step advances to the next frame, returning the tracked detections and
+	// the motion velocity observed between the previous and this frame
+	// (pixels per frame, normalized by the frame gap — Eq. 3).
+	Step(next core.Frame) ([]core.Detection, float64)
+}
+
+// Verify interface compliance.
+var (
+	_ Tracker = (*PixelTracker)(nil)
+	_ Tracker = (*ModelTracker)(nil)
+)
+
+// MotionVelocity implements Eq. 3: the average displacement magnitude of
+// matched feature positions between two frames, normalized by the frame gap.
+// Mismatched slice lengths use the shorter prefix; an empty set yields 0.
+func MotionVelocity(prev, cur []geom.Point, frameGap int) float64 {
+	if frameGap <= 0 {
+		frameGap = 1
+	}
+	n := len(prev)
+	if len(cur) < n {
+		n = len(cur)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += cur[i].Dist(prev[i])
+	}
+	return sum / float64(n) / float64(frameGap)
+}
+
+// median returns the median of xs (average of the two middle elements for
+// even lengths). It mutates a copy, not the input. Empty input yields 0.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	// Insertion sort: n is tiny (features per object).
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}

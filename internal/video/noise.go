@@ -1,0 +1,67 @@
+package video
+
+// Value noise: a deterministic, random-access 2-D texture function. The
+// renderer uses it for background and object surfaces so that frames carry
+// trackable gradient structure that moves rigidly with its owner — the
+// property the Lucas–Kanade tracker depends on.
+
+// mix64 is the SplitMix64 finalizer (same scrambler as internal/rng), inlined
+// here because hash2 runs once per pixel lattice corner and must not allocate.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hash2 maps integer lattice coordinates and a seed to a pseudo-random
+// value in [0, 1), stable across platforms and Go releases.
+func hash2(seed uint64, x, y int64) float64 {
+	h := mix64(seed ^ mix64(uint64(x)+0x9e3779b97f4a7c15))
+	h = mix64(h ^ mix64(uint64(y)+0x9e3779b97f4a7c15))
+	return float64(h>>11) / (1 << 53)
+}
+
+// smoothstep is the C1-continuous fade used to interpolate lattice values.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// valueNoise samples single-octave value noise at continuous coordinates.
+// Output is in [0, 1).
+func valueNoise(seed uint64, x, y float64) float64 {
+	// Floor toward negative infinity so the lattice is seamless across 0.
+	xi := int64(x)
+	if float64(xi) > x {
+		xi--
+	}
+	yi := int64(y)
+	if float64(yi) > y {
+		yi--
+	}
+	tx := smoothstep(x - float64(xi))
+	ty := smoothstep(y - float64(yi))
+	v00 := hash2(seed, xi, yi)
+	v10 := hash2(seed, xi+1, yi)
+	v01 := hash2(seed, xi, yi+1)
+	v11 := hash2(seed, xi+1, yi+1)
+	top := v00 + tx*(v10-v00)
+	bot := v01 + tx*(v11-v01)
+	return top + ty*(bot-top)
+}
+
+// fbmNoise layers octaves of value noise (fractional Brownian motion) for a
+// natural-looking texture: octave i has double the frequency and half the
+// amplitude of octave i-1. Output is normalized to [0, 1).
+func fbmNoise(seed uint64, x, y float64, octaves int) float64 {
+	if octaves < 1 {
+		octaves = 1
+	}
+	var sum, norm float64
+	amp := 1.0
+	freq := 1.0
+	for i := 0; i < octaves; i++ {
+		sum += amp * valueNoise(seed+uint64(i)*0x9e37, x*freq, y*freq)
+		norm += amp
+		amp /= 2
+		freq *= 2
+	}
+	return sum / norm
+}

@@ -1,0 +1,236 @@
+package video
+
+import (
+	"math"
+	"sort"
+
+	"adavp/internal/core"
+	"adavp/internal/imgproc"
+)
+
+// Rendering constants. The raster is designed so that
+//   - the background stays in a dark band and objects in a bright band,
+//     giving the pixel-level blob detector a physically meaningful signal;
+//   - every surface carries fractal texture rigidly attached to its owner,
+//     giving the Lucas–Kanade tracker gradients that move with the object.
+const (
+	bgLow, bgHigh   = 0.08, 0.40 // background intensity band
+	objLow, objHigh = 0.60, 0.95 // object base intensity band
+	objTexAmp       = 0.06       // object texture contrast
+	bgScale         = 24.0       // background noise feature size (px)
+	objTexCells     = 6.0        // texture cells across an object
+	lumaJitter      = 0.008      // per-object deviation from its class band
+)
+
+// ClassLuma returns the center of the intensity band that objects of class c
+// are rendered into. Each class owns a distinct band inside [objLow,
+// objHigh]: surface brightness is the appearance cue that lets a pixel-level
+// detector tell apart classes with identical geometry, the way a DNN uses
+// appearance. Bands are ~0.025 apart, well above the per-object jitter but
+// close enough that background blending at small input sizes causes
+// neighbor-class confusion — reproducing the paper's observation that small
+// YOLOv3 inputs mislabel objects (Fig. 5).
+func ClassLuma(c core.Class) float64 {
+	idx := float64(c)
+	if !c.Valid() {
+		idx = 1
+	}
+	return objLow + (idx-0.5)/float64(core.NumClasses)*(objHigh-objLow)
+}
+
+// ObjectLuma returns the deterministic base intensity of an object's
+// rendered surface: its class band center plus a small per-object offset
+// derived from the video seed and object ID.
+func ObjectLuma(videoSeed uint64, objectID int, c core.Class) float64 {
+	h := hash2(videoSeed^0xa5a5a5a5, int64(objectID), 12345)
+	return ClassLuma(c) + (h*2-1)*lumaJitter
+}
+
+// Render rasterizes frame i. Rendering is pure: the same video and index
+// always produce the same raster.
+func (v *Video) Render(i int) *imgproc.Gray {
+	w, h := v.Params.W, v.Params.H
+	img := imgproc.NewGray(w, h)
+	if i < 0 || i >= len(v.truth) {
+		return img
+	}
+	camX, camY := v.camX[i], v.camY[i]
+	bgSeed := v.seed ^ 0x5bd1e995
+
+	// Background: fractal noise in world coordinates so camera pan and ego
+	// scroll translate it exactly like real scenery.
+	for y := 0; y < h; y++ {
+		wy := (float64(y) + camY) / bgScale
+		for x := 0; x < w; x++ {
+			wx := (float64(x) + camX) / bgScale
+			n := fbmNoise(bgSeed, wx, wy, 2)
+			img.Pix[y*w+x] = float32(bgLow + n*(bgHigh-bgLow))
+		}
+	}
+
+	// Objects, oldest first so newer objects occlude older ones near the
+	// camera — an arbitrary but stable depth order. The render list carries
+	// unclipped boxes so texture stays anchored to the physical object even
+	// when it is partially outside the view.
+	objs := make([]renderObject, len(v.render[i]))
+	copy(objs, v.render[i])
+	sort.Slice(objs, func(a, b int) bool { return objs[a].id < objs[b].id })
+	for _, o := range objs {
+		v.drawObject(img, o, i)
+	}
+
+	// Sensor noise: independent per frame and pixel, deterministic in the
+	// (seed, frame, pixel) triple.
+	if amp := float32(v.Params.SensorNoise); amp > 0 {
+		noiseSeed := v.seed ^ 0x6e6f6973 ^ uint64(i)*0x9e3779b97f4a7c15
+		for y := 0; y < h; y++ {
+			row := img.Pix[y*w : (y+1)*w]
+			for x := range row {
+				row[x] += (float32(hash2(noiseSeed, int64(x), int64(y))) - 0.5) * 2 * amp
+			}
+		}
+	}
+	return img
+}
+
+// drawObject rasterizes one object: a filled, textured shape with a dark rim
+// (the rim contributes strong corners for feature extraction). Persons and
+// animals render as ellipses, everything else as rectangles.
+//
+// Two physical degradation effects are modelled because they are what makes
+// optical-flow tracking decay on real video:
+//
+//   - Deformation: the surface texture slides slowly across the object
+//     (Params.Deform cells per frame, stable per-object direction), like the
+//     appearance change of rotating and articulating objects. Features lock
+//     onto texture, so they drift off the object at this rate.
+//
+//   - Motion blur: the drawn shape is averaged over the exposure interval
+//     along the object's apparent velocity. Fast objects smear; their
+//     silhouette corners and texture gradients wash out, so features become
+//     untrackable — the reason fast videos are the hard case (Fig. 2).
+func (v *Video) drawObject(img *imgproc.Gray, o renderObject, frame int) {
+	box := o.box
+	base := ObjectLuma(v.seed, o.id, o.class)
+	texSeed := v.seed ^ (uint64(o.id) * 0x9e3779b97f4a7c15)
+	elliptical := isElliptical(o.class)
+
+	cx, cy := box.Center().X, box.Center().Y
+	rx, ry := box.W/2, box.H/2
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	// Deformation slide: direction stable per object, magnitude grows with
+	// the frame index.
+	var deformX, deformY float64
+	if v.Params.Deform > 0 {
+		angle := hash2(v.seed^0xdef0, int64(o.id), 777) * 2 * math.Pi
+		mag := v.Params.Deform * float64(frame)
+		deformX = mag * math.Cos(angle)
+		deformY = mag * math.Sin(angle)
+	}
+
+	// Motion blur: average shapeColor over taps spread along the apparent
+	// velocity, covering an exposure of half the frame interval (a typical
+	// video shutter). The drawn extent grows by the blur length.
+	blur := o.vel.Scale(exposureFraction)
+	blurLen := blur.Norm()
+	taps := 1
+	if blurLen > 0.75 {
+		taps = 1 + 2*int(math.Ceil(blurLen)) // odd, ≥3
+		if taps > 9 {
+			taps = 9
+		}
+	}
+
+	x0 := int(math.Floor(box.Left - math.Abs(blur.X)/2 - 1))
+	y0 := int(math.Floor(box.Top - math.Abs(blur.Y)/2 - 1))
+	x1 := int(math.Ceil(box.Right() + math.Abs(blur.X)/2 + 1))
+	y1 := int(math.Ceil(box.Bottom() + math.Abs(blur.Y)/2 + 1))
+
+	// shapeColor returns the object's color at continuous frame coordinates,
+	// or (0, false) outside the shape.
+	shapeColor := func(fx, fy float64) (float64, bool) {
+		nx := (fx - cx) / rx
+		ny := (fy - cy) / ry
+		if nx < -1 || nx > 1 || ny < -1 || ny > 1 {
+			return 0, false
+		}
+		rim := false
+		if elliptical {
+			r := nx*nx + ny*ny
+			if r > 1 {
+				return 0, false
+			}
+			rim = r > 0.78
+		} else if nx < -0.86 || nx > 0.86 || ny < -0.86 || ny > 0.86 {
+			rim = true
+		}
+		if rim {
+			return 0.02, true
+		}
+		tx := (nx+1)/2*objTexCells + deformX
+		ty := (ny+1)/2*objTexCells + deformY
+		n := fbmNoise(texSeed, tx, ty, 2)
+		val := base + (n-0.5)*2*objTexAmp
+		if val < 0.46 {
+			val = 0.46 // keep objects inside the bright band
+		}
+		if val > 1 {
+			val = 1
+		}
+		return val, true
+	}
+
+	for y := y0; y <= y1; y++ {
+		if y < 0 || y >= img.H {
+			continue
+		}
+		for x := x0; x <= x1; x++ {
+			if x < 0 || x >= img.W {
+				continue
+			}
+			fx := float64(x) + 0.5
+			fy := float64(y) + 0.5
+			if taps == 1 {
+				if c, ok := shapeColor(fx, fy); ok {
+					img.Pix[y*img.W+x] = float32(c)
+				}
+				continue
+			}
+			var sum float64
+			covered := 0
+			for ti := 0; ti < taps; ti++ {
+				// Offsets span [-1/2, +1/2] of the blur vector.
+				t := float64(ti)/float64(taps-1) - 0.5
+				c, ok := shapeColor(fx-blur.X*t, fy-blur.Y*t)
+				if ok {
+					sum += c
+					covered++
+				} else {
+					// The shape does not cover this tap: the sensor saw the
+					// background there during part of the exposure.
+					sum += float64(img.Pix[y*img.W+x])
+				}
+			}
+			if covered > 0 {
+				img.Pix[y*img.W+x] = float32(sum / float64(taps))
+			}
+		}
+	}
+}
+
+// exposureFraction is the fraction of the frame interval the virtual shutter
+// stays open (a 180° shutter, the cinematic standard).
+const exposureFraction = 0.5
+
+// isElliptical reports whether a class renders as an ellipse.
+func isElliptical(c core.Class) bool {
+	switch c {
+	case core.ClassPerson, core.ClassSkater, core.ClassDog, core.ClassHorse,
+		core.ClassSheep, core.ClassBird:
+		return true
+	default:
+		return false
+	}
+}

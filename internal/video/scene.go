@@ -1,0 +1,231 @@
+package video
+
+import (
+	"math"
+
+	"adavp/internal/core"
+	"adavp/internal/geom"
+	"adavp/internal/rng"
+)
+
+// sceneObject is the mutable world-state of one object while the scene is
+// being stepped. World coordinates are pixels at the native resolution; the
+// camera offset is subtracted when projecting to frame coordinates.
+type sceneObject struct {
+	id     int
+	class  core.Class
+	pos    geom.Point // center, world coordinates
+	vel    geom.Point // pixels per second
+	w, h   float64
+	growth float64 // relative size change per second
+}
+
+// scene steps the world one frame at a time. All randomness comes from
+// streams derived from the scene's root stream, so a video is a pure
+// function of its seed.
+type scene struct {
+	p      Params
+	rnd    *rng.Stream
+	nextID int
+	live   []sceneObject
+	frame  int
+	phase  float64 // speed-modulation phase
+}
+
+// newScene builds the initial world: InitialObjects objects placed inside
+// the visible frame.
+func newScene(p Params, seed *rng.Stream) *scene {
+	s := &scene{p: p, rnd: seed.DeriveString("scene"), nextID: 1}
+	s.phase = s.rnd.Range(0, 2*math.Pi)
+	for i := 0; i < p.InitialObjects; i++ {
+		o := s.spawn(true)
+		s.live = append(s.live, o)
+	}
+	return s
+}
+
+// sampleVelocity draws a velocity vector honoring the scenario's direction
+// bias and jitter.
+func (s *scene) sampleVelocity() geom.Point {
+	speed := s.rnd.Range(s.p.SpeedMin, s.p.SpeedMax) * float64(s.p.W)
+	var dir geom.Point
+	bias := s.p.DirBias
+	if bias.Norm() == 0 || s.rnd.Bool(s.p.DirJitter) {
+		angle := s.rnd.Range(0, 2*math.Pi)
+		dir = geom.Point{X: math.Cos(angle), Y: math.Sin(angle)}
+	} else {
+		// Dominant direction with a small angular spread; sign of Y flips so
+		// lanes in both vertical halves look natural.
+		angle := math.Atan2(bias.Y, bias.X) + s.rnd.NormScaled(0, 0.1)
+		dir = geom.Point{X: math.Cos(angle), Y: math.Sin(angle)}
+	}
+	return dir.Scale(speed)
+}
+
+// spawn creates a new object. Initial placement puts the object inside the
+// frame (initial=true, scene warm-up) or at the upstream edge so it enters
+// the view moving with its velocity (initial=false).
+func (s *scene) spawn(initial bool) sceneObject {
+	cls := s.pickClass()
+	aspect, sizeScale := shape(cls)
+	w := s.rnd.Range(s.p.SizeMin, s.p.SizeMax) * float64(s.p.W) * sizeScale
+	h := w * aspect
+	vel := s.sampleVelocity()
+	camX, camY := s.cameraOffset(s.frame)
+	var pos geom.Point
+	if initial || vel.Norm() < 1 {
+		pos = geom.Point{
+			X: camX + s.rnd.Range(0.1, 0.9)*float64(s.p.W),
+			Y: camY + s.rnd.Range(0.15, 0.85)*float64(s.p.H),
+		}
+	} else {
+		// Enter from the side opposite to the velocity direction. The entry
+		// point is spread along the perpendicular axis.
+		margin := w/2 + 2
+		if math.Abs(vel.X) >= math.Abs(vel.Y) {
+			x := camX - margin
+			if vel.X < 0 {
+				x = camX + float64(s.p.W) + margin
+			}
+			pos = geom.Point{X: x, Y: camY + s.rnd.Range(0.1, 0.9)*float64(s.p.H)}
+		} else {
+			y := camY - margin
+			if vel.Y < 0 {
+				y = camY + float64(s.p.H) + margin
+			}
+			pos = geom.Point{X: camX + s.rnd.Range(0.1, 0.9)*float64(s.p.W), Y: y}
+		}
+	}
+	// Ego scenarios: spawned traffic drifts relative to the camera, so its
+	// world velocity includes the camera scroll.
+	if s.p.ScrollSpeed != 0 {
+		vel.X += s.p.ScrollSpeed * float64(s.p.W)
+	}
+	o := sceneObject{
+		id: s.nextID, class: cls, pos: pos, vel: vel, w: w, h: h,
+		growth: s.rnd.NormScaled(s.p.Growth, s.p.GrowthStd),
+	}
+	s.nextID++
+	return o
+}
+
+// pickClass samples the class mix.
+func (s *scene) pickClass() core.Class {
+	var total float64
+	for _, cw := range s.p.Classes {
+		total += cw.weight
+	}
+	if total <= 0 {
+		return core.ClassCar
+	}
+	r := s.rnd.Range(0, total)
+	for _, cw := range s.p.Classes {
+		if r < cw.weight {
+			return cw.class
+		}
+		r -= cw.weight
+	}
+	return s.p.Classes[len(s.p.Classes)-1].class
+}
+
+// cameraOffset returns the camera's world offset at a frame index: the sum
+// of the sinusoidal pan and the ego scroll.
+func (s *scene) cameraOffset(frame int) (x, y float64) {
+	t := float64(frame) / float64(s.p.FPS)
+	if s.p.PanAmp > 0 && s.p.PanPeriodSec > 0 {
+		x += s.p.PanAmp * float64(s.p.W) * math.Sin(2*math.Pi*t/s.p.PanPeriodSec)
+	}
+	x += s.p.ScrollSpeed * float64(s.p.W) * t
+	return x, y
+}
+
+// renderObject is what the rasterizer needs for one object: the unclipped
+// box (texture anchored to the physical object, not its visible fragment)
+// and the apparent per-frame velocity (for motion blur).
+type renderObject struct {
+	id    int
+	class core.Class
+	box   geom.Rect
+	vel   geom.Point // apparent motion in frame coordinates, px/frame
+}
+
+// step advances the world by one frame interval and returns the ground-truth
+// objects visible in the new frame (boxes in frame coordinates, clipped) and
+// the render list.
+func (s *scene) step() (truth []core.Object, render []renderObject) {
+	dt := 1 / float64(s.p.FPS)
+	prevCamX, prevCamY := s.cameraOffset(s.frame)
+	s.frame++
+	camX, camY := s.cameraOffset(s.frame)
+	camShift := geom.Point{X: camX - prevCamX, Y: camY - prevCamY}
+	frameRect := geom.Rect{W: float64(s.p.W), H: float64(s.p.H)}
+	// Keep objects alive within this margin around the view so briefly
+	// occluded/exited objects can re-enter.
+	keep := geom.Rect{
+		Left: camX - 0.4*float64(s.p.W), Top: camY - 0.4*float64(s.p.H),
+		W: 1.8 * float64(s.p.W), H: 1.8 * float64(s.p.H),
+	}
+
+	// Within-video speed modulation (traffic waves): a seeded phase keeps
+	// videos of the same kind out of lockstep.
+	mod := 1.0
+	if s.p.SpeedCycleAmp > 0 && s.p.SpeedCyclePeriodSec > 0 {
+		t := float64(s.frame) / float64(s.p.FPS)
+		phase := s.phase
+		mod = 1 + s.p.SpeedCycleAmp*math.Sin(2*math.Pi*t/s.p.SpeedCyclePeriodSec+phase)
+		if mod < 0.05 {
+			mod = 0.05
+		}
+	}
+
+	alive := s.live[:0]
+	for _, o := range s.live {
+		o.pos = o.pos.Add(o.vel.Scale(dt * mod))
+		if s.p.WanderStd > 0 {
+			sd := s.p.WanderStd * float64(s.p.W) * math.Sqrt(dt)
+			o.vel.X += s.rnd.NormScaled(0, sd)
+			o.vel.Y += s.rnd.NormScaled(0, sd)
+		}
+		if o.growth != 0 {
+			f := 1 + o.growth*dt
+			if f < 0.5 {
+				f = 0.5
+			}
+			o.w *= f
+			o.h *= f
+		}
+		if keep.Contains(o.pos) && o.w < 1.5*float64(s.p.W) {
+			alive = append(alive, o)
+		}
+	}
+	s.live = alive
+
+	// Spawning.
+	n := s.rnd.Poisson(s.p.SpawnPerSec * dt)
+	for i := 0; i < n && len(s.live) < s.p.MaxObjects; i++ {
+		s.live = append(s.live, s.spawn(false))
+	}
+	// Population floor: keep feeding the scene so long empty stretches
+	// (which trivialize evaluation) cannot occur.
+	if len(s.live) < s.p.MinObjects {
+		s.live = append(s.live, s.spawn(false))
+	}
+
+	// Project to frame coordinates and emit visible objects.
+	truth = make([]core.Object, 0, len(s.live))
+	render = make([]renderObject, 0, len(s.live))
+	for _, o := range s.live {
+		box := geom.RectFromCenter(geom.Point{X: o.pos.X - camX, Y: o.pos.Y - camY}, o.w, o.h)
+		vis := box.Intersect(frameRect)
+		if vis.Empty() {
+			continue
+		}
+		apparent := o.vel.Scale(dt * mod).Sub(camShift)
+		render = append(render, renderObject{id: o.id, class: o.class, box: box, vel: apparent})
+		if vis.Area() < 0.3*box.Area() {
+			continue
+		}
+		truth = append(truth, core.Object{ID: o.id, Class: o.class, Box: vis})
+	}
+	return truth, render
+}

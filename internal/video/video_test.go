@@ -1,0 +1,426 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"adavp/internal/core"
+	"adavp/internal/rng"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateKind("a", KindHighway, 42, 120)
+	b := GenerateKind("b", KindHighway, 42, 120)
+	if a.NumFrames() != 120 || b.NumFrames() != 120 {
+		t.Fatalf("frame counts %d, %d", a.NumFrames(), b.NumFrames())
+	}
+	for i := 0; i < 120; i++ {
+		ta, tb := a.Truth(i), b.Truth(i)
+		if len(ta) != len(tb) {
+			t.Fatalf("frame %d: %d vs %d objects", i, len(ta), len(tb))
+		}
+		for j := range ta {
+			if ta[j] != tb[j] {
+				t.Fatalf("frame %d object %d differs: %+v vs %+v", i, j, ta[j], tb[j])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := GenerateKind("a", KindHighway, 1, 60)
+	b := GenerateKind("b", KindHighway, 2, 60)
+	same := true
+	for i := 0; i < 60 && same; i++ {
+		ta, tb := a.Truth(i), b.Truth(i)
+		if len(ta) != len(tb) {
+			same = false
+			break
+		}
+		for j := range ta {
+			if ta[j] != tb[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical videos")
+	}
+}
+
+func TestTruthBoxesInsideFrame(t *testing.T) {
+	for _, k := range AllKinds() {
+		v := GenerateKind(k.String(), k, 7, 90)
+		bounds := v.Bounds()
+		for i := 0; i < v.NumFrames(); i++ {
+			for _, o := range v.Truth(i) {
+				if o.Box.Empty() {
+					t.Fatalf("%v frame %d: empty ground-truth box", k, i)
+				}
+				if o.Box.Intersect(bounds).Area() < o.Box.Area()-1e-6 {
+					t.Fatalf("%v frame %d: box %v exceeds frame %v", k, i, o.Box, bounds)
+				}
+				if !o.Class.Valid() {
+					t.Fatalf("%v frame %d: invalid class", k, i)
+				}
+				if o.ID <= 0 {
+					t.Fatalf("%v frame %d: non-positive object ID %d", k, i, o.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestObjectIDsStableAcrossFrames(t *testing.T) {
+	v := GenerateKind("v", KindHighway, 11, 150)
+	// An object present in consecutive frames must keep its class and move
+	// continuously (no teleporting), confirming IDs identify physical objects.
+	for i := 1; i < v.NumFrames(); i++ {
+		prev := make(map[int]core.Object)
+		for _, o := range v.Truth(i - 1) {
+			prev[o.ID] = o
+		}
+		for _, o := range v.Truth(i) {
+			p, ok := prev[o.ID]
+			if !ok {
+				continue
+			}
+			if p.Class != o.Class {
+				t.Fatalf("frame %d: object %d changed class %v -> %v", i, o.ID, p.Class, o.Class)
+			}
+			if d := p.Box.Center().Dist(o.Box.Center()); d > 20 {
+				t.Fatalf("frame %d: object %d jumped %.1f px", i, o.ID, d)
+			}
+		}
+	}
+}
+
+func TestObjectsEnterAndLeave(t *testing.T) {
+	v := GenerateKind("v", KindHighway, 13, 450) // 15 s of highway traffic
+	ids := make(map[int]bool)
+	for i := 0; i < v.NumFrames(); i++ {
+		for _, o := range v.Truth(i) {
+			ids[o.ID] = true
+		}
+	}
+	first := make(map[int]bool)
+	for _, o := range v.Truth(0) {
+		first[o.ID] = true
+	}
+	if len(ids) <= len(first) {
+		t.Errorf("no new objects appeared over 15 s of highway video (%d total)", len(ids))
+	}
+	last := v.Truth(v.NumFrames() - 1)
+	stillThere := 0
+	for _, o := range last {
+		if first[o.ID] {
+			stillThere++
+		}
+	}
+	if stillThere == len(first) && len(first) > 0 {
+		t.Error("no initial object ever left the highway view in 15 s")
+	}
+}
+
+func TestChangeRateOrdering(t *testing.T) {
+	// The presets must span the content-change spectrum: racetrack video
+	// changes much faster than a meeting room, with highway in between.
+	frames := 240
+	race := GenerateKind("r", KindRacetrack, 3, frames).MeanChangeRate()
+	highway := GenerateKind("h", KindHighway, 3, frames).MeanChangeRate()
+	meeting := GenerateKind("m", KindMeetingRoom, 3, frames).MeanChangeRate()
+	if !(race > highway && highway > meeting) {
+		t.Errorf("change rates not ordered: racetrack %.3f, highway %.3f, meeting %.3f", race, highway, meeting)
+	}
+	if meeting > 0.5 {
+		t.Errorf("meeting room changes too fast: %.3f px/frame", meeting)
+	}
+	if race < 2 {
+		t.Errorf("racetrack changes too slowly: %.3f px/frame", race)
+	}
+}
+
+func TestChangeRateEdgeCases(t *testing.T) {
+	v := GenerateKind("v", KindHighway, 5, 10)
+	if got := v.ChangeRate(0); got != 0 {
+		t.Errorf("ChangeRate(0) = %f", got)
+	}
+	if got := v.ChangeRate(10); got != 0 {
+		t.Errorf("ChangeRate(out of range) = %f", got)
+	}
+	empty := GenerateKind("e", KindHighway, 5, 0)
+	if got := empty.MeanChangeRate(); got != 0 {
+		t.Errorf("MeanChangeRate of empty video = %f", got)
+	}
+}
+
+func TestFrameMetadata(t *testing.T) {
+	v := GenerateKind("v", KindCityStreet, 9, 60)
+	f := v.Frame(30)
+	if f.Index != 30 {
+		t.Errorf("Index = %d", f.Index)
+	}
+	if f.PTS != v.FrameInterval()*30 {
+		t.Errorf("PTS = %v", f.PTS)
+	}
+	if f.Pixels != nil {
+		t.Error("Frame should not render pixels")
+	}
+	fp := v.FrameWithPixels(30)
+	if fp.Pixels == nil || fp.Pixels.W != v.Params.W || fp.Pixels.H != v.Params.H {
+		t.Error("FrameWithPixels missing raster")
+	}
+	if v.Truth(-1) != nil || v.Truth(999) != nil {
+		t.Error("out-of-range Truth not nil")
+	}
+}
+
+func TestGeneratePanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with zero FPS did not panic")
+		}
+	}()
+	Generate("bad", Params{W: 10, H: 10}, 1, 10)
+}
+
+func TestScenarioParamsAllKindsValid(t *testing.T) {
+	for _, k := range AllKinds() {
+		p := ScenarioParams(k)
+		if p.W <= 0 || p.H <= 0 || p.FPS <= 0 {
+			t.Errorf("%v: bad resolution", k)
+		}
+		if p.SpeedMax < p.SpeedMin || p.SizeMax < p.SizeMin {
+			t.Errorf("%v: inverted ranges", k)
+		}
+		if len(p.Classes) == 0 {
+			t.Errorf("%v: no classes", k)
+		}
+		if p.MaxObjects <= 0 {
+			t.Errorf("%v: no object budget", k)
+		}
+	}
+	// Unknown kind falls back to a usable preset.
+	p := ScenarioParams(Kind(99))
+	if p.FPS <= 0 || len(p.Classes) == 0 {
+		t.Error("fallback preset unusable")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if got := KindRacetrack.String(); got != "racetrack" {
+		t.Errorf("KindRacetrack = %q", got)
+	}
+	if got := Kind(77).String(); got == "" {
+		t.Error("unknown kind produced empty string")
+	}
+	if KindInvalid.Valid() || Kind(99).Valid() {
+		t.Error("invalid kinds reported valid")
+	}
+	if NumKinds != 14 {
+		t.Errorf("NumKinds = %d, want 14", NumKinds)
+	}
+}
+
+func TestTrainingSetComposition(t *testing.T) {
+	set := TrainingSet(1, 30)
+	if len(set) != 32 {
+		t.Fatalf("training set has %d videos, want 32 (paper: 32 videos)", len(set))
+	}
+	kinds := make(map[Kind]int)
+	for _, v := range set {
+		kinds[v.Params.Kind]++
+		if v.NumFrames() != 30 {
+			t.Errorf("%s: %d frames", v.Name, v.NumFrames())
+		}
+	}
+	if len(kinds) != NumKinds {
+		t.Errorf("training set covers %d kinds, want %d", len(kinds), NumKinds)
+	}
+	for _, k := range extraTrainingKinds {
+		if kinds[k] != 3 {
+			t.Errorf("%v has %d training videos, want 3", k, kinds[k])
+		}
+	}
+}
+
+func TestTestSetComposition(t *testing.T) {
+	set := TestSet(1, 30)
+	if len(set) != 26 {
+		t.Fatalf("test set has %d videos, want 26 (two per scenario category)", len(set))
+	}
+	seen := make(map[Kind]int)
+	for _, v := range set {
+		seen[v.Params.Kind]++
+	}
+	if len(seen) != 13 {
+		t.Errorf("test set covers %d categories, want 13", len(seen))
+	}
+	for k, n := range seen {
+		if n != 2 {
+			t.Errorf("%v has %d test videos, want 2", k, n)
+		}
+	}
+	if seen[KindBusStation] != 0 {
+		t.Error("bus-station should be excluded from the test set")
+	}
+}
+
+func TestTrainTestSeedsDisjoint(t *testing.T) {
+	train := TrainingSet(5, 40)
+	test := TestSet(5, 40)
+	// Compare the highway videos: same kind, but different seeds must give
+	// different content.
+	var trainHW, testHW *Video
+	for _, v := range train {
+		if v.Params.Kind == KindHighway {
+			trainHW = v
+			break
+		}
+	}
+	for _, v := range test {
+		if v.Params.Kind == KindHighway {
+			testHW = v
+			break
+		}
+	}
+	if trainHW == nil || testHW == nil {
+		t.Fatal("missing highway videos")
+	}
+	same := len(trainHW.Truth(20)) == len(testHW.Truth(20))
+	if same {
+		for j := range trainHW.Truth(20) {
+			if trainHW.Truth(20)[j] != testHW.Truth(20)[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(trainHW.Truth(20)) > 0 {
+		t.Error("train and test highway videos share content")
+	}
+}
+
+func TestFastSlowPair(t *testing.T) {
+	fast, slow := FastSlowPair(1, 120)
+	if fast.MeanChangeRate() <= slow.MeanChangeRate()*3 {
+		t.Errorf("fast video (%.2f) should change much faster than slow (%.2f)",
+			fast.MeanChangeRate(), slow.MeanChangeRate())
+	}
+}
+
+func TestCameraPanMovesStaticObjects(t *testing.T) {
+	p := ScenarioParams(KindMeetingRoom)
+	p.PanAmp = 0.2
+	p.PanPeriodSec = 3
+	p.SpeedMin, p.SpeedMax = 0, 0.001
+	v := Generate("pan", p, 21, 90)
+	if v.MeanChangeRate() < 0.5 {
+		t.Errorf("panning camera should induce apparent motion, got %.3f px/frame", v.MeanChangeRate())
+	}
+}
+
+func TestEgoScrollInducesMotion(t *testing.T) {
+	hw := GenerateKind("car", KindCarHighway, 23, 90)
+	if hw.MeanChangeRate() < 0.5 {
+		t.Errorf("ego scroll should induce apparent motion, got %.3f", hw.MeanChangeRate())
+	}
+}
+
+func TestVelocitySampling(t *testing.T) {
+	p := ScenarioParams(KindHighway)
+	sc := newScene(p, newTestStream(99))
+	for i := 0; i < 200; i++ {
+		vel := sc.sampleVelocity()
+		speed := vel.Norm() / float64(p.W)
+		if speed < p.SpeedMin-1e-9 || speed > p.SpeedMax+1e-9 {
+			t.Fatalf("sampled speed %.4f outside [%.3f, %.3f]", speed, p.SpeedMin, p.SpeedMax)
+		}
+	}
+}
+
+func TestPickClassRespectsWeights(t *testing.T) {
+	p := ScenarioParams(KindHighway)
+	sc := newScene(p, newTestStream(101))
+	counts := make(map[core.Class]int)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[sc.pickClass()]++
+	}
+	if counts[core.ClassCar] < counts[core.ClassBus] {
+		t.Errorf("cars (w=6) rarer than buses (w=1): %v", counts)
+	}
+	for c := range counts {
+		found := false
+		for _, cw := range p.Classes {
+			if cw.class == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sampled class %v not in scenario mix", c)
+		}
+	}
+}
+
+func TestNoiseProperties(t *testing.T) {
+	// Determinism and range.
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.37
+		y := float64(i) * -0.21
+		a := fbmNoise(7, x, y, 2)
+		b := fbmNoise(7, x, y, 2)
+		if a != b {
+			t.Fatal("noise not deterministic")
+		}
+		if a < 0 || a >= 1 {
+			t.Fatalf("noise out of range: %f", a)
+		}
+	}
+	// Continuity: nearby samples are close.
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.53
+		a := fbmNoise(7, x, 1.5, 2)
+		b := fbmNoise(7, x+0.01, 1.5, 2)
+		if math.Abs(a-b) > 0.1 {
+			t.Fatalf("noise discontinuous at x=%.2f: %f vs %f", x, a, b)
+		}
+	}
+	// Different seeds decorrelate.
+	if fbmNoise(1, 3.3, 4.4, 2) == fbmNoise(2, 3.3, 4.4, 2) {
+		t.Error("seeds do not change noise")
+	}
+	// Negative coordinates are seamless (no lattice artifacts at 0).
+	a := valueNoise(5, -0.001, 0.5)
+	b := valueNoise(5, 0.001, 0.5)
+	if math.Abs(a-b) > 0.1 {
+		t.Errorf("noise discontinuous across x=0: %f vs %f", a, b)
+	}
+}
+
+func TestShapeAllClasses(t *testing.T) {
+	for c := core.ClassCar; core.Class(c).Valid(); c++ {
+		aspect, scale := shape(c)
+		if aspect <= 0 || scale <= 0 {
+			t.Errorf("%v: non-positive shape (%f, %f)", c, aspect, scale)
+		}
+	}
+}
+
+// newTestStream builds an rng stream for white-box scene tests.
+func newTestStream(seed uint64) *rng.Stream { return rng.New(seed) }
+
+func BenchmarkGenerateHighway300(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = GenerateKind("v", KindHighway, uint64(i), 300)
+	}
+}
+
+func BenchmarkChangeRate(b *testing.B) {
+	v := GenerateKind("v", KindHighway, 1, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.MeanChangeRate()
+	}
+}
