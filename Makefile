@@ -1,0 +1,30 @@
+# AdaVP reproduction — build/test entry points.
+#
+#   make build   compile every package and command
+#   make test    run the full test suite
+#   make race    run the concurrency-sensitive packages under the race detector
+#   make vet     static analysis
+#   make check   everything CI runs: build + vet + test + race
+
+GO ?= go
+
+.PHONY: build test race vet check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The live pipeline, its supervision layer and the fault injectors are the
+# packages with real concurrency; the rest of the tree is single-threaded.
+race:
+	$(GO) test -race ./internal/rt/ ./internal/fault/ ./internal/guard/ ./internal/sim/
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

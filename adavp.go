@@ -38,6 +38,8 @@ import (
 	"adavp/internal/detect"
 	"adavp/internal/energy"
 	"adavp/internal/experiments"
+	"adavp/internal/fault"
+	"adavp/internal/guard"
 	"adavp/internal/rt"
 	"adavp/internal/sim"
 	"adavp/internal/trace"
@@ -69,7 +71,33 @@ type (
 	EnergyBreakdown = energy.Breakdown
 	// AdaptationModel maps measured motion velocity to the next setting.
 	AdaptationModel = adapt.Model
+	// FaultProfile describes a deterministic fault-injection campaign; the
+	// same profile injects the identical schedule into the virtual-clock
+	// and live engines.
+	FaultProfile = fault.Profile
+	// FaultKind is one fault class of the taxonomy.
+	FaultKind = fault.Kind
+	// FaultEvent is one injected fault or supervision action in a run.
+	FaultEvent = trace.FaultEvent
+	// GuardStats are the supervision layer's fault/recovery counters.
+	GuardStats = guard.Stats
+	// HealthState is the live pipeline's supervision state.
+	HealthState = guard.Health
 )
+
+// Fault kinds (see internal/fault for the taxonomy).
+const (
+	FaultEmpty   = fault.KindEmpty
+	FaultGarbage = fault.KindGarbage
+	FaultNaN     = fault.KindNaN
+	FaultLatency = fault.KindLatency
+	FaultHang    = fault.KindHang
+	FaultPanic   = fault.KindPanic
+)
+
+// ParseFaultKinds parses a comma-separated fault-kind list ("hang,panic");
+// an empty string yields the full taxonomy.
+func ParseFaultKinds(s string) ([]FaultKind, error) { return fault.ParseKinds(s) }
 
 // Model settings.
 const (
@@ -148,6 +176,11 @@ type Options struct {
 	// PixelMode runs the real pixel detector and Lucas–Kanade tracker over
 	// rendered frames instead of the fast calibrated surrogates.
 	PixelMode bool
+	// Fault, when set, injects the profile's deterministic fault schedule
+	// into the detector and tracker. The virtual clock maps timing faults
+	// to lost results; the live pipeline executes them for real under the
+	// supervision layer.
+	Fault *FaultProfile
 }
 
 // Result is a completed, evaluated run.
@@ -163,6 +196,15 @@ type Result struct {
 	Outputs []FrameOutput
 	// Trace is the full execution record (cycles, switches, busy intervals).
 	Trace *RunTrace
+	// Faults interleaves injected faults and supervision actions.
+	Faults []FaultEvent
+	// Guard holds the supervision counters and Health the final state
+	// (live runs; zero-valued for virtual-clock runs).
+	Guard  GuardStats
+	Health HealthState
+	// Partial marks a live run cut short by context cancellation; the
+	// metrics cover the frames that completed before the cut.
+	Partial bool
 }
 
 // Run executes a policy over a video on the deterministic virtual clock.
@@ -176,6 +218,7 @@ func Run(v *Video, opts Options) (*Result, error) {
 		Seed:    opts.Seed,
 		Alpha:   opts.Alpha,
 		IoU:     opts.IoU,
+		Fault:   opts.Fault,
 	}
 	if opts.PixelMode {
 		cfg.PixelMode = true
@@ -192,19 +235,24 @@ func Run(v *Video, opts Options) (*Result, error) {
 		FrameF1:  r.Run.FrameF1,
 		Outputs:  r.Run.Outputs,
 		Trace:    r.Run,
+		Faults:   r.Run.Faults,
 	}, nil
 }
 
 // RunLive executes the pipeline on real goroutines (detector thread, tracker
 // thread, camera feeder), with component latencies emulated at the given
 // time scale (1.0 = real time; 0.02 runs fifty times faster). Only AdaVP
-// (adaptive=true) and fixed MPDT are available live.
+// (adaptive=true) and fixed MPDT are available live. The run is supervised
+// (internal/guard): detector hangs and panics degrade the pipeline instead
+// of killing it, and the result carries the fault/recovery accounting. A
+// cancelled run returns its partial Result alongside the error.
 func RunLive(ctx context.Context, v *Video, opts Options, timeScale float64) (*Result, error) {
 	cfg := rt.Config{
 		Setting:   opts.Setting,
 		Seed:      opts.Seed,
 		TimeScale: timeScale,
 		PixelMode: opts.PixelMode,
+		Fault:     opts.Fault,
 	}
 	if opts.Policy == sim.PolicyInvalid || opts.Policy == PolicyAdaVP {
 		cfg.Adaptation = adapt.DefaultModel()
@@ -216,15 +264,23 @@ func RunLive(ctx context.Context, v *Video, opts Options, timeScale float64) (*R
 		cfg.NewTracker = func(uint64) track.Tracker { return track.NewPixelTracker() }
 	}
 	r, err := rt.Run(ctx, v, cfg)
-	if err != nil {
+	if r == nil {
 		return nil, fmt.Errorf("adavp: %w", err)
 	}
-	return &Result{
+	res := &Result{
 		Accuracy: r.Accuracy,
 		MeanF1:   r.MeanF1,
 		FrameF1:  r.FrameF1,
 		Outputs:  r.Outputs,
-	}, nil
+		Faults:   r.Events,
+		Guard:    r.Faults,
+		Health:   r.Health,
+		Partial:  r.Partial,
+	}
+	if err != nil {
+		return res, fmt.Errorf("adavp: %w", err)
+	}
+	return res, nil
 }
 
 // Energy integrates a run's busy intervals with the TX2 power model.

@@ -1,6 +1,8 @@
 // Command adavp runs the AdaVP pipeline (or a baseline) over a synthetic
 // video and reports the paper's metrics, optionally exporting the per-frame
-// trace as CSV/JSON and rendered frames as PGM images.
+// trace as CSV/JSON and rendered frames as PGM images. Fault campaigns are
+// run with the -fault-* flags, against the virtual clock or (-live) the
+// supervised goroutine pipeline.
 //
 // Examples:
 //
@@ -8,15 +10,18 @@
 //	adavp -policy mpdt -setting 512 -scenario racetrack
 //	adavp -scenario city-street -csv run.csv -json run.json
 //	adavp -scenario highway -dump-frames 5 -dump-dir /tmp/frames
+//	adavp -scenario highway -live -fault-rate 0.1 -fault-kinds hang,panic
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"adavp"
@@ -28,50 +33,92 @@ import (
 	"adavp/internal/video"
 )
 
+// cliOpts collects the parsed command line.
+type cliOpts struct {
+	scenario, policy           string
+	settingPx, frames          int
+	seed                       uint64
+	pixel, perClass            bool
+	csvPath, jsonPath          string
+	dumpN                      int
+	annotate                   bool
+	dumpDir                    string
+	live                       bool
+	timeScale                  float64
+	faultRate                  float64
+	faultBurst                 int
+	faultKinds                 string
+	faultSeed                  uint64
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adavp: ")
-	var (
-		scenario   = flag.String("scenario", "highway", "scenario preset ("+scenarioList()+")")
-		policyName = flag.String("policy", "adavp", "policy: adavp|mpdt|marlin|notracking|continuous")
-		settingPx  = flag.Int("setting", 512, "fixed model setting (320|416|512|608); initial setting for adavp")
-		frames     = flag.Int("frames", 900, "video length in frames (30 FPS)")
-		seed       = flag.Uint64("seed", 1, "random seed (runs are reproducible)")
-		pixel      = flag.Bool("pixel", false, "use the real pixel detector and Lucas-Kanade tracker (slow)")
-		csvPath    = flag.String("csv", "", "write the per-frame trace as CSV to this file")
-		jsonPath   = flag.String("json", "", "write the run summary as JSON to this file")
-		dumpN      = flag.Int("dump-frames", 0, "render and save this many frames as PGM images")
-		annotate   = flag.Bool("annotate", false, "dump frames as truth-vs-output composites with drawn boxes")
-		perClass   = flag.Bool("per-class", false, "print the per-class precision/recall breakdown")
-		dumpDir    = flag.String("dump-dir", ".", "directory for dumped frames")
-	)
+	var o cliOpts
+	flag.StringVar(&o.scenario, "scenario", "highway", "scenario preset ("+scenarioList()+")")
+	flag.StringVar(&o.policy, "policy", "adavp", "policy: adavp|mpdt|marlin|notracking|continuous")
+	flag.IntVar(&o.settingPx, "setting", 512, "fixed model setting (320|416|512|608); initial setting for adavp")
+	flag.IntVar(&o.frames, "frames", 900, "video length in frames (30 FPS)")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed (runs are reproducible)")
+	flag.BoolVar(&o.pixel, "pixel", false, "use the real pixel detector and Lucas-Kanade tracker (slow)")
+	flag.StringVar(&o.csvPath, "csv", "", "write the per-frame trace as CSV to this file")
+	flag.StringVar(&o.jsonPath, "json", "", "write the run summary as JSON to this file")
+	flag.IntVar(&o.dumpN, "dump-frames", 0, "render and save this many frames as PGM images")
+	flag.BoolVar(&o.annotate, "annotate", false, "dump frames as truth-vs-output composites with drawn boxes")
+	flag.BoolVar(&o.perClass, "per-class", false, "print the per-class precision/recall breakdown")
+	flag.StringVar(&o.dumpDir, "dump-dir", ".", "directory for dumped frames")
+	flag.BoolVar(&o.live, "live", false, "run the supervised goroutine pipeline instead of the virtual clock (adavp|mpdt only)")
+	flag.Float64Var(&o.timeScale, "timescale", 0.02, "live-mode latency scale (1.0 = real time)")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0, "fault-injection rate (probability per burst block); 0 disables")
+	flag.IntVar(&o.faultBurst, "fault-burst", 1, "consecutive calls per injected fault")
+	flag.StringVar(&o.faultKinds, "fault-kinds", "", "comma-separated fault kinds to inject (default: all; see DESIGN.md fault model)")
+	flag.Uint64Var(&o.faultSeed, "fault-seed", 0, "fault schedule seed (0: reuse -seed)")
 	flag.Parse()
-	if err := run(*scenario, *policyName, *settingPx, *frames, *seed, *pixel, *perClass, *csvPath, *jsonPath, *dumpN, *annotate, *dumpDir); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(scenario, policyName string, settingPx, frames int, seed uint64, pixel, perClass bool, csvPath, jsonPath string, dumpN int, annotate bool, dumpDir string) error {
-	kind, err := parseScenario(scenario)
+func run(o cliOpts) error {
+	kind, err := parseScenario(o.scenario)
 	if err != nil {
 		return err
 	}
-	policy, err := parsePolicy(policyName)
+	policy, err := parsePolicy(o.policy)
 	if err != nil {
 		return err
 	}
-	setting, err := parseSetting(settingPx)
+	setting, err := parseSetting(o.settingPx)
 	if err != nil {
 		return err
+	}
+	opts := adavp.Options{
+		Policy: policy, Setting: setting, Seed: o.seed, PixelMode: o.pixel,
+	}
+	if o.faultRate > 0 {
+		kinds, err := adavp.ParseFaultKinds(o.faultKinds)
+		if err != nil {
+			return err
+		}
+		fseed := o.faultSeed
+		if fseed == 0 {
+			fseed = o.seed
+		}
+		opts.Fault = &adavp.FaultProfile{
+			Rate: o.faultRate, Burst: o.faultBurst, Kinds: kinds, Seed: fseed,
+		}
+		fmt.Printf("fault profile: %s\n", opts.Fault)
 	}
 
-	v := adavp.GenerateVideo(kind, seed, frames)
+	v := adavp.GenerateVideo(kind, o.seed, o.frames)
 	fmt.Printf("video: %s — %d frames (%.1f s), mean content change %.2f px/frame\n",
 		v.Name, v.NumFrames(), adavp.VideoDuration(v).Seconds(), v.MeanChangeRate())
 
-	res, err := adavp.Run(v, adavp.Options{
-		Policy: policy, Setting: setting, Seed: seed, PixelMode: pixel,
-	})
+	if o.live {
+		return runLive(v, opts, o)
+	}
+
+	res, err := adavp.Run(v, opts)
 	if err != nil {
 		return err
 	}
@@ -91,8 +138,9 @@ func run(scenario, policyName string, settingPx, frames int, seed uint64, pixel,
 	}
 	e := adavp.Energy(res)
 	fmt.Printf("energy (this run): GPU %.4f Wh, CPU %.4f Wh, total %.4f Wh\n", e.GPU, e.CPU, e.Total())
+	printFaults(res.Faults)
 
-	if perClass {
+	if o.perClass {
 		report := metrics.NewClassReport()
 		for i, out := range res.Outputs {
 			report.Add(out.Detections, v.Truth(i), metrics.DefaultIoU)
@@ -103,25 +151,75 @@ func run(scenario, policyName string, settingPx, frames int, seed uint64, pixel,
 		}
 	}
 
-	if csvPath != "" {
-		if err := writeFile(csvPath, res.Trace.WriteCSV); err != nil {
+	if o.csvPath != "" {
+		if err := writeFile(o.csvPath, res.Trace.WriteCSV); err != nil {
 			return err
 		}
-		fmt.Printf("wrote per-frame CSV to %s\n", csvPath)
+		fmt.Printf("wrote per-frame CSV to %s\n", o.csvPath)
 	}
-	if jsonPath != "" {
-		if err := writeFile(jsonPath, res.Trace.WriteJSON); err != nil {
+	if o.jsonPath != "" {
+		if err := writeFile(o.jsonPath, res.Trace.WriteJSON); err != nil {
 			return err
 		}
-		fmt.Printf("wrote run JSON to %s\n", jsonPath)
+		fmt.Printf("wrote run JSON to %s\n", o.jsonPath)
 	}
-	if dumpN > 0 {
-		if err := dumpFrames(v, res, dumpN, annotate, dumpDir); err != nil {
+	if o.dumpN > 0 {
+		if err := dumpFrames(v, res, o.dumpN, o.annotate, o.dumpDir); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d PGM frames to %s\n", dumpN, dumpDir)
+		fmt.Printf("wrote %d PGM frames to %s\n", o.dumpN, o.dumpDir)
 	}
 	return nil
+}
+
+// runLive executes the supervised goroutine pipeline and reports its
+// fault/recovery accounting alongside the accuracy metrics. Trace-backed
+// exports (-csv, -json, -dump-frames) apply to virtual-clock runs only.
+func runLive(v *adavp.Video, opts adavp.Options, o cliOpts) error {
+	if o.csvPath != "" || o.jsonPath != "" || o.dumpN > 0 {
+		return fmt.Errorf("-csv, -json and -dump-frames need the virtual-clock trace; drop -live to use them")
+	}
+	res, err := adavp.RunLive(context.Background(), v, opts, o.timeScale)
+	if res == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Printf("run interrupted: %v\n", err)
+	}
+	fmt.Printf("policy: %s (live, timescale %.3g)\n", o.policy, o.timeScale)
+	fmt.Printf("accuracy (frames with F1>=0.7): %.3f\n", res.Accuracy)
+	fmt.Printf("mean F1: %.3f\n", res.MeanF1)
+	fmt.Printf("health: %s\n", res.Health)
+	g := res.Guard
+	fmt.Printf("guard: %d timeouts, %d panics, %d empty bursts, %d retries, %d downgrades, %d recoveries\n",
+		g.Timeouts, g.Panics, g.EmptyBursts, g.Retries, g.Downgrades, g.Recoveries)
+	printFaults(res.Faults)
+	return nil
+}
+
+// printFaults summarizes a run's fault/supervision event log by kind.
+func printFaults(events []adavp.FaultEvent) {
+	if len(events) == 0 {
+		return
+	}
+	counts := make(map[string]int)
+	for _, ev := range events {
+		key := ev.Component + "/" + ev.Action
+		if ev.Kind != "" {
+			key += ":" + ev.Kind
+		}
+		counts[key]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("fault events (%d):", len(events))
+	for _, k := range keys {
+		fmt.Printf(" %s=%d", k, counts[k])
+	}
+	fmt.Println()
 }
 
 func parseScenario(name string) (adavp.Scenario, error) {

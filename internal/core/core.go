@@ -136,6 +136,22 @@ const (
 // (§IV-D: 320×320, 416×416, 512×512 and 608×608), smallest first.
 var AdaptiveSettings = []Setting{Setting320, Setting416, Setting512, Setting608}
 
+// NextSmaller returns the adaptive setting one step below s
+// (608→512→416→320). ok is false when s is already the smallest adaptive
+// setting, or is not an adaptive setting at all. The supervision layer uses
+// it to escalate a faulting pipeline onto a cheaper model.
+func NextSmaller(s Setting) (Setting, bool) {
+	for i, a := range AdaptiveSettings {
+		if a == s {
+			if i == 0 {
+				return s, false
+			}
+			return AdaptiveSettings[i-1], true
+		}
+	}
+	return s, false
+}
+
 // InputSize returns the square DNN input resolution in pixels.
 func (s Setting) InputSize() int {
 	switch s {

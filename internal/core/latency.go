@@ -94,6 +94,16 @@ func (m *LatencyModel) DetectMean(s Setting) time.Duration {
 	return time.Duration(mean * float64(time.Millisecond))
 }
 
+// DetectBudget returns the watchdog budget for one detection at s: the
+// calibrated mean latency scaled by factor (clamped to at least 1). The
+// supervision layer (internal/guard) abandons detections that outlive it.
+func (m *LatencyModel) DetectBudget(s Setting, factor float64) time.Duration {
+	if factor < 1 {
+		factor = 1
+	}
+	return time.Duration(float64(m.DetectMean(s)) * factor)
+}
+
 // FeatureExtract returns the good-features-to-track latency for one
 // DNN-detected frame.
 func (m *LatencyModel) FeatureExtract() time.Duration {

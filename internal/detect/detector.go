@@ -21,6 +21,8 @@
 package detect
 
 import (
+	"math"
+
 	"adavp/internal/core"
 )
 
@@ -37,6 +39,57 @@ var (
 	_ Detector = (*BlobDetector)(nil)
 	_ Detector = (*OracleDetector)(nil)
 )
+
+// Sanitize drops malformed detections — NaN/Inf coordinates, non-positive
+// sizes, invalid classes — and clamps scores to [0, 1]. Detectors under
+// fault injection (or real networks with numerical bugs) can emit garbage;
+// the supervised pipeline sanitizes every batch before it reaches the
+// tracker or the display. The common all-valid case returns the input slice
+// unchanged, so the fault-free hot path allocates nothing.
+func Sanitize(dets []core.Detection) []core.Detection {
+	bad := 0
+	for i := range dets {
+		if !wellFormed(&dets[i]) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		clampScores(dets)
+		return dets
+	}
+	out := make([]core.Detection, 0, len(dets)-bad)
+	for i := range dets {
+		if wellFormed(&dets[i]) {
+			out = append(out, dets[i])
+		}
+	}
+	clampScores(out)
+	return out
+}
+
+// wellFormed reports whether a detection's geometry and class are usable.
+func wellFormed(d *core.Detection) bool {
+	if !d.Class.Valid() {
+		return false
+	}
+	for _, v := range [...]float64{d.Box.Left, d.Box.Top, d.Box.W, d.Box.H, d.Score} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return d.Box.W > 0 && d.Box.H > 0
+}
+
+// clampScores pins scores to [0, 1] in place.
+func clampScores(dets []core.Detection) {
+	for i := range dets {
+		if dets[i].Score < 0 {
+			dets[i].Score = 0
+		} else if dets[i].Score > 1 {
+			dets[i].Score = 1
+		}
+	}
+}
 
 // OracleDetector returns the ground truth unchanged at any setting. It is
 // the reference used to bound other detectors and to generate the paper's

@@ -1,0 +1,348 @@
+// Package guard is the supervision layer of the live pipeline: it runs
+// detector calls in supervised goroutines with panic recovery and a watchdog
+// deadline derived from the calibrated per-setting latency, and drives a
+// Healthy → Degraded → Recovering health state machine that decides how the
+// pipeline reacts to faults — reuse the previous calibration, retry with
+// capped exponential backoff, escalate to a smaller/faster model setting,
+// and return to normal once enough consecutive cycles succeed.
+//
+// The supervisor is engine-agnostic: internal/rt owns the policy of *what*
+// to do on each Decision (which setting to fall back to, what result to
+// display); guard owns the bookkeeping — outcomes, health transitions,
+// backoff schedule, fault/recovery counters and the event log exported into
+// the run trace.
+package guard
+
+import (
+	"sync"
+	"time"
+
+	"adavp/internal/core"
+	"adavp/internal/trace"
+)
+
+// Health is the pipeline's supervision state.
+type Health int
+
+// Health states.
+const (
+	// Healthy: recent cycles completed normally.
+	Healthy Health = iota
+	// Degraded: the supervisor observed a fault (timeout, panic, empty
+	// burst) and the pipeline is running on fallbacks.
+	Degraded
+	// Recovering: cycles are succeeding again but the streak is shorter
+	// than Config.RecoverAfter.
+	Recovering
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Recovering:
+		return "recovering"
+	default:
+		return "health(?)"
+	}
+}
+
+// Outcome classifies one supervised call.
+type Outcome int
+
+// Outcomes.
+const (
+	// OK: the call returned within its deadline.
+	OK Outcome = iota
+	// Timeout: the watchdog fired; the call's goroutine was abandoned.
+	Timeout
+	// Panicked: the call panicked and was recovered.
+	Panicked
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Timeout:
+		return "timeout"
+	case Panicked:
+		return "panic"
+	default:
+		return "outcome(?)"
+	}
+}
+
+// Components, for event records.
+const (
+	ComponentDetector = "detector"
+	ComponentTracker  = "tracker"
+)
+
+// Config tunes the supervision layer. The zero value takes the documented
+// defaults.
+type Config struct {
+	// WatchdogFactor scales the calibrated mean detection latency into the
+	// watchdog deadline (deadline = mean × factor, floored at MinDeadline).
+	// Default: 8.
+	WatchdogFactor float64
+	// MinDeadline floors the watchdog deadline in wall-clock time — emulated
+	// Detect calls return in microseconds, so the calibrated budget scaled
+	// by a small TimeScale would otherwise be uselessly tight. Default: 100ms.
+	MinDeadline time.Duration
+	// EmptyBurst is the number of consecutive empty detection results that
+	// counts as a fault (legitimately empty scenes make short empty runs
+	// normal). 0 disables empty-burst detection. Default: 8.
+	EmptyBurst int
+	// RecoverAfter is the number of consecutive successful cycles required
+	// to return from Recovering to Healthy. Default: 3.
+	RecoverAfter int
+	// MaxRetries bounds the in-cycle retries after a hard fault. Default: 2.
+	MaxRetries int
+	// DowngradeAfter is the number of consecutive hard faults after which
+	// the supervisor recommends escalating to a smaller/faster model
+	// setting. Default: 2.
+	DowngradeAfter int
+	// BackoffBase is the first retry backoff (wall clock); it doubles per
+	// consecutive fault up to BackoffMax. Defaults: 5ms, 250ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// WithDefaults returns the config with zero fields replaced by defaults.
+func (c Config) WithDefaults() Config {
+	if c.WatchdogFactor <= 0 {
+		c.WatchdogFactor = 8
+	}
+	if c.MinDeadline <= 0 {
+		c.MinDeadline = 100 * time.Millisecond
+	}
+	if c.EmptyBurst == 0 {
+		c.EmptyBurst = 8
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.DowngradeAfter <= 0 {
+		c.DowngradeAfter = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Stats are the supervisor's fault/recovery counters.
+type Stats struct {
+	// Timeouts and Panics count hard faults observed on supervised calls
+	// (both components).
+	Timeouts int
+	Panics   int
+	// EmptyBursts counts runs of Config.EmptyBurst consecutive empty
+	// detection results.
+	EmptyBursts int
+	// Retries counts in-cycle re-attempts after hard faults.
+	Retries int
+	// Downgrades counts model-setting escalations to a smaller setting.
+	Downgrades int
+	// Recoveries counts Degraded/Recovering → Healthy transitions.
+	Recoveries int
+	// Abandoned counts call goroutines left behind by the watchdog.
+	Abandoned int
+}
+
+// Faults returns the total hard-fault count.
+func (s Stats) Faults() int { return s.Timeouts + s.Panics + s.EmptyBursts }
+
+// Decision is the supervisor's recommendation after a fault.
+type Decision struct {
+	// Backoff is how long to wait before retrying the cycle.
+	Backoff time.Duration
+	// Downgrade recommends escalating to a smaller/faster model setting.
+	Downgrade bool
+}
+
+// Supervisor owns the health state machine and fault accounting of one run.
+// It is safe for concurrent use by the detector and tracker goroutines.
+type Supervisor struct {
+	cfg Config
+
+	mu          sync.Mutex
+	health      Health
+	okStreak    int
+	emptyStreak int
+	failStreak  int
+	stats       Stats
+	events      []trace.FaultEvent
+}
+
+// New returns a supervisor with the given (defaulted) config.
+func New(cfg Config) *Supervisor {
+	return &Supervisor{cfg: cfg.WithDefaults()}
+}
+
+// Config returns the resolved configuration.
+func (s *Supervisor) Config() Config { return s.cfg }
+
+// Health returns the current health state.
+func (s *Supervisor) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Events returns a copy of the fault/recovery event log, in order.
+func (s *Supervisor) Events() []trace.FaultEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]trace.FaultEvent, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// event appends one record; callers hold s.mu.
+func (s *Supervisor) event(component, kind, action string, cycle, frame int, at time.Duration) {
+	s.events = append(s.events, trace.FaultEvent{
+		Component: component, Kind: kind, Action: action,
+		Cycle: cycle, Frame: frame, At: at,
+	})
+}
+
+// callResult carries one supervised call's outcome across the goroutine.
+type callResult struct {
+	dets     []core.Detection
+	panicked bool
+}
+
+// Call runs fn in a supervised goroutine: panics are recovered and reported
+// as Panicked, and a call that outlives deadline is abandoned (the goroutine
+// keeps draining in the background; its eventual result is discarded) and
+// reported as Timeout. Because abandoned calls may still be executing when
+// the caller retries, fn must tolerate overlapping invocations.
+func (s *Supervisor) Call(deadline time.Duration, fn func() []core.Detection) ([]core.Detection, Outcome) {
+	ch := make(chan callResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- callResult{panicked: true}
+			}
+		}()
+		ch <- callResult{dets: fn()}
+	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.panicked {
+			return nil, Panicked
+		}
+		return r.dets, OK
+	case <-timer.C:
+		return nil, Timeout
+	}
+}
+
+// ObserveSuccess folds one completed cycle into the state machine. empty
+// marks cycles whose detector returned no detections — they feed the
+// empty-burst detector but never advance recovery. The return value reports
+// a transition back to Healthy (callers may restore their preferred model
+// setting on it).
+func (s *Supervisor) ObserveSuccess(empty bool, cycle, frame int, at time.Duration) (recovered bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if empty {
+		if s.cfg.EmptyBurst > 0 {
+			s.emptyStreak++
+			if s.emptyStreak == s.cfg.EmptyBurst {
+				s.stats.EmptyBursts++
+				s.health = Degraded
+				s.okStreak = 0
+				s.event(ComponentDetector, "empty", "empty-burst", cycle, frame, at)
+			}
+		}
+		return false
+	}
+	s.emptyStreak = 0
+	s.failStreak = 0
+	switch s.health {
+	case Healthy:
+	case Degraded:
+		s.health = Recovering
+		s.okStreak = 1
+	case Recovering:
+		s.okStreak++
+		if s.okStreak >= s.cfg.RecoverAfter {
+			s.health = Healthy
+			s.stats.Recoveries++
+			s.event(ComponentDetector, "", "recovered", cycle, frame, at)
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveFault folds one hard fault (timeout or panic) into the state
+// machine and returns the recommended reaction.
+func (s *Supervisor) ObserveFault(component string, o Outcome, cycle, frame int, at time.Duration) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch o {
+	case Timeout:
+		s.stats.Timeouts++
+		s.stats.Abandoned++
+	case Panicked:
+		s.stats.Panics++
+	}
+	s.health = Degraded
+	s.okStreak = 0
+	s.emptyStreak = 0
+	s.failStreak++
+	s.event(component, o.String(), o.String(), cycle, frame, at)
+
+	backoff := s.cfg.BackoffBase
+	for i := 1; i < s.failStreak && backoff < s.cfg.BackoffMax; i++ {
+		backoff *= 2
+	}
+	if backoff > s.cfg.BackoffMax {
+		backoff = s.cfg.BackoffMax
+	}
+	return Decision{
+		Backoff:   backoff,
+		Downgrade: s.failStreak%s.cfg.DowngradeAfter == 0,
+	}
+}
+
+// NoteRetry records one in-cycle retry.
+func (s *Supervisor) NoteRetry(cycle, frame int, at time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Retries++
+	s.event(ComponentDetector, "", "retry", cycle, frame, at)
+}
+
+// NoteDowngrade records an applied model-setting escalation.
+func (s *Supervisor) NoteDowngrade(cycle, frame int, at time.Duration, from, to string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Downgrades++
+	s.event(ComponentDetector, from+"->"+to, "downgrade", cycle, frame, at)
+}

@@ -1,0 +1,199 @@
+package guard
+
+import (
+	"testing"
+	"time"
+
+	"adavp/internal/core"
+)
+
+func TestCallOutcomes(t *testing.T) {
+	s := New(Config{})
+
+	want := []core.Detection{{Class: core.ClassCar, Score: 1}}
+	dets, o := s.Call(time.Second, func() []core.Detection { return want })
+	if o != OK || len(dets) != 1 {
+		t.Fatalf("ok call: outcome %v, %d detections", o, len(dets))
+	}
+
+	dets, o = s.Call(time.Second, func() []core.Detection { panic("boom") })
+	if o != Panicked || dets != nil {
+		t.Fatalf("panicking call: outcome %v, dets %v", o, dets)
+	}
+
+	release := make(chan struct{})
+	defer close(release)
+	dets, o = s.Call(10*time.Millisecond, func() []core.Detection {
+		<-release
+		return want
+	})
+	if o != Timeout || dets != nil {
+		t.Fatalf("hung call: outcome %v, dets %v", o, dets)
+	}
+}
+
+func TestStateMachine(t *testing.T) {
+	s := New(Config{RecoverAfter: 3})
+	if s.Health() != Healthy {
+		t.Fatalf("initial health %v", s.Health())
+	}
+
+	dec := s.ObserveFault(ComponentDetector, Timeout, 0, 0, 0)
+	if s.Health() != Degraded {
+		t.Fatalf("after fault: %v", s.Health())
+	}
+	if dec.Backoff <= 0 {
+		t.Fatalf("fault decision has no backoff: %+v", dec)
+	}
+
+	// First success moves Degraded → Recovering, not Healthy.
+	if rec := s.ObserveSuccess(false, 1, 1, 0); rec {
+		t.Fatal("recovered after one success with RecoverAfter=3")
+	}
+	if s.Health() != Recovering {
+		t.Fatalf("after first success: %v", s.Health())
+	}
+	if rec := s.ObserveSuccess(false, 2, 2, 0); rec {
+		t.Fatal("recovered after two successes")
+	}
+	if rec := s.ObserveSuccess(false, 3, 3, 0); !rec {
+		t.Fatal("did not recover after three successes")
+	}
+	if s.Health() != Healthy {
+		t.Fatalf("after recovery: %v", s.Health())
+	}
+
+	st := s.Stats()
+	if st.Timeouts != 1 || st.Recoveries != 1 || st.Abandoned != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	evs := s.Events()
+	if len(evs) != 2 || evs[0].Action != "timeout" || evs[1].Action != "recovered" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestFaultDuringRecoveryResetsStreak(t *testing.T) {
+	s := New(Config{RecoverAfter: 2})
+	s.ObserveFault(ComponentDetector, Panicked, 0, 0, 0)
+	s.ObserveSuccess(false, 1, 1, 0) // Recovering, streak 1
+	s.ObserveFault(ComponentDetector, Panicked, 2, 2, 0)
+	if s.Health() != Degraded {
+		t.Fatalf("fault during recovery: %v", s.Health())
+	}
+	s.ObserveSuccess(false, 3, 3, 0)
+	if rec := s.ObserveSuccess(false, 4, 4, 0); !rec {
+		t.Fatal("streak after second fault did not recover at RecoverAfter")
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	s := New(Config{BackoffBase: 10 * time.Millisecond, BackoffMax: 35 * time.Millisecond})
+	var prev time.Duration
+	for i := 0; i < 6; i++ {
+		dec := s.ObserveFault(ComponentDetector, Timeout, i, i, 0)
+		if dec.Backoff < prev {
+			t.Fatalf("fault %d: backoff shrank %v -> %v", i, prev, dec.Backoff)
+		}
+		if dec.Backoff > 35*time.Millisecond {
+			t.Fatalf("fault %d: backoff %v exceeds cap", i, dec.Backoff)
+		}
+		prev = dec.Backoff
+	}
+	if prev != 35*time.Millisecond {
+		t.Fatalf("backoff never reached cap: %v", prev)
+	}
+}
+
+func TestDowngradeEveryN(t *testing.T) {
+	s := New(Config{DowngradeAfter: 2})
+	var downs []int
+	for i := 1; i <= 6; i++ {
+		if s.ObserveFault(ComponentDetector, Timeout, i, i, 0).Downgrade {
+			downs = append(downs, i)
+		}
+	}
+	if len(downs) != 3 || downs[0] != 2 || downs[1] != 4 || downs[2] != 6 {
+		t.Fatalf("downgrades at faults %v, want [2 4 6]", downs)
+	}
+}
+
+func TestEmptyBurst(t *testing.T) {
+	s := New(Config{EmptyBurst: 3})
+	for i := 0; i < 2; i++ {
+		s.ObserveSuccess(true, i, i, 0)
+	}
+	if s.Health() != Healthy {
+		t.Fatalf("short empty run degraded health: %v", s.Health())
+	}
+	s.ObserveSuccess(true, 2, 2, 0) // third consecutive empty
+	if s.Health() != Degraded {
+		t.Fatalf("empty burst did not degrade: %v", s.Health())
+	}
+	if st := s.Stats(); st.EmptyBursts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A longer run must not double-count the same burst.
+	s.ObserveSuccess(true, 3, 3, 0)
+	if st := s.Stats(); st.EmptyBursts != 1 {
+		t.Fatalf("burst double-counted: %+v", st)
+	}
+	// A non-empty success resets the streak and starts recovery.
+	s.ObserveSuccess(false, 4, 4, 0)
+	if s.Health() != Recovering {
+		t.Fatalf("after non-empty success: %v", s.Health())
+	}
+}
+
+func TestEmptyBurstDisabled(t *testing.T) {
+	s := New(Config{EmptyBurst: -1})
+	for i := 0; i < 50; i++ {
+		s.ObserveSuccess(true, i, i, 0)
+	}
+	if s.Health() != Healthy || s.Stats().EmptyBursts != 0 {
+		t.Fatalf("disabled empty-burst still fired: %v %+v", s.Health(), s.Stats())
+	}
+}
+
+func TestEmptyCyclesDoNotAdvanceRecovery(t *testing.T) {
+	s := New(Config{RecoverAfter: 2, EmptyBurst: 100})
+	s.ObserveFault(ComponentDetector, Timeout, 0, 0, 0)
+	for i := 1; i <= 10; i++ {
+		if rec := s.ObserveSuccess(true, i, i, 0); rec {
+			t.Fatal("empty cycle reported recovery")
+		}
+	}
+	if s.Health() != Degraded {
+		t.Fatalf("empty cycles advanced health to %v", s.Health())
+	}
+}
+
+func TestNotes(t *testing.T) {
+	s := New(Config{})
+	s.NoteRetry(1, 2, 0)
+	s.NoteDowngrade(1, 2, 0, "512x512", "416x416")
+	st := s.Stats()
+	if st.Retries != 1 || st.Downgrades != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	evs := s.Events()
+	if len(evs) != 2 || evs[0].Action != "retry" || evs[1].Action != "downgrade" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[1].Kind != "512x512->416x416" {
+		t.Fatalf("downgrade kind = %q", evs[1].Kind)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.WatchdogFactor != 8 || c.MinDeadline != 100*time.Millisecond ||
+		c.EmptyBurst != 8 || c.RecoverAfter != 3 || c.MaxRetries != 2 ||
+		c.DowngradeAfter != 2 || c.BackoffBase != 5*time.Millisecond ||
+		c.BackoffMax != 250*time.Millisecond {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c := (Config{MaxRetries: -5}).WithDefaults(); c.MaxRetries != 0 {
+		t.Fatalf("negative MaxRetries not clamped: %d", c.MaxRetries)
+	}
+}

@@ -17,6 +17,15 @@
 // by mutexes; cross-thread signalling uses a condition variable for frame
 // arrival and a channel for detection hand-off, mirroring the paper's
 // "lock + event" design. The package is exercised under the race detector.
+//
+// The pipeline is supervised (internal/guard): every Detect call runs in a
+// goroutine with panic recovery and a watchdog deadline derived from the
+// calibrated per-setting latency. On a timeout, panic or empty burst the
+// run enters a degraded health state — the previous calibration stays on
+// screen, the cycle retries with capped exponential backoff, and repeated
+// faults escalate to a smaller/faster model setting — then recovers to
+// normal after enough consecutive clean cycles. Deterministic fault
+// campaigns are injected with Config.Fault (internal/fault).
 package rt
 
 import (
@@ -30,8 +39,11 @@ import (
 	"adavp/internal/adapt"
 	"adavp/internal/core"
 	"adavp/internal/detect"
+	"adavp/internal/fault"
+	"adavp/internal/guard"
 	"adavp/internal/metrics"
 	"adavp/internal/rng"
+	"adavp/internal/trace"
 	"adavp/internal/track"
 	"adavp/internal/video"
 )
@@ -55,6 +67,12 @@ type Config struct {
 	Seed uint64
 	// PixelMode renders frames for pixel-based detectors/trackers.
 	PixelMode bool
+	// Fault, when set, wraps the detector and tracker with the profile's
+	// deterministic fault schedule (internal/fault, Live mode).
+	Fault *fault.Profile
+	// Guard tunes the supervision layer; the zero value takes the
+	// documented defaults.
+	Guard guard.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +95,18 @@ type Result struct {
 	// changes (AdaVP only).
 	Cycles   int
 	Switches int
+	// Health is the supervisor's final state; Faults its fault/recovery
+	// counters (all zero for a clean run).
+	Health guard.Health
+	Faults guard.Stats
+	// Events interleaves injected faults and supervision actions, in order.
+	Events []trace.FaultEvent
+	// Injected counts the faults the injector actually fired, keyed
+	// "component:kind". Nil without a fault profile.
+	Injected map[string]int
+	// Partial marks a run cut short by context cancellation: Outputs and
+	// the metrics cover the frames that completed before the cut.
+	Partial bool
 }
 
 // frameBuffer is the shared camera buffer: the camera thread publishes the
@@ -138,7 +168,9 @@ type cycleWork struct {
 }
 
 // Run executes the live pipeline over a video. It returns when every frame
-// has been fed and all in-flight work has drained, or when ctx is cancelled.
+// has been fed and all in-flight work has drained. When ctx is cancelled
+// mid-run it returns the *partial* Result alongside the error, so callers
+// can still evaluate the frames that did complete.
 func Run(ctx context.Context, v *video.Video, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if v == nil || v.NumFrames() == 0 {
@@ -156,24 +188,28 @@ func Run(ctx context.Context, v *video.Video, cfg Config) (*Result, error) {
 		mt.SetBounds(v.Bounds())
 		tr = mt
 	}
-	// Each thread gets its own latency model: the jitter stream is not
-	// safe for concurrent use.
-	root := rng.New(cfg.Seed)
-	latDet := core.NewLatencyModel(root.DeriveString("rt-latency-detector"))
-	latTrk := core.NewLatencyModel(root.DeriveString("rt-latency-tracker"))
-
 	p := &pipeline{
 		v:        v,
 		cfg:      cfg,
 		det:      det,
 		tracker:  tr,
-		latDet:   latDet,
-		latTrk:   latTrk,
 		buffer:   newFrameBuffer(),
 		selector: core.NewFrameSelector(),
+		sup:      guard.New(cfg.Guard),
 		outputs:  make([]core.FrameOutput, v.NumFrames()),
 		work:     make(chan cycleWork, 1),
 	}
+	if cfg.Fault != nil {
+		p.fdet = fault.NewDetector(det, *cfg.Fault, fault.Live)
+		p.det = p.fdet
+		p.ftrk = fault.NewTracker(tr, *cfg.Fault, fault.Live)
+		p.tracker = p.ftrk
+	}
+	// Each thread gets its own latency model: the jitter stream is not
+	// safe for concurrent use.
+	root := rng.New(cfg.Seed)
+	p.latDet = core.NewLatencyModel(root.DeriveString("rt-latency-detector"))
+	p.latTrk = core.NewLatencyModel(root.DeriveString("rt-latency-tracker"))
 	return p.run(ctx)
 }
 
@@ -187,6 +223,10 @@ type pipeline struct {
 	latTrk   *core.LatencyModel // tracker-thread latency emulation
 	buffer   *frameBuffer
 	selector *core.FrameSelector
+	sup      *guard.Supervisor
+	fdet     *fault.Detector // non-nil when a fault profile is injected
+	ftrk     *fault.Tracker
+	start    time.Time
 
 	work chan cycleWork
 	// generation counts detector fetches; the tracker cancels its remaining
@@ -226,6 +266,7 @@ func (p *pipeline) setOutput(out core.FrameOutput) {
 }
 
 func (p *pipeline) run(ctx context.Context) (*Result, error) {
+	p.start = time.Now()
 	var wg sync.WaitGroup
 	// Camera (main-thread duty): publish frames at the scaled capture rate.
 	// Pacing is absolute (frame index derived from elapsed wall time) so
@@ -275,14 +316,71 @@ func (p *pipeline) run(ctx context.Context) (*Result, error) {
 	}()
 
 	wg.Wait()
+	res := p.finish()
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("rt: run cancelled: %w", err)
+		res.Partial = true
+		return res, fmt.Errorf("rt: run cancelled: %w", err)
 	}
-	return p.finish(), nil
+	return res, nil
+}
+
+// detectDeadline returns the wall-clock watchdog deadline for one Detect
+// call at the given setting: the calibrated budget scaled to wall time,
+// floored so that near-instant emulated calls are never spuriously flagged.
+func (p *pipeline) detectDeadline(s core.Setting) time.Duration {
+	gcfg := p.sup.Config()
+	d := time.Duration(float64(p.latDet.DetectBudget(s, gcfg.WatchdogFactor)) * p.cfg.TimeScale)
+	if d < gcfg.MinDeadline {
+		d = gcfg.MinDeadline
+	}
+	return d
+}
+
+// superviseDetect runs one detection cycle under supervision: panic
+// recovery, watchdog deadline, bounded retries with backoff, and model
+// downgrades on repeated faults. ok is false when every attempt failed —
+// the caller then keeps the previous calibration on screen. The returned
+// setting reflects any downgrade (or post-recovery restore) applied.
+func (p *pipeline) superviseDetect(ctx context.Context, frameIdx int, setting core.Setting) ([]core.Detection, core.Setting, bool) {
+	cycle := int(p.cycles.Load())
+	gcfg := p.sup.Config()
+	for attempt := 0; ; attempt++ {
+		frame := p.frame(frameIdx)
+		s := setting
+		dets, outcome := p.sup.Call(p.detectDeadline(s), func() []core.Detection {
+			return p.det.Detect(frame, s)
+		})
+		at := time.Since(p.start)
+		if outcome == guard.OK {
+			dets = detect.Sanitize(dets)
+			recovered := p.sup.ObserveSuccess(len(dets) == 0, cycle, frameIdx, at)
+			if recovered && p.cfg.Adaptation == nil {
+				// Fixed-setting runs return to the configured model once
+				// healthy; adaptive runs let the adaptation module climb
+				// back on its own.
+				setting = p.cfg.Setting
+			}
+			return dets, setting, true
+		}
+		dec := p.sup.ObserveFault(guard.ComponentDetector, outcome, cycle, frameIdx, at)
+		if dec.Downgrade {
+			if smaller, ok := core.NextSmaller(setting); ok {
+				p.sup.NoteDowngrade(cycle, frameIdx, at, setting.String(), smaller.String())
+				setting = smaller
+			}
+		}
+		if attempt >= gcfg.MaxRetries || ctx.Err() != nil {
+			return nil, setting, false
+		}
+		p.sup.NoteRetry(cycle, frameIdx, at)
+		if !sleepCtx(ctx, dec.Backoff) {
+			return nil, setting, false
+		}
+	}
 }
 
 // detectorLoop is the GPU thread: fetch newest frame, adapt the setting,
-// detect, hand off to the tracker.
+// detect (supervised), hand off to the tracker.
 func (p *pipeline) detectorLoop(ctx context.Context) {
 	setting := p.cfg.Setting
 	prevFrame := -1
@@ -300,10 +398,12 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 		if p.cfg.Adaptation != nil && prevFrame >= 0 {
 			if bits := p.velocityBits.Load(); bits != 0 {
 				vel := float64FromBits(bits)
-				if next := p.cfg.Adaptation.Next(setting, vel); next != setting {
-					p.sleep(p.latDet.SettingSwitch())
-					p.switches.Add(1)
-					setting = next
+				if track.ValidVelocity(vel) {
+					if next := p.cfg.Adaptation.Next(setting, vel); next != setting {
+						p.sleep(p.latDet.SettingSwitch())
+						p.switches.Add(1)
+						setting = next
+					}
 				}
 			}
 		}
@@ -318,16 +418,25 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 			}
 		}
 
-		dets := p.det.Detect(p.frame(frameIdx), setting)
+		dets, newSetting, detected := p.superviseDetect(ctx, frameIdx, setting)
+		setting = newSetting
 		p.sleep(p.latDet.Detect(setting))
-		p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceDetector, Setting: setting, Detections: dets})
+		if detected {
+			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceDetector, Setting: setting, Detections: dets})
+			prevDets = dets
+		} else {
+			// Every attempt faulted: hold the previous calibration on
+			// screen and keep tracking against it.
+			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceHeld, Setting: setting, Detections: prevDets})
+		}
 		p.cycles.Add(1)
 		prevFrame = frameIdx
-		prevDets = dets
 	}
 }
 
-// trackerLoop is the CPU thread: process each cycle's buffered frames.
+// trackerLoop is the CPU thread: process each cycle's buffered frames under
+// panic supervision, validating every velocity sample before it can reach
+// the adaptation model.
 func (p *pipeline) trackerLoop(ctx context.Context) {
 	for w := range p.work {
 		if ctx.Err() != nil {
@@ -337,7 +446,9 @@ func (p *pipeline) trackerLoop(ctx context.Context) {
 		if buffered <= 0 {
 			continue
 		}
-		p.tracker.Init(p.frame(w.RefFrame), w.RefDets)
+		if !p.safeTrackInit(p.frame(w.RefFrame), w.RefDets) {
+			continue
+		}
 		p.sleep(p.latTrk.FeatureExtract())
 
 		plan := p.selector.Plan(buffered)
@@ -352,22 +463,57 @@ func (p *pipeline) trackerLoop(ctx context.Context) {
 				break
 			}
 			frameIdx := w.RefFrame + 1 + idx
-			dets, vel := p.tracker.Step(p.frame(frameIdx))
+			dets, vel, ok := p.safeTrackStep(p.frame(frameIdx))
+			if !ok {
+				// The tracker panicked mid-cycle: hold the last good boxes
+				// for this frame and abandon the rest of the cycle — the
+				// next detection re-initializes the tracker from scratch.
+				p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceHeld, Setting: w.Setting, Detections: cur})
+				tracked++
+				break
+			}
+			dets = detect.Sanitize(dets)
 			p.sleep(p.latTrk.TrackFrame(len(cur)))
 			p.sleep(p.latTrk.Overlay())
 			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceTracker, Setting: w.Setting, Detections: dets})
 			cur = dets
 			tracked++
-			if vel > 0 {
+			if track.ValidVelocity(vel) {
 				velSum += vel
 				velN++
 			}
 		}
 		p.selector.Update(tracked, buffered)
 		if velN > 0 {
-			p.velocityBits.Store(float64ToBits(velSum / float64(velN)))
+			if m := velSum / float64(velN); track.ValidVelocity(m) {
+				p.velocityBits.Store(float64ToBits(m))
+			}
 		}
 	}
+}
+
+// safeTrackInit calls Tracker.Init with panic recovery.
+func (p *pipeline) safeTrackInit(f core.Frame, dets []core.Detection) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.sup.ObserveFault(guard.ComponentTracker, guard.Panicked, int(p.cycles.Load()), f.Index, time.Since(p.start))
+			ok = false
+		}
+	}()
+	p.tracker.Init(f, dets)
+	return true
+}
+
+// safeTrackStep calls Tracker.Step with panic recovery.
+func (p *pipeline) safeTrackStep(f core.Frame) (dets []core.Detection, vel float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.sup.ObserveFault(guard.ComponentTracker, guard.Panicked, int(p.cycles.Load()), f.Index, time.Since(p.start))
+			dets, vel, ok = nil, 0, false
+		}
+	}()
+	dets, vel = p.tracker.Step(f)
+	return dets, vel, true
 }
 
 // finish hold-fills unprocessed frames and evaluates the run.
@@ -378,6 +524,30 @@ func (p *pipeline) finish() *Result {
 		FrameF1:  make([]float64, n),
 		Cycles:   int(p.cycles.Load()),
 		Switches: int(p.switches.Load()),
+		Health:   p.sup.Health(),
+		Faults:   p.sup.Stats(),
+		Events:   p.sup.Events(),
+	}
+	if p.fdet != nil {
+		res.Injected = make(map[string]int)
+		for _, src := range []struct {
+			comp   string
+			counts map[fault.Kind]int
+			events []fault.Event
+		}{
+			{"detector", p.fdet.Counts(), p.fdet.Events()},
+			{"tracker", p.ftrk.Counts(), p.ftrk.Events()},
+		} {
+			for k, c := range src.counts {
+				res.Injected[src.comp+":"+k.String()] = c
+			}
+			for _, ev := range src.events {
+				res.Events = append(res.Events, trace.FaultEvent{
+					Component: ev.Component, Kind: ev.Kind.String(),
+					Action: "injected", Cycle: ev.Call,
+				})
+			}
+		}
 	}
 	var last core.FrameOutput
 	haveLast := false
@@ -408,6 +578,22 @@ func maxDur(a, b time.Duration) time.Duration {
 		return a
 	}
 	return b
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, reporting whether the
+// full duration elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // float bit helpers for the atomic velocity cell.

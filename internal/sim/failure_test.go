@@ -2,10 +2,12 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"adavp/internal/core"
 	"adavp/internal/detect"
+	"adavp/internal/fault"
 	"adavp/internal/geom"
 	"adavp/internal/track"
 	"adavp/internal/video"
@@ -95,8 +97,11 @@ func TestPipelineSurvivesFlakyDetector(t *testing.T) {
 	}
 }
 
-// nanTracker reports NaN velocities and drops boxes randomly.
-type nanTracker struct{ dets []core.Detection }
+// nanTracker reports NaN or +Inf velocities and drops boxes randomly.
+type nanTracker struct {
+	dets []core.Detection
+	inf  bool
+}
 
 func (t *nanTracker) Init(_ core.Frame, dets []core.Detection) int {
 	t.dets = dets
@@ -104,27 +109,155 @@ func (t *nanTracker) Init(_ core.Frame, dets []core.Detection) int {
 }
 
 func (t *nanTracker) Step(core.Frame) ([]core.Detection, float64) {
+	if t.inf {
+		return t.dets, math.Inf(1)
+	}
 	return t.dets, math.NaN()
 }
 
-func TestPipelineSurvivesNaNVelocity(t *testing.T) {
-	v := video.GenerateKind("fi", video.KindHighway, 7, 300)
+func TestPipelineSurvivesPoisonedVelocity(t *testing.T) {
+	// Regression: +Inf velocity passed the old `vel > 0` filter and reached
+	// the adaptation model (pinning it at the smallest setting); NaN failed
+	// every threshold comparison. Both must be rejected before Eq. 3.
+	for _, tc := range []struct {
+		name string
+		inf  bool
+	}{{"nan", false}, {"inf", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, policy := range []Policy{PolicyAdaVP, PolicyMARLIN} {
+				v := video.GenerateKind("fi", video.KindHighway, 7, 300)
+				r, err := Run(v, Config{
+					Policy: policy,
+					NewTracker: func(uint64) track.Tracker {
+						return &nanTracker{inf: tc.inf}
+					},
+					Seed: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Adaptation must not be corrupted into an invalid setting,
+				// and no poisoned velocity may ever reach the cycle record.
+				for _, c := range r.Run.Cycles {
+					if !c.Setting.Valid() {
+						t.Fatalf("%v: cycle %d has invalid setting after poisoned velocity", policy, c.Index)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSimFaultProfileRecorded checks that a data-fault campaign on the
+// virtual clock completes, stays well-formed, and lands its injections in
+// the run trace.
+func TestSimFaultProfileRecorded(t *testing.T) {
+	v := video.GenerateKind("fp", video.KindHighway, 5, 300)
 	r, err := Run(v, Config{
 		Policy: PolicyAdaVP,
-		NewTracker: func(uint64) track.Tracker {
-			return &nanTracker{}
-		},
-		Seed: 1,
+		Seed:   1,
+		Fault:  &fault.Profile{Rate: 0.25, Seed: 17},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Adaptation must not be corrupted into an invalid setting.
-	for _, c := range r.Run.Cycles {
-		if !c.Setting.Valid() {
-			t.Fatalf("cycle %d has invalid setting after NaN velocity", c.Index)
+	if len(r.Run.Outputs) != v.NumFrames() {
+		t.Fatalf("%d outputs for %d frames", len(r.Run.Outputs), v.NumFrames())
+	}
+	if len(r.Run.Faults) == 0 {
+		t.Fatal("25% fault campaign recorded no events in the trace")
+	}
+	counts := r.Run.FaultCounts()
+	total := 0
+	for k, n := range counts {
+		if !strings.Contains(k, "/injected") {
+			t.Fatalf("virtual-clock run recorded non-injection event %q", k)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("FaultCounts empty for a faulted run")
+	}
+	// Outputs must stay sanitized even under garbage/NaN injections.
+	for i, out := range r.Run.Outputs {
+		for _, d := range out.Detections {
+			if math.IsNaN(d.Box.Left) || d.Box.W <= 0 || d.Score < 0 || d.Score > 1 {
+				t.Fatalf("frame %d: malformed detection %+v escaped sanitization", i, d)
+			}
 		}
 	}
+}
+
+// TestSimFaultScheduleDeterministic pins the cross-engine reproducibility
+// contract: two virtual-clock runs with the same profile inject the same
+// stream and produce identical outputs.
+func TestSimFaultScheduleDeterministic(t *testing.T) {
+	run := func() *Result {
+		v := video.GenerateKind("fp", video.KindHighway, 5, 200)
+		r, err := Run(v, Config{
+			Policy: PolicyAdaVP,
+			Seed:   1,
+			Fault:  &fault.Profile{Rate: 0.3, Seed: 23},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.MeanF1 != b.MeanF1 || a.Accuracy != b.Accuracy {
+		t.Fatalf("faulted runs diverge: %.6f/%.6f vs %.6f/%.6f", a.MeanF1, a.Accuracy, b.MeanF1, b.Accuracy)
+	}
+	if len(a.Run.Faults) != len(b.Run.Faults) {
+		t.Fatalf("fault logs diverge: %d vs %d events", len(a.Run.Faults), len(b.Run.Faults))
+	}
+	for i := range a.Run.Faults {
+		if a.Run.Faults[i] != b.Run.Faults[i] {
+			t.Fatalf("fault event %d diverges: %+v vs %+v", i, a.Run.Faults[i], b.Run.Faults[i])
+		}
+	}
+}
+
+// TestSimPanicFaultVirtualized checks Virtual mode maps panic faults to lost
+// results instead of crashing the discrete-event engine.
+func TestSimPanicFaultVirtualized(t *testing.T) {
+	v := video.GenerateKind("fp", video.KindHighway, 5, 200)
+	r, err := Run(v, Config{
+		Policy: PolicyAdaVP,
+		Seed:   1,
+		Fault:  &fault.Profile{Rate: 1, Kinds: []fault.Kind{fault.KindPanic, fault.KindHang}, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Run.Outputs) != v.NumFrames() {
+		t.Fatalf("%d outputs for %d frames", len(r.Run.Outputs), v.NumFrames())
+	}
+	// Every detection was lost, so accuracy reflects only empty-truth frames.
+	if r.MeanF1 > 0.5 {
+		t.Errorf("all-faulted run scored %.2f mean F1", r.MeanF1)
+	}
+}
+
+// TestSimComponentPanicReturnsError checks that a panic from a component that
+// is not under fault injection (a genuinely buggy detector) surfaces as an
+// error instead of crashing the caller.
+func TestSimComponentPanicReturnsError(t *testing.T) {
+	v := video.GenerateKind("fp", video.KindHighway, 5, 50)
+	_, err := Run(v, Config{Policy: PolicyAdaVP, Seed: 1, Detector: panickyDetector{}})
+	if err == nil {
+		t.Fatal("panicking detector did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// panickyDetector panics on every call.
+type panickyDetector struct{}
+
+func (panickyDetector) Detect(core.Frame, core.Setting) []core.Detection {
+	panic("sim test: injected panic")
 }
 
 func TestPipelineOneFrameVideo(t *testing.T) {

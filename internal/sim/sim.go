@@ -27,6 +27,7 @@ import (
 	"adavp/internal/adapt"
 	"adavp/internal/core"
 	"adavp/internal/detect"
+	"adavp/internal/fault"
 	"adavp/internal/metrics"
 	"adavp/internal/rng"
 	"adavp/internal/trace"
@@ -86,6 +87,13 @@ type Config struct {
 	// MARLIN accuracy over the standard test set (the paper likewise tunes
 	// its baseline's threshold for best accuracy).
 	MARLINTrigger float64
+	// Fault, when set, wraps the detector and tracker with the profile's
+	// deterministic fault schedule (internal/fault). The virtual clock runs
+	// in fault.Virtual mode: latency, hang and panic faults manifest as
+	// lost (empty) results, since a hung or crashed component produces
+	// nothing the discrete-event scheduler could wait on. The same Profile
+	// handed to internal/rt injects the identical schedule live.
+	Fault *fault.Profile
 	// Seed derives all run randomness (latency jitter, detector noise).
 	Seed uint64
 	// Alpha is the per-frame F1 threshold for the accuracy metric (0.7).
@@ -130,12 +138,19 @@ type Result struct {
 	MeanF1 float64
 }
 
-// Run executes one policy over one video.
-func Run(v *video.Video, cfg Config) (*Result, error) {
+// Run executes one policy over one video. A panicking component (possible
+// with user-supplied detectors/trackers outside the fault framework) is
+// recovered into an error rather than killing the caller.
+func Run(v *video.Video, cfg Config) (res *Result, err error) {
 	cfg = cfg.withDefaults()
 	if v == nil || v.NumFrames() == 0 {
 		return nil, fmt.Errorf("sim: empty video")
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("sim: pipeline component panicked: %v", r)
+		}
+	}()
 	e := newEngine(v, cfg)
 	switch cfg.Policy {
 	case PolicyAdaVP, PolicyMPDT:
@@ -164,6 +179,8 @@ type engine struct {
 	delta    time.Duration
 	run      *trace.Run
 	outputs  []core.FrameOutput
+	faultDet *fault.Detector // non-nil when a fault profile is injected
+	faultTrk *fault.Tracker
 }
 
 func newEngine(v *video.Video, cfg Config) *engine {
@@ -184,6 +201,14 @@ func newEngine(v *video.Video, cfg Config) *engine {
 	if model == nil {
 		model = adapt.DefaultModel()
 	}
+	var fd *fault.Detector
+	var ft *fault.Tracker
+	if cfg.Fault != nil {
+		fd = fault.NewDetector(det, *cfg.Fault, fault.Virtual)
+		det = fd
+		ft = fault.NewTracker(tr, *cfg.Fault, fault.Virtual)
+		tr = ft
+	}
 	return &engine{
 		v:        v,
 		cfg:      cfg,
@@ -195,6 +220,8 @@ func newEngine(v *video.Video, cfg Config) *engine {
 		delta:    v.FrameInterval(),
 		run:      &trace.Run{Video: v.Name, Policy: cfg.Policy.String()},
 		outputs:  make([]core.FrameOutput, v.NumFrames()),
+		faultDet: fd,
+		faultTrk: ft,
 	}
 }
 
@@ -204,6 +231,20 @@ func (e *engine) frame(i int) core.Frame {
 		return e.v.FrameWithPixels(i)
 	}
 	return e.v.Frame(i)
+}
+
+// detect runs the detector and sanitizes its output: malformed detections
+// (garbage/NaN faults, buggy detectors) must never reach the tracker or the
+// display. Sanitize is the identity on well-formed batches, so fault-free
+// runs are unchanged.
+func (e *engine) detect(f core.Frame, s core.Setting) []core.Detection {
+	return detect.Sanitize(e.det.Detect(f, s))
+}
+
+// track steps the tracker and sanitizes the returned boxes.
+func (e *engine) track(f core.Frame) ([]core.Detection, float64) {
+	dets, vel := e.tracker.Step(f)
+	return detect.Sanitize(dets), vel
 }
 
 // capturedAt returns the newest frame index captured at or before t.
@@ -232,7 +273,7 @@ func (e *engine) runParallel(adaptive bool) {
 	prevFrame := 0
 	dur := e.lat.Detect(setting)
 	end := e.busy(trace.ResourceGPU, setting, now, dur)
-	prevDets := e.det.Detect(e.frame(0), setting)
+	prevDets := e.detect(e.frame(0), setting)
 	e.outputs[0] = core.FrameOutput{FrameIndex: 0, Source: core.SourceDetector, Setting: setting, Detections: prevDets, Ready: end}
 	e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: 0, Setting: setting, DetectedFrame: 0, Start: now, End: end, Velocity: -1})
 	now = end
@@ -262,7 +303,7 @@ func (e *engine) runParallel(adaptive bool) {
 		// GPU: detect nextFrame with the (possibly new) setting.
 		detDur := e.lat.Detect(setting)
 		detEnd := e.busy(trace.ResourceGPU, setting, now, detDur)
-		nextDets := e.det.Detect(e.frame(nextFrame), setting)
+		nextDets := e.detect(e.frame(nextFrame), setting)
 
 		// CPU, concurrently: track the buffered frames (prevFrame+1 ..
 		// nextFrame-1) against prevFrame's detections, within the detection
@@ -339,11 +380,13 @@ func (e *engine) trackCycle(refFrame int, refDets []core.Detection, endFrame int
 			// remaining tasks.
 			break
 		}
-		dets, vel := e.tracker.Step(e.frame(frameIdx))
+		dets, vel := e.track(e.frame(frameIdx))
 		cursor = e.busy(trace.ResourceCPUTrack, core.SettingInvalid, cursor, trackDur)
 		cursor = e.busy(trace.ResourceCPUOverlay, core.SettingInvalid, cursor, overlayDur)
 		e.outputs[frameIdx] = core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceTracker, Setting: setting, Detections: dets, Ready: cursor}
-		if vel > 0 {
+		// NaN, ±Inf and absurd velocities (faulting trackers) must never
+		// reach adapt.Model.Next.
+		if track.ValidVelocity(vel) {
 			velSum += vel
 			velN++
 		}
@@ -370,7 +413,7 @@ func (e *engine) runMARLIN() {
 		// Detection (tracker idle).
 		dur := e.lat.Detect(setting)
 		end := e.busy(trace.ResourceGPU, setting, now, dur)
-		dets := e.det.Detect(e.frame(detFrame), setting)
+		dets := e.detect(e.frame(detFrame), setting)
 		e.outputs[detFrame] = core.FrameOutput{FrameIndex: detFrame, Source: core.SourceDetector, Setting: setting, Detections: dets, Ready: end}
 		e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: cycle, Setting: setting, DetectedFrame: detFrame, Start: now, End: end})
 		cycle++
@@ -407,13 +450,13 @@ func (e *engine) runMARLIN() {
 				frameIdx := cursorFrame + 1 + idx
 				trackDur := e.lat.TrackFrame(len(cur))
 				overlayDur := e.lat.Overlay()
-				dets2, vel := e.tracker.Step(e.frame(frameIdx))
+				dets2, vel := e.track(e.frame(frameIdx))
 				now = e.busy(trace.ResourceCPUTrack, core.SettingInvalid, now, trackDur)
 				now = e.busy(trace.ResourceCPUOverlay, core.SettingInvalid, now, overlayDur)
 				e.outputs[frameIdx] = core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceTracker, Setting: setting, Detections: dets2, Ready: now}
 				cur = dets2
 				tracked++
-				if vel > 0 {
+				if track.ValidVelocity(vel) {
 					velSum += vel
 					velN++
 				}
@@ -453,7 +496,7 @@ func (e *engine) runNoTracking() {
 	for frame < n {
 		dur := e.lat.Detect(setting)
 		end := e.busy(trace.ResourceGPU, setting, now, dur)
-		dets := e.det.Detect(e.frame(frame), setting)
+		dets := e.detect(e.frame(frame), setting)
 		e.outputs[frame] = core.FrameOutput{FrameIndex: frame, Source: core.SourceDetector, Setting: setting, Detections: dets, Ready: end}
 		e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: cycle, Setting: setting, DetectedFrame: frame, Start: now, End: end})
 		cycle++
@@ -478,7 +521,7 @@ func (e *engine) runContinuous() {
 	for i := 0; i < n; i++ {
 		dur := e.lat.Detect(setting)
 		end := e.busy(trace.ResourceGPU, setting, now, dur)
-		dets := e.det.Detect(e.frame(i), setting)
+		dets := e.detect(e.frame(i), setting)
 		e.outputs[i] = core.FrameOutput{FrameIndex: i, Source: core.SourceDetector, Setting: setting, Detections: dets, Ready: end}
 		if i%64 == 0 || i == n-1 {
 			e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: i, Setting: setting, DetectedFrame: i, Start: now, End: end})
@@ -509,6 +552,20 @@ func (e *engine) finish() *Result {
 		} else {
 			last = e.outputs[i]
 			haveLast = true
+		}
+	}
+	// Export the injected-fault log (call index stands in for the cycle;
+	// the virtual clock has no per-call timestamps for wrapped components).
+	if e.faultDet != nil {
+		for _, w := range []interface {
+			Events() []fault.Event
+		}{e.faultDet, e.faultTrk} {
+			for _, ev := range w.Events() {
+				e.run.Faults = append(e.run.Faults, trace.FaultEvent{
+					Component: ev.Component, Kind: ev.Kind.String(),
+					Action: "injected", Cycle: ev.Call,
+				})
+			}
 		}
 	}
 	e.run.Outputs = e.outputs

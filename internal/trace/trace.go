@@ -87,6 +87,27 @@ type Switch struct {
 	At         time.Duration
 }
 
+// FaultEvent records one injected fault or one supervision action during a
+// run — the raw material of a fault campaign's post-mortem.
+type FaultEvent struct {
+	// Component is "detector" or "tracker".
+	Component string
+	// Kind names the fault class ("hang", "panic", "empty", ...) or, for
+	// supervision actions, the relevant detail (e.g. the setting change of
+	// a downgrade).
+	Kind string
+	// Action says what happened: "injected" for scheduled faults,
+	// "timeout" / "panic" / "empty-burst" for observed faults, and
+	// "retry" / "downgrade" / "recovered" for supervisor reactions.
+	Action string
+	// Cycle and Frame locate the event in the run (best effort; injected
+	// faults in the simulator are located by call index).
+	Cycle int
+	Frame int
+	// At is the pipeline time of the event (zero when unknown).
+	At time.Duration
+}
+
 // Run is the complete record of one pipeline execution over one video.
 type Run struct {
 	Video  string
@@ -98,8 +119,28 @@ type Run struct {
 	Cycles   []Cycle
 	Switches []Switch
 	Busy     []Interval
+	// Faults records injected faults and supervision actions, in order.
+	Faults []FaultEvent
 	// Duration is the simulated wall-clock length of the run.
 	Duration time.Duration
+}
+
+// FaultCounts aggregates the fault log by "component/action:kind" (the kind
+// suffix is dropped for actions without one). Nil when the run was
+// fault-free.
+func (r *Run) FaultCounts() map[string]int {
+	if len(r.Faults) == 0 {
+		return nil
+	}
+	out := make(map[string]int)
+	for _, ev := range r.Faults {
+		key := ev.Component + "/" + ev.Action
+		if ev.Kind != "" && ev.Kind != ev.Action {
+			key += ":" + ev.Kind
+		}
+		out[key]++
+	}
+	return out
 }
 
 // BusyTime sums the busy time of one resource, optionally filtered to a
@@ -188,6 +229,7 @@ type jsonRun struct {
 	Frames   int          `json:"frames"`
 	Cycles   []jsonCycle  `json:"cycles"`
 	Switches []jsonSwitch `json:"switches"`
+	Faults   []jsonFault  `json:"faults,omitempty"`
 	FrameF1  []float64    `json:"frame_f1,omitempty"`
 }
 
@@ -209,6 +251,15 @@ type jsonSwitch struct {
 	AtSec float64 `json:"at_sec"`
 }
 
+type jsonFault struct {
+	Component string  `json:"component"`
+	Kind      string  `json:"kind,omitempty"`
+	Action    string  `json:"action"`
+	Cycle     int     `json:"cycle"`
+	Frame     int     `json:"frame"`
+	AtSec     float64 `json:"at_sec"`
+}
+
 // WriteJSON exports the run summary as indented JSON.
 func (r *Run) WriteJSON(w io.Writer) error {
 	out := jsonRun{
@@ -228,6 +279,12 @@ func (r *Run) WriteJSON(w io.Writer) error {
 	for _, s := range r.Switches {
 		out.Switches = append(out.Switches, jsonSwitch{
 			Cycle: s.CycleIndex, From: s.From.String(), To: s.To.String(), AtSec: s.At.Seconds(),
+		})
+	}
+	for _, f := range r.Faults {
+		out.Faults = append(out.Faults, jsonFault{
+			Component: f.Component, Kind: f.Kind, Action: f.Action,
+			Cycle: f.Cycle, Frame: f.Frame, AtSec: f.At.Seconds(),
 		})
 	}
 	enc := json.NewEncoder(w)

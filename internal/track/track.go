@@ -19,6 +19,8 @@
 package track
 
 import (
+	"math"
+
 	"adavp/internal/core"
 	"adavp/internal/geom"
 )
@@ -41,6 +43,19 @@ var (
 	_ Tracker = (*PixelTracker)(nil)
 	_ Tracker = (*ModelTracker)(nil)
 )
+
+// maxPlausibleVelocity bounds believable Eq. 3 measurements: real content
+// moves a few px/frame; anything near 1e6 is numerical garbage.
+const maxPlausibleVelocity = 1e6
+
+// ValidVelocity reports whether v is a usable motion-velocity measurement:
+// finite, positive and physically plausible. Trackers under fault injection
+// can emit NaN, ±Inf or absurd magnitudes; those must never reach
+// adapt.Model.Next, where a poisoned comparison silently picks the wrong
+// setting. Both pipeline engines filter through this predicate.
+func ValidVelocity(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0 && v < maxPlausibleVelocity
+}
 
 // MotionVelocity implements Eq. 3: the average displacement magnitude of
 // matched feature positions between two frames, normalized by the frame gap.
