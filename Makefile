@@ -1,14 +1,16 @@
 # AdaVP reproduction — build/test entry points.
 #
-#   make build   compile every package and command
-#   make test    run the full test suite
-#   make race    run the concurrency-sensitive packages under the race detector
-#   make vet     static analysis
-#   make check   everything CI runs: build + vet + test + race
+#   make build        compile every package and command
+#   make test         run the full test suite
+#   make race         run the concurrency-sensitive packages under the race detector
+#   make vet          static analysis
+#   make bench-json   run the pixel-pipeline benchmark harness, write BENCH_pixel.json
+#   make check        everything CI runs: build + vet + test + race + a 1-iteration
+#                     bench-json smoke (catches harness rot without paying bench time)
 
 GO ?= go
 
-.PHONY: build test race vet check clean
+.PHONY: build test race vet check bench-json bench-json-smoke clean
 
 build:
 	$(GO) build ./...
@@ -16,15 +18,29 @@ build:
 test:
 	$(GO) test ./...
 
-# The live pipeline, its supervision layer and the fault injectors are the
-# packages with real concurrency; the rest of the tree is single-threaded.
+# Packages with real concurrency: the live pipeline and its supervision
+# layer, the fault injectors, plus everything that drives or implements the
+# par.Rows worker pool (kernels, detector, flow, renderer, tracker).
 race:
-	$(GO) test -race ./internal/rt/ ./internal/fault/ ./internal/guard/ ./internal/sim/
+	$(GO) test -race ./internal/rt/ ./internal/fault/ ./internal/guard/ ./internal/sim/ \
+		./internal/par/ ./internal/imgproc/ ./internal/flow/ ./internal/video/ \
+		./internal/detect/ ./internal/track/
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# Full measurement run; results land in BENCH_pixel.json (committed, so perf
+# regressions show up in review as a diff).
+bench-json:
+	$(GO) test -run TestPixelBenchJSON -benchjson BENCH_pixel.json .
+
+# One iteration per measurement, throwaway output: proves the harness still
+# runs end to end.
+bench-json-smoke:
+	$(GO) test -run TestPixelBenchJSON -benchjson-iters 1 \
+		-benchjson $(or $(TMPDIR),/tmp)/adavp_bench_smoke.json .
+
+check: build vet test race bench-json-smoke
 
 clean:
 	$(GO) clean ./...

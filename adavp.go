@@ -40,6 +40,7 @@ import (
 	"adavp/internal/experiments"
 	"adavp/internal/fault"
 	"adavp/internal/guard"
+	"adavp/internal/par"
 	"adavp/internal/rt"
 	"adavp/internal/sim"
 	"adavp/internal/trace"
@@ -181,7 +182,21 @@ type Options struct {
 	// to lost results; the live pipeline executes them for real under the
 	// supervision layer.
 	Fault *FaultProfile
+	// Workers sets the pixel-kernel worker pool for this process (0 keeps
+	// the current setting, default NumCPU). The pool only affects wall
+	// time: kernels are bitwise-deterministic at any worker count.
+	Workers int
 }
+
+// SetWorkers configures the pixel-kernel worker pool (n <= 0 resets to
+// NumCPU) and returns the effective worker count.
+func SetWorkers(n int) int {
+	par.SetWorkers(n)
+	return par.Workers()
+}
+
+// Workers returns the effective pixel-kernel worker count.
+func Workers() int { return par.Workers() }
 
 // Result is a completed, evaluated run.
 type Result struct {
@@ -211,6 +226,9 @@ type Result struct {
 func Run(v *Video, opts Options) (*Result, error) {
 	if opts.Policy == sim.PolicyInvalid {
 		opts.Policy = PolicyAdaVP
+	}
+	if opts.Workers > 0 {
+		par.SetWorkers(opts.Workers)
 	}
 	cfg := sim.Config{
 		Policy:  opts.Policy,
@@ -253,6 +271,7 @@ func RunLive(ctx context.Context, v *Video, opts Options, timeScale float64) (*R
 		TimeScale: timeScale,
 		PixelMode: opts.PixelMode,
 		Fault:     opts.Fault,
+		Workers:   opts.Workers,
 	}
 	if opts.Policy == sim.PolicyInvalid || opts.Policy == PolicyAdaVP {
 		cfg.Adaptation = adapt.DefaultModel()

@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -44,6 +45,7 @@ type cliOpts struct {
 	annotate                   bool
 	dumpDir                    string
 	live                       bool
+	workers                    int
 	timeScale                  float64
 	faultRate                  float64
 	faultBurst                 int
@@ -67,6 +69,7 @@ func main() {
 	flag.BoolVar(&o.annotate, "annotate", false, "dump frames as truth-vs-output composites with drawn boxes")
 	flag.BoolVar(&o.perClass, "per-class", false, "print the per-class precision/recall breakdown")
 	flag.StringVar(&o.dumpDir, "dump-dir", ".", "directory for dumped frames")
+	flag.IntVar(&o.workers, "workers", 0, "pixel-kernel worker pool size (0 = NumCPU); never changes results, only wall time")
 	flag.BoolVar(&o.live, "live", false, "run the supervised goroutine pipeline instead of the virtual clock (adavp|mpdt only)")
 	flag.Float64Var(&o.timeScale, "timescale", 0.02, "live-mode latency scale (1.0 = real time)")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "fault-injection rate (probability per burst block); 0 disables")
@@ -94,7 +97,9 @@ func run(o cliOpts) error {
 	}
 	opts := adavp.Options{
 		Policy: policy, Setting: setting, Seed: o.seed, PixelMode: o.pixel,
+		Workers: o.workers,
 	}
+	effective := adavp.SetWorkers(o.workers)
 	if o.faultRate > 0 {
 		kinds, err := adavp.ParseFaultKinds(o.faultKinds)
 		if err != nil {
@@ -113,6 +118,7 @@ func run(o cliOpts) error {
 	v := adavp.GenerateVideo(kind, o.seed, o.frames)
 	fmt.Printf("video: %s — %d frames (%.1f s), mean content change %.2f px/frame\n",
 		v.Name, v.NumFrames(), adavp.VideoDuration(v).Seconds(), v.MeanChangeRate())
+	fmt.Printf("pixel workers: %d (of %d CPUs)\n", effective, runtime.NumCPU())
 
 	if o.live {
 		return runLive(v, opts, o)

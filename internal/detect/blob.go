@@ -3,10 +3,12 @@ package detect
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"adavp/internal/core"
 	"adavp/internal/geom"
 	"adavp/internal/imgproc"
+	"adavp/internal/par"
 	"adavp/internal/video"
 )
 
@@ -58,11 +60,21 @@ func (d *BlobDetector) Detect(f core.Frame, s core.Setting) []core.Detection {
 	if w < 4 || h < 4 {
 		return nil
 	}
+	// Per-call scratch from a pool rather than a detector field: under the
+	// supervision layer a watchdog-abandoned Detect call may still be
+	// running when its retry starts, so the detector must tolerate
+	// concurrent calls on itself.
+	bs := blobPool.Get().(*blobScratch)
 	small := img
+	var resized *imgproc.Gray
 	if w != img.W || h != img.H {
-		small = img.Resize(w, h)
+		resized = bs.img.Take(w, h)
+		img.ResizeInto(resized)
+		small = resized
 	}
-	comps := d.components(small)
+	comps := d.components(small, bs)
+	bs.img.Put(resized)
+	blobPool.Put(bs)
 	back := float64(img.W) / float64(w)
 	out := make([]core.Detection, 0, len(comps))
 	for _, c := range comps {
@@ -88,24 +100,60 @@ type component struct {
 	lumaSum                float64
 }
 
-// components runs 4-connected flood fill over the thresholded image.
-func (d *BlobDetector) components(img *imgproc.Gray) []component {
+// blobScratch is the reusable working memory of one Detect call: the
+// resized frame, the threshold/visited mask and the flood-fill stack.
+type blobScratch struct {
+	img   imgproc.Scratch
+	mask  []uint8
+	stack []int32
+}
+
+var blobPool = sync.Pool{New: func() any { return new(blobScratch) }}
+
+// Mask states of the threshold/label pass.
+const (
+	maskDark    = 0 // below threshold
+	maskBright  = 1 // at or above threshold, not yet labeled
+	maskVisited = 2 // claimed by a component
+)
+
+// components runs the threshold pass in parallel row bands, then a
+// sequential 4-connected flood fill over the mask. The labeling scan order
+// is the raster order of the scalar implementation, so the component list —
+// and with it every detection — is identical at any worker count.
+func (d *BlobDetector) components(img *imgproc.Gray, bs *blobScratch) []component {
 	w, h := img.W, img.H
-	visited := make([]bool, w*h)
-	bright := func(x, y int) bool { return img.Pix[y*w+x] >= d.Threshold }
+	if cap(bs.mask) < w*h {
+		bs.mask = make([]uint8, w*h)
+	}
+	mask := bs.mask[:w*h]
+	thr := d.Threshold
+	par.Rows(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := img.Row(y)
+			mrow := mask[y*w : (y+1)*w]
+			for x, v := range row {
+				if v >= thr {
+					mrow[x] = maskBright
+				} else {
+					mrow[x] = maskDark
+				}
+			}
+		}
+	})
 	var out []component
-	var stack []int
+	stack := bs.stack
 	for y0 := 0; y0 < h; y0++ {
 		for x0 := 0; x0 < w; x0++ {
 			idx0 := y0*w + x0
-			if visited[idx0] || !bright(x0, y0) {
+			if mask[idx0] != maskBright {
 				continue
 			}
 			comp := component{minX: x0, minY: y0, maxX: x0, maxY: y0}
-			stack = append(stack[:0], idx0)
-			visited[idx0] = true
+			stack = append(stack[:0], int32(idx0))
+			mask[idx0] = maskVisited
 			for len(stack) > 0 {
-				idx := stack[len(stack)-1]
+				idx := int(stack[len(stack)-1])
 				stack = stack[:len(stack)-1]
 				x, y := idx%w, idx/w
 				comp.area++
@@ -122,16 +170,21 @@ func (d *BlobDetector) components(img *imgproc.Gray) []component {
 				if y > comp.maxY {
 					comp.maxY = y
 				}
-				for _, n := range [4][2]int{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}} {
-					nx, ny := n[0], n[1]
-					if nx < 0 || nx >= w || ny < 0 || ny >= h {
-						continue
-					}
-					nidx := ny*w + nx
-					if !visited[nidx] && bright(nx, ny) {
-						visited[nidx] = true
-						stack = append(stack, nidx)
-					}
+				if x > 0 && mask[idx-1] == maskBright {
+					mask[idx-1] = maskVisited
+					stack = append(stack, int32(idx-1))
+				}
+				if x+1 < w && mask[idx+1] == maskBright {
+					mask[idx+1] = maskVisited
+					stack = append(stack, int32(idx+1))
+				}
+				if y > 0 && mask[idx-w] == maskBright {
+					mask[idx-w] = maskVisited
+					stack = append(stack, int32(idx-w))
+				}
+				if y+1 < h && mask[idx+w] == maskBright {
+					mask[idx+w] = maskVisited
+					stack = append(stack, int32(idx+w))
 				}
 			}
 			if comp.area >= d.MinArea {
@@ -139,6 +192,7 @@ func (d *BlobDetector) components(img *imgproc.Gray) []component {
 			}
 		}
 	}
+	bs.stack = stack
 	return out
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"adavp/internal/geom"
 	"adavp/internal/imgproc"
+	"adavp/internal/par"
 )
 
 // Params configures feature detection. The zero value is not useful; use
@@ -67,30 +68,35 @@ func ScoreMap(img *imgproc.Gray, blockSize int) *imgproc.Gray {
 	xx := imgproc.NewGray(w, h)
 	xy := imgproc.NewGray(w, h)
 	yy := imgproc.NewGray(w, h)
-	for i := range gx.Pix {
-		x := gx.Pix[i]
-		y := gy.Pix[i]
-		xx.Pix[i] = x * x
-		xy.Pix[i] = x * y
-		yy.Pix[i] = y * y
-	}
+	par.Rows(len(gx.Pix), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := gx.Pix[i]
+			y := gy.Pix[i]
+			xx.Pix[i] = x * x
+			xy.Pix[i] = x * y
+			yy.Pix[i] = y * y
+		}
+	})
 	// Window sums via integral images: O(1) per pixel.
 	ixx := imgproc.NewIntegral(xx)
 	ixy := imgproc.NewIntegral(xy)
 	iyy := imgproc.NewIntegral(yy)
 	r := blockSize / 2
 	out := imgproc.NewGray(w, h)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			a := ixx.BoxSum(x-r, y-r, x+r+1, y+r+1)
-			b := ixy.BoxSum(x-r, y-r, x+r+1, y+r+1)
-			c := iyy.BoxSum(x-r, y-r, x+r+1, y+r+1)
-			// Minimum eigenvalue of [a b; b c].
-			t := (a + c) / 2
-			d := math.Sqrt(((a-c)/2)*((a-c)/2) + b*b)
-			out.Pix[y*w+x] = float32(t - d)
+	par.Rows(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := out.Row(y)
+			for x := 0; x < w; x++ {
+				a := ixx.BoxSum(x-r, y-r, x+r+1, y+r+1)
+				b := ixy.BoxSum(x-r, y-r, x+r+1, y+r+1)
+				c := iyy.BoxSum(x-r, y-r, x+r+1, y+r+1)
+				// Minimum eigenvalue of [a b; b c].
+				t := (a + c) / 2
+				d := math.Sqrt(((a-c)/2)*((a-c)/2) + b*b)
+				row[x] = float32(t - d)
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -23,12 +23,19 @@ type FBResult struct {
 
 // TrackFB runs forward and backward Lucas–Kanade and rejects points whose
 // round-trip error exceeds maxFBError (<= 0 selects the conventional 1.0
-// pixel). It costs roughly twice a plain Track call.
+// pixel). It costs roughly twice a plain Track call. It is a convenience
+// wrapper over Scratch.TrackFB with throwaway buffers.
 func TrackFB(prev, next *imgproc.Pyramid, pts []geom.Point, p Params, maxFBError float64) []FBResult {
+	var s Scratch
+	return s.TrackFB(prev, next, pts, p, maxFBError)
+}
+
+// TrackFB is the allocation-reusing form of the package-level TrackFB.
+func (s *Scratch) TrackFB(prev, next *imgproc.Pyramid, pts []geom.Point, p Params, maxFBError float64) []FBResult {
 	if maxFBError <= 0 {
 		maxFBError = 1.0
 	}
-	forward := Track(prev, next, pts, p)
+	forward := s.Track(prev, next, pts, p)
 
 	// Backward pass only for points whose forward pass succeeded.
 	backPts := make([]geom.Point, 0, len(pts))
@@ -39,7 +46,7 @@ func TrackFB(prev, next *imgproc.Pyramid, pts []geom.Point, p Params, maxFBError
 			backIdx = append(backIdx, i)
 		}
 	}
-	backward := Track(next, prev, backPts, p)
+	backward := s.Track(next, prev, backPts, p)
 
 	out := make([]FBResult, len(pts))
 	for i, r := range forward {

@@ -16,9 +16,11 @@ package flow
 
 import (
 	"math"
+	"sync"
 
 	"adavp/internal/geom"
 	"adavp/internal/imgproc"
+	"adavp/internal/par"
 )
 
 // Params configures the tracker. Zero-value fields are replaced by the
@@ -89,9 +91,48 @@ type Result struct {
 	Residual float64
 }
 
+// Scratch holds the reusable buffers of the flow solver: per-level gradient
+// images of the previous frame and the imgproc temporaries behind them. A
+// Scratch belongs to one pipeline stage and is not safe for concurrent use;
+// the per-point template windows, whose lifetime spans only one banded
+// worker, come from a sync.Pool instead.
+type Scratch struct {
+	gx, gy []*imgproc.Gray
+	img    imgproc.Scratch
+}
+
+// tmplBuf is one worker's template window (gradients and intensities of the
+// patch being tracked).
+type tmplBuf struct {
+	x, y, i []float64
+}
+
+var tmplPool = sync.Pool{New: func() any { return new(tmplBuf) }}
+
+// ensure resizes the template buffers for window radius r.
+func (t *tmplBuf) ensure(r int) {
+	n := (2*r + 1) * (2*r + 1)
+	if cap(t.x) < n {
+		t.x = make([]float64, n)
+		t.y = make([]float64, n)
+		t.i = make([]float64, n)
+	}
+	t.x, t.y, t.i = t.x[:n], t.y[:n], t.i[:n]
+}
+
 // Track estimates, for every point pts[i] in the previous frame, its position
 // in the next frame. The two pyramids must be built from same-sized images.
+// It is a convenience wrapper over Scratch.Track with throwaway buffers.
 func Track(prev, next *imgproc.Pyramid, pts []geom.Point, p Params) []Result {
+	var s Scratch
+	return s.Track(prev, next, pts, p)
+}
+
+// Track is the allocation-reusing form of the package-level Track: gradient
+// buffers persist in s across calls, and the points fan out over the worker
+// pool in contiguous bands. Each point's solve is independent and runs the
+// identical scalar code at any worker count, so results are deterministic.
+func (s *Scratch) Track(prev, next *imgproc.Pyramid, pts []geom.Point, p Params) []Result {
 	p = p.withDefaults()
 	levels := len(prev.Levels)
 	if l := len(next.Levels); l < levels {
@@ -101,21 +142,45 @@ func Track(prev, next *imgproc.Pyramid, pts []geom.Point, p Params) []Result {
 		levels = p.MaxLevels
 	}
 	// Precompute gradients of the previous image once per level; every point
-	// reuses them.
-	gxs := make([]*imgproc.Gray, levels)
-	gys := make([]*imgproc.Gray, levels)
+	// reuses them (read-only during the fan-out).
+	for len(s.gx) < levels {
+		s.gx = append(s.gx, nil)
+		s.gy = append(s.gy, nil)
+	}
 	for l := 0; l < levels; l++ {
-		gxs[l], gys[l] = imgproc.Gradients(prev.Levels[l])
+		lvl := prev.Levels[l]
+		s.gx[l] = ensureSize(s.gx[l], lvl.W, lvl.H)
+		s.gy[l] = ensureSize(s.gy[l], lvl.W, lvl.H)
+		imgproc.GradientsInto(s.gx[l], s.gy[l], lvl, &s.img)
 	}
 	out := make([]Result, len(pts))
-	for i, pt := range pts {
-		out[i] = trackOne(prev, next, gxs, gys, pt, levels, p)
-	}
+	par.Rows(len(pts), func(lo, hi int) {
+		tb := tmplPool.Get().(*tmplBuf)
+		tb.ensure(p.WindowRadius)
+		for i := lo; i < hi; i++ {
+			out[i] = trackOne(prev, next, s.gx[:levels], s.gy[:levels], pts[i], levels, p, tb)
+		}
+		tmplPool.Put(tb)
+	})
 	return out
 }
 
+// ensureSize returns g resized to w×h, reusing its backing array when
+// possible.
+func ensureSize(g *imgproc.Gray, w, h int) *imgproc.Gray {
+	if g == nil {
+		return imgproc.NewGray(w, h)
+	}
+	if cap(g.Pix) >= w*h {
+		g.W, g.H = w, h
+		g.Pix = g.Pix[:w*h]
+		return g
+	}
+	return imgproc.NewGray(w, h)
+}
+
 // trackOne runs the coarse-to-fine estimation for a single point.
-func trackOne(prev, next *imgproc.Pyramid, gxs, gys []*imgproc.Gray, pt geom.Point, levels int, p Params) Result {
+func trackOne(prev, next *imgproc.Pyramid, gxs, gys []*imgproc.Gray, pt geom.Point, levels int, p Params, tb *tmplBuf) Result {
 	r := p.WindowRadius
 	// Displacement guess carried across levels, expressed at the current level.
 	var guess geom.Point
@@ -131,9 +196,10 @@ func trackOne(prev, next *imgproc.Pyramid, gxs, gys []*imgproc.Gray, pt geom.Poi
 
 		// Structure tensor of the template window around base in I.
 		var a, b2, c float64
-		tmplX := make([]float64, 0, (2*r+1)*(2*r+1))
-		tmplY := make([]float64, 0, (2*r+1)*(2*r+1))
-		tmplI := make([]float64, 0, (2*r+1)*(2*r+1))
+		tmplX := tb.x
+		tmplY := tb.y
+		tmplI := tb.i
+		k0 := 0
 		for dy := -r; dy <= r; dy++ {
 			for dx := -r; dx <= r; dx++ {
 				x := base.X + float64(dx)
@@ -143,9 +209,10 @@ func trackOne(prev, next *imgproc.Pyramid, gxs, gys []*imgproc.Gray, pt geom.Poi
 				a += ix * ix
 				b2 += ix * iy
 				c += iy * iy
-				tmplX = append(tmplX, ix)
-				tmplY = append(tmplY, iy)
-				tmplI = append(tmplI, float64(I.Bilinear(x, y)))
+				tmplX[k0] = ix
+				tmplY[k0] = iy
+				tmplI[k0] = float64(I.Bilinear(x, y))
+				k0++
 			}
 		}
 		n := float64(len(tmplI))

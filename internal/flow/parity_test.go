@@ -1,0 +1,91 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"adavp/internal/geom"
+	"adavp/internal/imgproc"
+	"adavp/internal/par"
+)
+
+// parityFrames builds a textured frame pair with a known small shift.
+func parityFrames(w, h int) (*imgproc.Pyramid, *imgproc.Pyramid) {
+	a := imgproc.NewGray(w, h)
+	b := imgproc.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.5 + 0.3*math.Sin(float64(x)*0.5)*math.Cos(float64(y)*0.4)
+			a.Pix[y*w+x] = float32(v)
+			v2 := 0.5 + 0.3*math.Sin((float64(x)-1.5)*0.5)*math.Cos((float64(y)-0.75)*0.4)
+			b.Pix[y*w+x] = float32(v2)
+		}
+	}
+	return imgproc.NewPyramid(a, 3), imgproc.NewPyramid(b, 3)
+}
+
+// TestTrackParityAcrossWorkerCounts asserts the per-point fan-out returns
+// bitwise-identical Results at every worker count, and that the
+// scratch-reusing form matches the allocating wrapper call for call.
+func TestTrackParityAcrossWorkerCounts(t *testing.T) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	prev, next := parityFrames(96, 72)
+	var pts []geom.Point
+	for y := 12.0; y < 60; y += 7.3 {
+		for x := 12.0; x < 84; x += 6.1 {
+			pts = append(pts, geom.Point{X: x, Y: y})
+		}
+	}
+	p := DefaultParams()
+	par.SetWorkers(1)
+	ref := Track(prev, next, pts, p)
+	for _, workers := range []int{2, 3, 4, 8} {
+		par.SetWorkers(workers)
+		got := Track(prev, next, pts, p)
+		requireSameResults(t, workers, ref, got)
+
+		// Scratch form, reused across two calls.
+		var s Scratch
+		for call := 0; call < 2; call++ {
+			got = s.Track(prev, next, pts, p)
+			requireSameResults(t, workers, ref, got)
+		}
+	}
+}
+
+func requireSameResults(t *testing.T, workers int, ref, got []Result) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("workers=%d: %d results vs %d", workers, len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i].OK != got[i].OK ||
+			math.Float64bits(ref[i].Pt.X) != math.Float64bits(got[i].Pt.X) ||
+			math.Float64bits(ref[i].Pt.Y) != math.Float64bits(got[i].Pt.Y) ||
+			math.Float64bits(ref[i].Residual) != math.Float64bits(got[i].Residual) {
+			t.Fatalf("workers=%d point %d: %+v vs %+v", workers, i, got[i], ref[i])
+		}
+	}
+}
+
+// TestTrackFBParityAcrossWorkerCounts covers the forward-backward path.
+func TestTrackFBParityAcrossWorkerCounts(t *testing.T) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	prev, next := parityFrames(96, 72)
+	pts := []geom.Point{{X: 20, Y: 20}, {X: 48, Y: 36}, {X: 70, Y: 50}, {X: 30, Y: 55}}
+	p := DefaultParams()
+	par.SetWorkers(1)
+	ref := TrackFB(prev, next, pts, p, 0)
+	for _, workers := range []int{2, 4} {
+		par.SetWorkers(workers)
+		got := TrackFB(prev, next, pts, p, 0)
+		for i := range ref {
+			if ref[i].OK != got[i].OK ||
+				math.Float64bits(ref[i].FBError) != math.Float64bits(got[i].FBError) ||
+				math.Float64bits(ref[i].Pt.X) != math.Float64bits(got[i].Pt.X) ||
+				math.Float64bits(ref[i].Pt.Y) != math.Float64bits(got[i].Pt.Y) {
+				t.Fatalf("workers=%d point %d: %+v vs %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

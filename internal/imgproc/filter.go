@@ -1,6 +1,10 @@
 package imgproc
 
-import "math"
+import (
+	"math"
+
+	"adavp/internal/par"
+)
 
 // GaussianKernel returns a normalized 1-D Gaussian kernel for the given
 // sigma. The radius is ceil(3*sigma), covering 99.7% of the distribution.
@@ -24,25 +28,95 @@ func GaussianKernel(sigma float64) []float32 {
 	return k
 }
 
-// convolve1D applies a 1-D kernel along the given axis with border clamping.
+// convolve1D applies a 1-D kernel along the given axis with border clamping,
+// allocating the output.
 func convolve1D(g *Gray, kernel []float32, horizontal bool) *Gray {
 	out := NewGray(g.W, g.H)
+	convolve1DInto(out, g, kernel, horizontal)
+	return out
+}
+
+// convolve1DInto applies a 1-D kernel along the given axis with border
+// clamping, writing into dst (same size as g, fully overwritten; dst must
+// not alias g). Rows are processed in parallel bands; pixels whose kernel
+// support lies fully inside the image take a flat-indexed fast path, and the
+// per-pixel accumulation order matches convolve1DRef tap for tap, so output
+// is bitwise-identical to the scalar reference at every worker count.
+func convolve1DInto(dst, g *Gray, kernel []float32, horizontal bool) {
 	radius := len(kernel) / 2
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			var acc float32
-			for i, kv := range kernel {
-				off := i - radius
-				if horizontal {
-					acc += kv * g.At(x+off, y)
-				} else {
-					acc += kv * g.At(x, y+off)
+	w, h := g.W, g.H
+	if w == 0 || h == 0 {
+		return
+	}
+	if horizontal {
+		// Interior columns [radius, w-radius) read a contiguous window of
+		// their own row.
+		xLo, xHi := radius, w-radius
+		if xHi < xLo {
+			xHi = xLo
+		}
+		par.Rows(h, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				row := g.Row(y)
+				out := dst.Row(y)
+				for x := 0; x < xLo && x < w; x++ {
+					out[x] = convolveClampedH(g, kernel, radius, x, y)
+				}
+				for x := xLo; x < xHi; x++ {
+					var acc float32
+					win := row[x-radius:]
+					for i, kv := range kernel {
+						acc += kv * win[i]
+					}
+					out[x] = acc
+				}
+				for x := xHi; x < w; x++ {
+					out[x] = convolveClampedH(g, kernel, radius, x, y)
 				}
 			}
-			out.Pix[y*g.W+x] = acc
-		}
+		})
+		return
 	}
-	return out
+	// Vertical: interior rows [radius, h-radius) see every tap row in
+	// bounds, so the taps accumulate column-wise over whole rows — the same
+	// additions in the same order as the per-pixel reference.
+	par.Rows(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			out := dst.Row(y)
+			if y >= radius && y+radius < h {
+				first := g.Row(y - radius)
+				kv0 := kernel[0]
+				for x := 0; x < w; x++ {
+					out[x] = kv0 * first[x]
+				}
+				for i := 1; i < len(kernel); i++ {
+					kv := kernel[i]
+					row := g.Row(y - radius + i)
+					for x := 0; x < w; x++ {
+						out[x] += kv * row[x]
+					}
+				}
+				continue
+			}
+			for x := 0; x < w; x++ {
+				var acc float32
+				for i, kv := range kernel {
+					acc += kv * g.At(x, y+i-radius)
+				}
+				out[x] = acc
+			}
+		}
+	})
+}
+
+// convolveClampedH is the border path of the horizontal convolution: the
+// same per-tap clamped accumulation the scalar reference performs.
+func convolveClampedH(g *Gray, kernel []float32, radius, x, y int) float32 {
+	var acc float32
+	for i, kv := range kernel {
+		acc += kv * g.At(x+i-radius, y)
+	}
+	return acc
 }
 
 // GaussianBlur returns the image smoothed with a separable Gaussian of the
@@ -52,7 +126,25 @@ func GaussianBlur(g *Gray, sigma float64) *Gray {
 		return g.Clone()
 	}
 	k := GaussianKernel(sigma)
-	return convolve1D(convolve1D(g, k, true), k, false)
+	tmp := convolve1D(g, k, true)
+	out := NewGray(g.W, g.H)
+	convolve1DInto(out, tmp, k, false)
+	return out
+}
+
+// GaussianBlurInto smooths g into dst (same size, fully overwritten; must
+// not alias g) drawing the intermediate pass from s, allocating nothing in
+// steady state. Sigma <= 0 copies the input.
+func GaussianBlurInto(dst, g *Gray, sigma float64, s *Scratch) {
+	if sigma <= 0 {
+		copy(dst.Pix, g.Pix)
+		return
+	}
+	k := s.gaussianKernel(sigma)
+	tmp := s.Take(g.W, g.H)
+	convolve1DInto(tmp, g, k, true)
+	convolve1DInto(dst, tmp, k, false)
+	s.Put(tmp)
 }
 
 // Scharr gradient kernels. Scharr's 3×3 operator has better rotational
@@ -79,23 +171,53 @@ func Gradients(g *Gray) (gx, gy *Gray) {
 	return gradientAxis(g, true), gradientAxis(g, false)
 }
 
+// GradientsInto computes the Scharr gradients into gx, gy (same size as g,
+// fully overwritten) using s for the intermediate pass, allocating nothing
+// when the scratch already holds a same-size buffer.
+func GradientsInto(gx, gy, g *Gray, s *Scratch) {
+	tmp := s.Take(g.W, g.H)
+	convolve1DInto(tmp, g, scharrDiff, true)
+	convolve1DInto(gx, tmp, scharrSmooth, false)
+	convolve1DInto(tmp, g, scharrSmooth, true)
+	convolve1DInto(gy, tmp, scharrDiff, false)
+	s.Put(tmp)
+}
+
+// burtAdelson is the [1 4 6 4 1]/16 anti-aliasing filter used by the
+// pyramid reduction step.
+var burtAdelson = []float32{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+
 // Downsample2 returns the image reduced by a factor of two with the
 // Burt–Adelson [1 4 6 4 1]/16 anti-aliasing filter applied along both axes
 // before decimation. It is the pyramid reduction step used by pyramidal
 // Lucas–Kanade. Images with odd dimensions lose the last row/column,
 // matching OpenCV's buildOpticalFlowPyramid.
 func Downsample2(g *Gray) *Gray {
-	blur := []float32{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
-	sm := convolve1D(convolve1D(g, blur, true), blur, false)
-	w := g.W / 2
-	h := g.H / 2
-	out := NewGray(w, h)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			out.Pix[y*w+x] = sm.At(2*x, 2*y)
-		}
-	}
+	out := NewGray(g.W/2, g.H/2)
+	var s Scratch
+	Downsample2Into(out, g, &s)
 	return out
+}
+
+// Downsample2Into performs the pyramid reduction into dst (which must be
+// g.W/2 × g.H/2, fully overwritten), drawing temporaries from s.
+func Downsample2Into(dst, g *Gray, s *Scratch) {
+	sm := s.Take(g.W, g.H)
+	tmp := s.Take(g.W, g.H)
+	convolve1DInto(tmp, g, burtAdelson, true)
+	convolve1DInto(sm, tmp, burtAdelson, false)
+	s.Put(tmp)
+	w, h := dst.W, dst.H
+	par.Rows(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			src := sm.Row(2 * y)
+			out := dst.Row(y)
+			for x := 0; x < w; x++ {
+				out[x] = src[2*x]
+			}
+		}
+	})
+	s.Put(sm)
 }
 
 // Pyramid is a coarse-to-fine stack of images. Level 0 is the original
@@ -108,16 +230,37 @@ type Pyramid struct {
 // Construction stops early once a level would shrink below 16 pixels on a
 // side, because Lucas–Kanade windows no longer fit.
 func NewPyramid(g *Gray, maxLevels int) *Pyramid {
+	p := &Pyramid{}
+	var s Scratch
+	p.Rebuild(g, maxLevels, &s)
+	return p
+}
+
+// Rebuild reconstructs the pyramid in place for a new frame: level 0 aliases
+// g (not copied, not owned), and the reduced levels reuse the buffers of the
+// previous build when their sizes match. This is what lets the pixel tracker
+// swap two pyramids frame over frame instead of reallocating the whole stack
+// (≈1.3 MB per 704-wide frame) every Step. Temporaries come from s.
+func (p *Pyramid) Rebuild(g *Gray, maxLevels int, s *Scratch) {
 	if maxLevels < 1 {
 		maxLevels = 1
 	}
-	p := &Pyramid{Levels: []*Gray{g}}
+	prev := p.Levels
+	p.Levels = p.Levels[:0]
+	p.Levels = append(p.Levels, g)
 	for len(p.Levels) < maxLevels {
 		last := p.Levels[len(p.Levels)-1]
-		if last.W/2 < 16 || last.H/2 < 16 {
+		w, h := last.W/2, last.H/2
+		if w < 16 || h < 16 {
 			break
 		}
-		p.Levels = append(p.Levels, Downsample2(last))
+		var dst *Gray
+		if i := len(p.Levels); i < len(prev) && prev[i] != nil && prev[i].W == w && prev[i].H == h {
+			dst = prev[i]
+		} else {
+			dst = NewGray(w, h)
+		}
+		Downsample2Into(dst, last, s)
+		p.Levels = append(p.Levels, dst)
 	}
-	return p
 }

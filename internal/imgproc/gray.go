@@ -11,6 +11,8 @@ package imgproc
 import (
 	"fmt"
 	"math"
+
+	"adavp/internal/par"
 )
 
 // Gray is a single-channel image with float32 pixels in row-major order.
@@ -61,6 +63,13 @@ func (g *Gray) At(x, y int) float32 {
 	return g.Pix[y*g.W+x]
 }
 
+// Row returns the pixels of row y as a slice aliasing the image storage.
+// It is the flat-indexed access path the hot kernels use instead of the
+// bounds-checked At. It panics if y is out of range.
+func (g *Gray) Row(y int) []float32 {
+	return g.Pix[y*g.W : (y+1)*g.W]
+}
+
 // Set writes the pixel at (x, y). Out-of-bounds writes are ignored.
 func (g *Gray) Set(x, y int, v float32) {
 	if !g.Bounds(x, y) {
@@ -78,12 +87,24 @@ func (g *Gray) Fill(v float32) {
 
 // Bilinear samples the image at continuous coordinates (x, y) using bilinear
 // interpolation with border clamping. The pixel grid convention places pixel
-// centers at integer coordinates.
+// centers at integer coordinates. Interior samples (all four taps in
+// bounds) take a flat-indexed fast path; the arithmetic is identical to the
+// clamped path, so the fast path is bitwise-equivalent.
 func (g *Gray) Bilinear(x, y float64) float32 {
 	x0 := int(math.Floor(x))
 	y0 := int(math.Floor(y))
 	fx := float32(x - float64(x0))
 	fy := float32(y - float64(y0))
+	if x0 >= 0 && y0 >= 0 && x0+1 < g.W && y0+1 < g.H {
+		i := y0*g.W + x0
+		v00 := g.Pix[i]
+		v10 := g.Pix[i+1]
+		v01 := g.Pix[i+g.W]
+		v11 := g.Pix[i+g.W+1]
+		top := v00 + fx*(v10-v00)
+		bot := v01 + fx*(v11-v01)
+		return top + fy*(bot-top)
+	}
 	v00 := g.At(x0, y0)
 	v10 := g.At(x0+1, y0)
 	v01 := g.At(x0, y0+1)
@@ -99,21 +120,88 @@ func (g *Gray) Bilinear(x, y float64) float32 {
 // more fine detail is destroyed.
 func (g *Gray) Resize(w, h int) *Gray {
 	out := NewGray(w, h)
-	if w == 0 || h == 0 || g.W == 0 || g.H == 0 {
-		return out
+	g.ResizeInto(out)
+	return out
+}
+
+// ResizeInto scales the image into dst (whose W, H select the target size),
+// overwriting its pixels. Destination rows are computed in parallel bands;
+// each destination pixel runs the same scalar arithmetic as Bilinear, so the
+// output is bitwise-identical for every worker count. Interior destination
+// pixels — those whose four source taps are all in bounds — skip the clamped
+// At path entirely.
+func (g *Gray) ResizeInto(dst *Gray) {
+	w, h := dst.W, dst.H
+	if w == 0 || h == 0 {
+		return
+	}
+	if g.W == 0 || g.H == 0 {
+		dst.Fill(0)
+		return
 	}
 	sx := float64(g.W) / float64(w)
 	sy := float64(g.H) / float64(h)
-	for y := 0; y < h; y++ {
-		// Sample at the center of each destination pixel mapped to source
-		// coordinates; the -0.5 terms align the two pixel grids.
-		srcY := (float64(y)+0.5)*sy - 0.5
-		for x := 0; x < w; x++ {
-			srcX := (float64(x)+0.5)*sx - 0.5
-			out.Pix[y*w+x] = g.Bilinear(srcX, srcY)
+	// The x tap of a destination column is the same for every row; hoist the
+	// floor and fraction out of the row loop. srcX is monotonic in x, so the
+	// columns whose two x taps are both in bounds form one contiguous range
+	// [xLo, xHi) — the branch-free interior of the per-row loop below. The
+	// fraction stored here is bit-for-bit the one Bilinear would compute.
+	x0s := make([]int32, w)
+	fxs := make([]float32, w)
+	xLo, xHi := w, 0
+	for x := 0; x < w; x++ {
+		srcX := (float64(x)+0.5)*sx - 0.5
+		x0 := int(math.Floor(srcX))
+		x0s[x] = int32(x0)
+		fxs[x] = float32(srcX - float64(x0))
+		if x0 >= 0 && x0+1 < g.W {
+			if x < xLo {
+				xLo = x
+			}
+			xHi = x + 1
 		}
 	}
-	return out
+	if xHi < xLo {
+		xHi = xLo
+	}
+	par.Rows(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			// Sample at the center of each destination pixel mapped to source
+			// coordinates; the -0.5 terms align the two pixel grids.
+			srcY := (float64(y)+0.5)*sy - 0.5
+			y0 := int(math.Floor(srcY))
+			fy := float32(srcY - float64(y0))
+			out := dst.Row(y)
+			if y0 >= 0 && y0+1 < g.H {
+				// Interior rows: both source rows exist, so only the x taps
+				// can leave the image.
+				top := g.Row(y0)
+				bot := g.Row(y0 + 1)
+				for x := 0; x < xLo; x++ {
+					out[x] = g.Bilinear((float64(x)+0.5)*sx-0.5, srcY)
+				}
+				for x := xLo; x < xHi; x++ {
+					x0 := int(x0s[x])
+					fx := fxs[x]
+					v00 := top[x0]
+					v10 := top[x0+1]
+					v01 := bot[x0]
+					v11 := bot[x0+1]
+					t := v00 + fx*(v10-v00)
+					b := v01 + fx*(v11-v01)
+					out[x] = t + fy*(b-t)
+				}
+				for x := xHi; x < w; x++ {
+					out[x] = g.Bilinear((float64(x)+0.5)*sx-0.5, srcY)
+				}
+				continue
+			}
+			for x := 0; x < w; x++ {
+				srcX := (float64(x)+0.5)*sx - 0.5
+				out[x] = g.Bilinear(srcX, srcY)
+			}
+		}
+	})
 }
 
 // Mean returns the average pixel value, or 0 for an empty image.

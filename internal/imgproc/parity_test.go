@@ -1,0 +1,250 @@
+package imgproc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"adavp/internal/par"
+)
+
+// The golden parity suite: the banded-parallel, flat-indexed kernels must be
+// bitwise-identical to the retained scalar references (ref.go) at every
+// tested size and worker count. This is what guarantees that the perf
+// rewrite cannot perturb a single simulation or experiment result.
+
+// paritySizes includes tiny, odd, prime-sized and kernel-smaller-than-image
+// shapes, plus a DNN-input-sized frame.
+var paritySizes = [][2]int{
+	{1, 1}, {2, 3}, {3, 5}, {5, 2}, {16, 16}, {17, 31}, {31, 17},
+	{64, 64}, {97, 61}, {320, 180}, {101, 7},
+}
+
+var parityWorkers = []int{1, 2, 3, 4, 7}
+
+// testImage builds a deterministic, structured test image: smooth gradients
+// plus high-frequency detail so border clamping and interpolation paths all
+// see non-trivial values.
+func testImage(w, h int) *Gray {
+	g := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.5 + 0.4*math.Sin(float64(x)*0.7)*math.Cos(float64(y)*0.31) +
+				0.1*math.Sin(float64(x*y)*0.05)
+			g.Pix[y*w+x] = float32(v)
+		}
+	}
+	return g
+}
+
+// requireIdentical fails unless a and b match bitwise.
+func requireIdentical(t *testing.T, name string, a, b *Gray) {
+	t.Helper()
+	if a.W != b.W || a.H != b.H {
+		t.Fatalf("%s: size %dx%d vs %dx%d", name, a.W, a.H, b.W, b.H)
+	}
+	for i := range a.Pix {
+		if math.Float32bits(a.Pix[i]) != math.Float32bits(b.Pix[i]) {
+			t.Fatalf("%s: pixel %d (x=%d y=%d): %v vs %v", name, i, i%a.W, i/a.W, a.Pix[i], b.Pix[i])
+		}
+	}
+}
+
+// forEachConfig runs fn for every parity size and worker count, restoring
+// the pool afterwards.
+func forEachConfig(t *testing.T, fn func(t *testing.T, g *Gray)) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	for _, size := range paritySizes {
+		g := testImage(size[0], size[1])
+		for _, workers := range parityWorkers {
+			par.SetWorkers(workers)
+			t.Run(fmt.Sprintf("%dx%d/w%d", size[0], size[1], workers), func(t *testing.T) {
+				fn(t, g)
+			})
+		}
+	}
+}
+
+func TestResizeParity(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, g *Gray) {
+		for _, target := range [][2]int{{g.W, g.H}, {g.W/2 + 1, g.H/2 + 1}, {2*g.W + 3, g.H + 1}, {7, 5}} {
+			w, h := target[0], target[1]
+			ref := g.ResizeRef(w, h)
+			got := g.Resize(w, h)
+			requireIdentical(t, fmt.Sprintf("Resize(%d,%d)", w, h), ref, got)
+		}
+	})
+}
+
+func TestResizeIntoReusedBufferParity(t *testing.T) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	par.SetWorkers(4)
+	g := testImage(64, 48)
+	var s Scratch
+	dst := s.Take(33, 21)
+	// Poison the buffer: ResizeInto must fully overwrite it.
+	for i := range dst.Pix {
+		dst.Pix[i] = float32(math.NaN())
+	}
+	g.ResizeInto(dst)
+	requireIdentical(t, "ResizeInto(reused)", g.ResizeRef(33, 21), dst)
+}
+
+func TestConvolveParity(t *testing.T) {
+	kernels := map[string][]float32{
+		"identity": {1},
+		"scharr-d": scharrDiff,
+		"burt":     burtAdelson,
+		"gauss2":   GaussianKernel(2), // radius 6: wider than some test images
+	}
+	forEachConfig(t, func(t *testing.T, g *Gray) {
+		for name, k := range kernels {
+			for _, horizontal := range []bool{true, false} {
+				ref := Convolve1DRef(g, k, horizontal)
+				got := convolve1D(g, k, horizontal)
+				requireIdentical(t, fmt.Sprintf("convolve1D(%s,h=%v)", name, horizontal), ref, got)
+			}
+		}
+	})
+}
+
+func TestGaussianBlurParity(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, g *Gray) {
+		var s Scratch
+		dst := NewGray(g.W, g.H)
+		for _, sigma := range []float64{0, 0.8, 2.5} {
+			ref := GaussianBlurRef(g, sigma)
+			requireIdentical(t, fmt.Sprintf("GaussianBlur(%.1f)", sigma),
+				ref, GaussianBlur(g, sigma))
+			// Scratch form twice: second call reuses buffers AND the
+			// memoized kernel.
+			for i := 0; i < 2; i++ {
+				GaussianBlurInto(dst, g, sigma, &s)
+				requireIdentical(t, fmt.Sprintf("GaussianBlurInto(%.1f)#%d", sigma, i), ref, dst)
+			}
+		}
+	})
+}
+
+func TestGradientsParity(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, g *Gray) {
+		refX, refY := GradientsRef(g)
+		gotX, gotY := Gradients(g)
+		requireIdentical(t, "Gradients.x", refX, gotX)
+		requireIdentical(t, "Gradients.y", refY, gotY)
+
+		// Scratch-reusing form, twice through the same scratch.
+		var s Scratch
+		gx := NewGray(g.W, g.H)
+		gy := NewGray(g.W, g.H)
+		for i := 0; i < 2; i++ {
+			GradientsInto(gx, gy, g, &s)
+			requireIdentical(t, "GradientsInto.x", refX, gx)
+			requireIdentical(t, "GradientsInto.y", refY, gy)
+		}
+	})
+}
+
+func TestDownsample2Parity(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, g *Gray) {
+		requireIdentical(t, "Downsample2", Downsample2Ref(g), Downsample2(g))
+	})
+}
+
+func TestPyramidParity(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, g *Gray) {
+		for _, levels := range []int{1, 3, 5} {
+			ref := NewPyramidRef(g, levels)
+			got := NewPyramid(g, levels)
+			if len(ref.Levels) != len(got.Levels) {
+				t.Fatalf("pyramid levels: %d vs %d", len(ref.Levels), len(got.Levels))
+			}
+			for l := range ref.Levels {
+				requireIdentical(t, fmt.Sprintf("Pyramid level %d", l), ref.Levels[l], got.Levels[l])
+			}
+		}
+	})
+}
+
+// TestPyramidRebuildReusesBuffers asserts the frame-over-frame reuse the
+// pixel tracker depends on: rebuilding with a same-sized image must keep the
+// reduced-level buffers and still produce reference output.
+func TestPyramidRebuildReusesBuffers(t *testing.T) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	par.SetWorkers(3)
+	a := testImage(128, 96)
+	b := testImage(128, 96)
+	for i := range b.Pix {
+		b.Pix[i] = 1 - b.Pix[i]
+	}
+	var s Scratch
+	p := &Pyramid{}
+	p.Rebuild(a, 3, &s)
+	if len(p.Levels) != 3 {
+		t.Fatalf("want 3 levels, got %d", len(p.Levels))
+	}
+	lvl1, lvl2 := p.Levels[1], p.Levels[2]
+	p.Rebuild(b, 3, &s)
+	if p.Levels[1] != lvl1 || p.Levels[2] != lvl2 {
+		t.Error("Rebuild reallocated same-sized level buffers")
+	}
+	ref := NewPyramidRef(b, 3)
+	for l := range ref.Levels {
+		requireIdentical(t, fmt.Sprintf("rebuilt level %d", l), ref.Levels[l], p.Levels[l])
+	}
+}
+
+func TestIntegralParity(t *testing.T) {
+	forEachConfig(t, func(t *testing.T, g *Gray) {
+		ref := NewIntegralRef(g)
+		got := NewIntegral(g)
+		if ref.W != got.W || ref.H != got.H || len(ref.sum) != len(got.sum) {
+			t.Fatalf("integral shape mismatch")
+		}
+		for i := range ref.sum {
+			if math.Float64bits(ref.sum[i]) != math.Float64bits(got.sum[i]) {
+				t.Fatalf("integral cell %d: %v vs %v", i, ref.sum[i], got.sum[i])
+			}
+		}
+		// Rebuild into the same table (reused backing array).
+		got.Rebuild(g)
+		for i := range ref.sum {
+			if math.Float64bits(ref.sum[i]) != math.Float64bits(got.sum[i]) {
+				t.Fatalf("rebuilt integral cell %d: %v vs %v", i, ref.sum[i], got.sum[i])
+			}
+		}
+	})
+}
+
+func TestBilinearParity(t *testing.T) {
+	g := testImage(31, 17)
+	// Sweep interior, border and out-of-range samples.
+	for _, pt := range [][2]float64{
+		{5.3, 7.8}, {0.1, 0.1}, {-0.6, 3.2}, {30.4, 16.9}, {33, -2},
+		{15, 8}, {29.999, 15.999}, {-5, -5}, {0, 16.5},
+	} {
+		ref := g.BilinearRef(pt[0], pt[1])
+		got := g.Bilinear(pt[0], pt[1])
+		if math.Float32bits(ref) != math.Float32bits(got) {
+			t.Errorf("Bilinear(%v,%v): %v vs %v", pt[0], pt[1], ref, got)
+		}
+	}
+}
+
+func TestScratchTakePut(t *testing.T) {
+	var s Scratch
+	a := s.Take(10, 10)
+	s.Put(a)
+	b := s.Take(8, 9)
+	if b != a {
+		t.Error("Take did not reuse the freed buffer")
+	}
+	if b.W != 8 || b.H != 9 || len(b.Pix) != 72 {
+		t.Errorf("reused buffer shape %dx%d len %d", b.W, b.H, len(b.Pix))
+	}
+	c := s.Take(100, 100) // larger than anything freed
+	if c == a || len(c.Pix) != 10000 {
+		t.Error("Take for a larger size must allocate fresh")
+	}
+	s.Put(nil) // no-op
+}

@@ -1,0 +1,51 @@
+package rt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"adavp/internal/detect"
+	"adavp/internal/par"
+	"adavp/internal/track"
+	"adavp/internal/video"
+)
+
+// TestLivePixelPipelineUsesParPool runs the full guard-supervised goroutine
+// pipeline in pixel mode with a multi-worker kernel pool: the camera,
+// detector and tracker threads all drive par.Rows concurrently (render,
+// resize, threshold, pyramid, flow). Under `make race` this is the stress
+// test that proves the pool plus the pooled scratches are race-free in their
+// real concurrency context, not just in microtests.
+func TestLivePixelPipelineUsesParPool(t *testing.T) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	v := video.GenerateKind("live-pixel", video.KindHighway, 3, 120)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := Config{
+		TimeScale: 0.01,
+		Seed:      1,
+		PixelMode: true,
+		Detector:  detect.NewBlobDetector(),
+		NewTracker: func(uint64) track.Tracker {
+			return track.NewPixelTracker()
+		},
+		Workers: 4,
+	}
+	r, err := Run(ctx, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := par.Workers(); got != 4 {
+		t.Errorf("pool workers = %d after Config.Workers=4", got)
+	}
+	if len(r.Outputs) != v.NumFrames() {
+		t.Fatalf("%d outputs for %d frames", len(r.Outputs), v.NumFrames())
+	}
+	if r.Cycles < 1 {
+		t.Error("no detection cycles completed")
+	}
+	if r.MeanF1 <= 0 {
+		t.Errorf("pixel pipeline produced mean F1 %f", r.MeanF1)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"adavp/internal/fault"
 	"adavp/internal/guard"
 	"adavp/internal/metrics"
+	"adavp/internal/par"
 	"adavp/internal/rng"
 	"adavp/internal/trace"
 	"adavp/internal/track"
@@ -73,6 +74,10 @@ type Config struct {
 	// Guard tunes the supervision layer; the zero value takes the
 	// documented defaults.
 	Guard guard.Config
+	// Workers sets the pixel-kernel worker pool size for this process
+	// (0 keeps the current setting, default NumCPU). Worker count never
+	// changes results, only wall time (see internal/par).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +180,9 @@ func Run(ctx context.Context, v *video.Video, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if v == nil || v.NumFrames() == 0 {
 		return nil, fmt.Errorf("rt: empty video")
+	}
+	if cfg.Workers > 0 {
+		par.SetWorkers(cfg.Workers)
 	}
 	det := cfg.Detector
 	if det == nil {

@@ -34,10 +34,18 @@ type PixelTracker struct {
 	// FBMaxError is the round-trip rejection threshold (<= 0 selects 1.0).
 	FBMaxError float64
 
-	prevPyr   *imgproc.Pyramid
-	prevIndex int
-	objs      []trackedObject
-	bounds    geom.Rect
+	// prevPyr and sparePyr alternate frame over frame: Step rebuilds the
+	// spare pyramid's buffers from the new frame and swaps, instead of
+	// reallocating the whole stack every frame. scratch feeds the imgproc
+	// temporaries of the rebuild; flowScratch keeps the Lucas–Kanade
+	// gradient buffers alive across Steps.
+	prevPyr     *imgproc.Pyramid
+	sparePyr    *imgproc.Pyramid
+	scratch     imgproc.Scratch
+	flowScratch flow.Scratch
+	prevIndex   int
+	objs        []trackedObject
+	bounds      geom.Rect
 }
 
 // trackedObject is one detection being followed.
@@ -64,7 +72,15 @@ func NewPixelTracker() *PixelTracker {
 // without pixels clears the tracker.
 func (t *PixelTracker) Init(ref core.Frame, dets []core.Detection) int {
 	t.objs = t.objs[:0]
-	t.prevPyr = nil
+	if t.prevPyr != nil {
+		// Recycle the previous pyramid's reduced-level buffers instead of
+		// dropping them; level 0 aliases the old frame and is replaced by
+		// Rebuild.
+		if t.sparePyr == nil {
+			t.sparePyr = t.prevPyr
+		}
+		t.prevPyr = nil
+	}
 	if ref.Pixels == nil {
 		return 0
 	}
@@ -85,9 +101,20 @@ func (t *PixelTracker) Init(ref core.Frame, dets []core.Detection) int {
 		total += len(obj.pts)
 		t.objs = append(t.objs, obj)
 	}
-	t.prevPyr = imgproc.NewPyramid(ref.Pixels, t.PyramidLevels)
+	t.prevPyr = t.takeSpare()
+	t.prevPyr.Rebuild(ref.Pixels, t.PyramidLevels, &t.scratch)
 	t.prevIndex = ref.Index
 	return total
+}
+
+// takeSpare returns the pyramid whose buffers are free for rebuilding.
+func (t *PixelTracker) takeSpare() *imgproc.Pyramid {
+	p := t.sparePyr
+	if p == nil {
+		p = &imgproc.Pyramid{}
+	}
+	t.sparePyr = nil
+	return p
 }
 
 // Step implements Tracker. Objects whose features are all lost keep their
@@ -100,7 +127,8 @@ func (t *PixelTracker) Step(next core.Frame) ([]core.Detection, float64) {
 		}
 		return out, 0
 	}
-	nextPyr := imgproc.NewPyramid(next.Pixels, t.PyramidLevels)
+	nextPyr := t.takeSpare()
+	nextPyr.Rebuild(next.Pixels, t.PyramidLevels, &t.scratch)
 
 	// Gather all live feature points into one flow batch.
 	var batch []geom.Point
@@ -116,13 +144,13 @@ func (t *PixelTracker) Step(next core.Frame) ([]core.Detection, float64) {
 	}
 	var results []flow.Result
 	if t.ForwardBackward {
-		fb := flow.TrackFB(t.prevPyr, nextPyr, batch, t.FlowParams, t.FBMaxError)
+		fb := t.flowScratch.TrackFB(t.prevPyr, nextPyr, batch, t.FlowParams, t.FBMaxError)
 		results = make([]flow.Result, len(fb))
 		for i, r := range fb {
 			results[i] = r.Result
 		}
 	} else {
-		results = flow.Track(t.prevPyr, nextPyr, batch, t.FlowParams)
+		results = t.flowScratch.Track(t.prevPyr, nextPyr, batch, t.FlowParams)
 	}
 
 	// Per-object displacement lists.
@@ -170,6 +198,7 @@ func (t *PixelTracker) Step(next core.Frame) ([]core.Detection, float64) {
 		o.pts = kept[oi]
 		out = append(out, o.det)
 	}
+	t.sparePyr = t.prevPyr
 	t.prevPyr = nextPyr
 	t.prevIndex = next.Index
 

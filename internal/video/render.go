@@ -6,6 +6,7 @@ import (
 
 	"adavp/internal/core"
 	"adavp/internal/imgproc"
+	"adavp/internal/par"
 )
 
 // Rendering constants. The raster is designed so that
@@ -58,15 +59,20 @@ func (v *Video) Render(i int) *imgproc.Gray {
 	bgSeed := v.seed ^ 0x5bd1e995
 
 	// Background: fractal noise in world coordinates so camera pan and ego
-	// scroll translate it exactly like real scenery.
-	for y := 0; y < h; y++ {
-		wy := (float64(y) + camY) / bgScale
-		for x := 0; x < w; x++ {
-			wx := (float64(x) + camX) / bgScale
-			n := fbmNoise(bgSeed, wx, wy, 2)
-			img.Pix[y*w+x] = float32(bgLow + n*(bgHigh-bgLow))
+	// scroll translate it exactly like real scenery. Rows are independent,
+	// so the raster fills in parallel bands; every pixel runs the same
+	// scalar expression, keeping rendering pure at any worker count.
+	par.Rows(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			wy := (float64(y) + camY) / bgScale
+			row := img.Row(y)
+			for x := 0; x < w; x++ {
+				wx := (float64(x) + camX) / bgScale
+				n := fbmNoise(bgSeed, wx, wy, 2)
+				row[x] = float32(bgLow + n*(bgHigh-bgLow))
+			}
 		}
-	}
+	})
 
 	// Objects, oldest first so newer objects occlude older ones near the
 	// camera — an arbitrary but stable depth order. The render list carries
@@ -83,12 +89,14 @@ func (v *Video) Render(i int) *imgproc.Gray {
 	// (seed, frame, pixel) triple.
 	if amp := float32(v.Params.SensorNoise); amp > 0 {
 		noiseSeed := v.seed ^ 0x6e6f6973 ^ uint64(i)*0x9e3779b97f4a7c15
-		for y := 0; y < h; y++ {
-			row := img.Pix[y*w : (y+1)*w]
-			for x := range row {
-				row[x] += (float32(hash2(noiseSeed, int64(x), int64(y))) - 0.5) * 2 * amp
+		par.Rows(h, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				row := img.Row(y)
+				for x := range row {
+					row[x] += (float32(hash2(noiseSeed, int64(x), int64(y))) - 0.5) * 2 * amp
+				}
 			}
-		}
+		})
 	}
 	return img
 }
@@ -182,42 +190,61 @@ func (v *Video) drawObject(img *imgproc.Gray, o renderObject, frame int) {
 		return val, true
 	}
 
-	for y := y0; y <= y1; y++ {
-		if y < 0 || y >= img.H {
-			continue
-		}
-		for x := x0; x <= x1; x++ {
-			if x < 0 || x >= img.W {
-				continue
-			}
-			fx := float64(x) + 0.5
-			fy := float64(y) + 0.5
-			if taps == 1 {
-				if c, ok := shapeColor(fx, fy); ok {
-					img.Pix[y*img.W+x] = float32(c)
-				}
-				continue
-			}
-			var sum float64
-			covered := 0
-			for ti := 0; ti < taps; ti++ {
-				// Offsets span [-1/2, +1/2] of the blur vector.
-				t := float64(ti)/float64(taps-1) - 0.5
-				c, ok := shapeColor(fx-blur.X*t, fy-blur.Y*t)
-				if ok {
-					sum += c
-					covered++
-				} else {
-					// The shape does not cover this tap: the sensor saw the
-					// background there during part of the exposure.
-					sum += float64(img.Pix[y*img.W+x])
-				}
-			}
-			if covered > 0 {
-				img.Pix[y*img.W+x] = float32(sum / float64(taps))
-			}
-		}
+	// Clip the affected rectangle to the raster, then rasterize its rows in
+	// parallel bands. Each row only writes its own pixels, and the
+	// uncovered-tap background reads are at the written pixel itself, so
+	// bands touch disjoint memory and the raster is identical at any worker
+	// count.
+	yLo, yHi := y0, y1
+	if yLo < 0 {
+		yLo = 0
 	}
+	if yHi >= img.H {
+		yHi = img.H - 1
+	}
+	xLo, xHi := x0, x1
+	if xLo < 0 {
+		xLo = 0
+	}
+	if xHi >= img.W {
+		xHi = img.W - 1
+	}
+	if yHi < yLo || xHi < xLo {
+		return
+	}
+	par.Rows(yHi-yLo+1, func(lo, hi int) {
+		for y := yLo + lo; y < yLo+hi; y++ {
+			row := img.Row(y)
+			fy := float64(y) + 0.5
+			for x := xLo; x <= xHi; x++ {
+				fx := float64(x) + 0.5
+				if taps == 1 {
+					if c, ok := shapeColor(fx, fy); ok {
+						row[x] = float32(c)
+					}
+					continue
+				}
+				var sum float64
+				covered := 0
+				for ti := 0; ti < taps; ti++ {
+					// Offsets span [-1/2, +1/2] of the blur vector.
+					t := float64(ti)/float64(taps-1) - 0.5
+					c, ok := shapeColor(fx-blur.X*t, fy-blur.Y*t)
+					if ok {
+						sum += c
+						covered++
+					} else {
+						// The shape does not cover this tap: the sensor saw the
+						// background there during part of the exposure.
+						sum += float64(row[x])
+					}
+				}
+				if covered > 0 {
+					row[x] = float32(sum / float64(taps))
+				}
+			}
+		}
+	})
 }
 
 // exposureFraction is the fraction of the frame interval the virtual shutter

@@ -1,0 +1,284 @@
+package adavp
+
+// Pixel-pipeline benchmark-regression harness (DESIGN.md §8). Two entry
+// points share the same per-frame op:
+//
+//   go test -bench=PixelFrame .            interactive macro benchmarks
+//   make bench-json                        writes BENCH_pixel.json via
+//                                          TestPixelBenchJSON (below)
+//
+// The macro op is one full camera-to-tracker frame at native resolution
+// (704×396, the 704 reference input of the blob detector scaled to 16:9):
+// render the frame, run the blob detector at the given model setting, and
+// advance the pixel tracker one step. The per-kernel rows compare each
+// optimized kernel against its retained scalar reference (imgproc *Ref),
+// which is the honest speedup measure on any core count; the macro rows
+// additionally record the worker count so multi-core runs are comparable.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"adavp/internal/core"
+	"adavp/internal/detect"
+	"adavp/internal/imgproc"
+	"adavp/internal/par"
+	"adavp/internal/track"
+	"adavp/internal/video"
+)
+
+var (
+	benchJSONPath = flag.String("benchjson", "",
+		"write pixel-pipeline benchmark results to this JSON file (enables TestPixelBenchJSON)")
+	benchJSONIters = flag.Int("benchjson-iters", 0,
+		"fixed iteration count for -benchjson measurements (0 = auto-calibrate); use 1 for a smoke run")
+)
+
+// benchSettings are the five model settings of the macro benchmark.
+var benchSettings = []core.Setting{
+	core.Setting320, core.Setting416, core.Setting512, core.Setting608, core.Setting704,
+}
+
+// benchVideo renders the macro-bench scenario at the blob detector's native
+// reference width (704) in 16:9.
+func benchPixelVideo(frames int) *video.Video {
+	p := video.ScenarioParams(video.KindHighway)
+	p.W, p.H = 704, 396
+	return video.Generate("pixel-bench", p, 7, frames)
+}
+
+// pixelFrameOp returns a closure running one full pipeline frame, cycling
+// through the video and re-seeding the tracker on wrap.
+func pixelFrameOp(v *video.Video, setting core.Setting) func() {
+	d := detect.NewBlobDetector()
+	tr := track.NewPixelTracker()
+	first := v.FrameWithPixels(0)
+	tr.Init(first, d.Detect(first, setting))
+	i := 0
+	return func() {
+		i++
+		if i >= v.NumFrames() {
+			i = 1
+			tr.Init(first, d.Detect(first, setting))
+		}
+		f := v.Frame(i)
+		f.Pixels = v.Render(i)
+		_ = d.Detect(f, setting)
+		_, _ = tr.Step(f)
+	}
+}
+
+func BenchmarkPixelFrame(b *testing.B) {
+	v := benchPixelVideo(60)
+	for _, s := range benchSettings {
+		b.Run(fmt.Sprintf("setting-%d", s.InputSize()), func(b *testing.B) {
+			op := pixelFrameOp(v, s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+	}
+}
+
+// --- JSON harness -----------------------------------------------------------
+
+type pixelBenchReport struct {
+	Schema      string           `json:"schema"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	NumCPU      int              `json:"num_cpu"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	Workers     int              `json:"workers"`
+	Iters       int              `json:"iters"` // 0 = auto-calibrated per measurement
+	Kernels     []pixelKernelRow `json:"kernels"`
+	Macro       []pixelMacroRow  `json:"macro"`
+}
+
+// pixelKernelRow compares an optimized kernel against its retained scalar
+// reference at one input size.
+type pixelKernelRow struct {
+	Name        string  `json:"name"`
+	Size        string  `json:"size"`
+	RefNsOp     float64 `json:"ref_ns_op"`
+	NsOp        float64 `json:"ns_op"`
+	Speedup     float64 `json:"speedup"`
+	RefAllocsOp float64 `json:"ref_allocs_op"`
+	AllocsOp    float64 `json:"allocs_op"`
+}
+
+// pixelMacroRow is one full-pipeline frame measurement.
+type pixelMacroRow struct {
+	Setting     int     `json:"setting"`
+	Frame       string  `json:"frame"`
+	NsFrame     float64 `json:"ns_frame"`
+	FPS         float64 `json:"fps_equivalent"`
+	AllocsFrame float64 `json:"allocs_frame"`
+}
+
+// measureNs times fn over iters runs (after one warm-up call) and returns
+// mean ns per op. With -benchjson-iters 0 the count is calibrated to keep
+// each measurement near 150ms wall time.
+func measureNs(fn func()) (nsOp float64, iters int) {
+	fn() // warm caches, pools and lazy allocations
+	iters = *benchJSONIters
+	if iters <= 0 {
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		iters = int(150 * time.Millisecond / d)
+		if iters < 3 {
+			iters = 3
+		}
+		if iters > 2000 {
+			iters = 2000
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), iters
+}
+
+func measureAllocs(fn func()) float64 {
+	runs := 5
+	if *benchJSONIters == 1 {
+		runs = 1
+	}
+	return testing.AllocsPerRun(runs, fn)
+}
+
+func kernelRow(name, size string, ref, opt func()) pixelKernelRow {
+	refNs, _ := measureNs(ref)
+	optNs, _ := measureNs(opt)
+	row := pixelKernelRow{
+		Name:        name,
+		Size:        size,
+		RefNsOp:     refNs,
+		NsOp:        optNs,
+		RefAllocsOp: measureAllocs(ref),
+		AllocsOp:    measureAllocs(opt),
+	}
+	if optNs > 0 {
+		row.Speedup = refNs / optNs
+	}
+	return row
+}
+
+// kernelRows measures every hot kernel, optimized vs retained reference, at
+// one input size.
+func kernelRows(w, h int) []pixelKernelRow {
+	size := fmt.Sprintf("%dx%d", w, h)
+	g := imgproc.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = float32((i*2654435761)%997) / 997
+	}
+	rows := make([]pixelKernelRow, 0, 5)
+	var s imgproc.Scratch
+
+	dst := imgproc.NewGray(w*512/704, h*512/704)
+	rows = append(rows, kernelRow("resize", size,
+		func() { _ = g.ResizeRef(dst.W, dst.H) },
+		func() { g.ResizeInto(dst) }))
+
+	blurOut := imgproc.NewGray(w, h)
+	rows = append(rows, kernelRow("gaussian_blur", size,
+		func() { _ = imgproc.GaussianBlurRef(g, 1.5) },
+		func() { imgproc.GaussianBlurInto(blurOut, g, 1.5, &s) }))
+
+	gx := imgproc.NewGray(w, h)
+	gy := imgproc.NewGray(w, h)
+	rows = append(rows, kernelRow("gradients", size,
+		func() { _, _ = imgproc.GradientsRef(g) },
+		func() { imgproc.GradientsInto(gx, gy, g, &s) }))
+
+	pyr := &imgproc.Pyramid{}
+	rows = append(rows, kernelRow("pyramid", size,
+		func() { _ = imgproc.NewPyramidRef(g, 3) },
+		func() { pyr.Rebuild(g, 3, &s) }))
+
+	it := &imgproc.Integral{}
+	rows = append(rows, kernelRow("integral", size,
+		func() { _ = imgproc.NewIntegralRef(g) },
+		func() { it.Rebuild(g) }))
+
+	return rows
+}
+
+// TestPixelBenchJSON is the make bench-json entry point: it measures every
+// kernel against its scalar reference plus the macro pipeline at each model
+// setting, and writes the report to the -benchjson path. Without the flag it
+// is skipped, so plain `go test ./...` stays fast.
+func TestPixelBenchJSON(t *testing.T) {
+	if *benchJSONPath == "" {
+		t.Skip("pass -benchjson <path> (see make bench-json) to run the pixel benchmark harness")
+	}
+	report := pixelBenchReport{
+		Schema:      "adavp-pixel-bench/1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     par.Workers(),
+		Iters:       *benchJSONIters,
+	}
+	for _, size := range [][2]int{{320, 180}, {704, 396}} {
+		report.Kernels = append(report.Kernels, kernelRows(size[0], size[1])...)
+	}
+
+	frames := 60
+	if *benchJSONIters == 1 {
+		frames = 8 // smoke run: keep video generation cheap
+	}
+	v := benchPixelVideo(frames)
+	for _, s := range benchSettings {
+		op := pixelFrameOp(v, s)
+		ns, _ := measureNs(op)
+		report.Macro = append(report.Macro, pixelMacroRow{
+			Setting:     s.InputSize(),
+			Frame:       fmt.Sprintf("%dx%d", v.Params.W, v.Params.H),
+			NsFrame:     ns,
+			FPS:         1e9 / ns,
+			AllocsFrame: measureAllocs(op),
+		})
+	}
+
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*benchJSONPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d kernel rows, %d macro rows)",
+		*benchJSONPath, len(report.Kernels), len(report.Macro))
+
+	// Regression tripwires. "Allocation-free" here means no buffer
+	// allocations: what remains per op is the fixed goroutine-closure header
+	// of each par.Rows call (heap-allocated because fn escapes into the
+	// spawn path, even when the call inlines serially) — a handful of
+	// size-independent words, never scaling with the image. The budget
+	// below covers those headers at the current worker count; a buffer
+	// alloc sneaking back into a kernel blows straight through it.
+	allocBudget := float64(8 * (par.Workers() + 1))
+	for _, k := range report.Kernels {
+		if k.AllocsOp > allocBudget {
+			t.Errorf("kernel %s %s allocates %.1f allocs/op in steady state (budget %.0f)",
+				k.Name, k.Size, k.AllocsOp, allocBudget)
+		}
+		if *benchJSONIters == 0 && k.Speedup < 0.9 {
+			t.Errorf("kernel %s %s regressed: %.2fx vs scalar reference", k.Name, k.Size, k.Speedup)
+		}
+	}
+}
