@@ -3,14 +3,17 @@
 #   make build        compile every package and command
 #   make test         run the full test suite
 #   make race         run the concurrency-sensitive packages under the race detector
-#   make vet          static analysis
+#   make vet          static analysis (go vet)
+#   make lint         project-specific analyzers (cmd/adavplint): determinism,
+#                     hot-path allocations, band safety, goroutine leaks, pool pairing
 #   make bench-json   run the pixel-pipeline benchmark harness, write BENCH_pixel.json
-#   make check        everything CI runs: build + vet + test + race + a 1-iteration
-#                     bench-json smoke (catches harness rot without paying bench time)
+#   make check        everything CI runs: build + vet + lint + test + race + a
+#                     1-iteration bench-json smoke (catches harness rot without
+#                     paying bench time)
 
 GO ?= go
 
-.PHONY: build test race vet check bench-json bench-json-smoke clean
+.PHONY: build test race vet lint check bench-json bench-json-smoke clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +32,11 @@ race:
 vet:
 	$(GO) vet ./...
 
+# The five invariants DESIGN.md §9 documents: detrand, hotalloc, bandsafe,
+# leakygo, poolpair. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/adavplint
+
 # Full measurement run; results land in BENCH_pixel.json (committed, so perf
 # regressions show up in review as a diff).
 bench-json:
@@ -40,7 +48,7 @@ bench-json-smoke:
 	$(GO) test -run TestPixelBenchJSON -benchjson-iters 1 \
 		-benchjson $(or $(TMPDIR),/tmp)/adavp_bench_smoke.json .
 
-check: build vet test race bench-json-smoke
+check: build vet lint test race bench-json-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,96 @@
+// Command adavplint runs the repository's static-invariant suite
+// (internal/lint) over the module: detrand, hotalloc, bandsafe, leakygo,
+// poolpair. It is the multichecker behind `make lint`.
+//
+// Usage:
+//
+//	adavplint [-only name[,name]] [dir ...]
+//
+// With no directories it checks every package in the module. Exit status is
+// 1 when any diagnostic is reported, 2 on usage or load errors. Output is
+// one line per finding:
+//
+//	path:line:col: [analyzer] message
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adavp/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "adavplint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs, err = loader.PackageDirs()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cwd, _ := os.Getwd()
+	found := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "adavplint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adavplint:", err)
+	os.Exit(2)
+}

@@ -122,9 +122,17 @@ func Train(samples []Sample) (*Model, error) {
 	if len(bySetting) == 0 {
 		return nil, fmt.Errorf("adapt: no training samples")
 	}
+	// Fit groups in sorted-setting order so the first error reported (and
+	// any future fitting that carries state across groups) is independent
+	// of map iteration order.
+	settings := make([]core.Setting, 0, len(bySetting))
+	for s := range bySetting {
+		settings = append(settings, s)
+	}
+	sort.Slice(settings, func(i, j int) bool { return settings[i] < settings[j] })
 	m := &Model{PerSetting: make(map[core.Setting]Thresholds, len(bySetting))}
-	for setting, group := range bySetting {
-		th, err := fitThresholds(group)
+	for _, setting := range settings {
+		th, err := fitThresholds(bySetting[setting])
 		if err != nil {
 			return nil, fmt.Errorf("adapt: fitting %v: %w", setting, err)
 		}

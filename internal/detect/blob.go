@@ -1,9 +1,11 @@
 package detect
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"adavp/internal/core"
 	"adavp/internal/geom"
@@ -44,6 +46,20 @@ const referenceInput = 704.0
 
 // Detect implements Detector. Frames without pixels yield no detections.
 func (d *BlobDetector) Detect(f core.Frame, s core.Setting) []core.Detection {
+	return d.DetectCtx(context.Background(), f, s)
+}
+
+// blobDrops counts blobScratch instances dropped because their Detect call
+// was abandoned by the watchdog. Exposed for the -race regression test.
+var blobDrops atomic.Int64
+
+// BlobScratchDrops returns the number of pooled scratches dropped (not
+// returned to the pool) because their call was abandoned mid-flight.
+func BlobScratchDrops() int64 { return blobDrops.Load() }
+
+// DetectCtx implements ContextDetector. ctx carries the supervision layer's
+// abandonment signal; the detection itself never blocks on it.
+func (d *BlobDetector) DetectCtx(ctx context.Context, f core.Frame, s core.Setting) []core.Detection {
 	if f.Pixels == nil || f.Pixels.W == 0 || f.Pixels.H == 0 {
 		return nil
 	}
@@ -64,7 +80,7 @@ func (d *BlobDetector) Detect(f core.Frame, s core.Setting) []core.Detection {
 	// supervision layer a watchdog-abandoned Detect call may still be
 	// running when its retry starts, so the detector must tolerate
 	// concurrent calls on itself.
-	bs := blobPool.Get().(*blobScratch)
+	bs := blobPool.Get().(*blobScratch) //adavp:pool-drop released below: Put on completion, dropped when the watchdog abandoned the call
 	small := img
 	var resized *imgproc.Gray
 	if w != img.W || h != img.H {
@@ -73,8 +89,6 @@ func (d *BlobDetector) Detect(f core.Frame, s core.Setting) []core.Detection {
 		small = resized
 	}
 	comps := d.components(small, bs)
-	bs.img.Put(resized)
-	blobPool.Put(bs)
 	back := float64(img.W) / float64(w)
 	out := make([]core.Detection, 0, len(comps))
 	for _, c := range comps {
@@ -90,6 +104,18 @@ func (d *BlobDetector) Detect(f core.Frame, s core.Setting) []core.Detection {
 	}
 	// Strongest (largest) first, matching the score ordering Match expects.
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	// comps aliases bs.comps, so the scratch stays ours until this point.
+	if ctx.Err() != nil {
+		// The watchdog abandoned this call: the supervised retry may already
+		// hold a scratch of its own, and Put-ting ours back would let a
+		// future Get hand the same buffers to two live calls the moment this
+		// goroutine resumes between its last use and the Put. Drop it — the
+		// pool refills on demand.
+		blobDrops.Add(1)
+		return out
+	}
+	bs.img.Put(resized)
+	blobPool.Put(bs)
 	return out
 }
 
@@ -101,11 +127,13 @@ type component struct {
 }
 
 // blobScratch is the reusable working memory of one Detect call: the
-// resized frame, the threshold/visited mask and the flood-fill stack.
+// resized frame, the threshold/visited mask, the flood-fill stack and the
+// component list.
 type blobScratch struct {
 	img   imgproc.Scratch
 	mask  []uint8
 	stack []int32
+	comps []component
 }
 
 var blobPool = sync.Pool{New: func() any { return new(blobScratch) }}
@@ -120,7 +148,10 @@ const (
 // components runs the threshold pass in parallel row bands, then a
 // sequential 4-connected flood fill over the mask. The labeling scan order
 // is the raster order of the scalar implementation, so the component list —
-// and with it every detection — is identical at any worker count.
+// and with it every detection — is identical at any worker count. The
+// returned slice aliases bs.comps; it is valid until the scratch is reused.
+//
+//adavp:hotpath
 func (d *BlobDetector) components(img *imgproc.Gray, bs *blobScratch) []component {
 	w, h := img.W, img.H
 	if cap(bs.mask) < w*h {
@@ -141,7 +172,7 @@ func (d *BlobDetector) components(img *imgproc.Gray, bs *blobScratch) []componen
 			}
 		}
 	})
-	var out []component
+	out := bs.comps[:0]
 	stack := bs.stack
 	for y0 := 0; y0 < h; y0++ {
 		for x0 := 0; x0 < w; x0++ {
@@ -193,6 +224,7 @@ func (d *BlobDetector) components(img *imgproc.Gray, bs *blobScratch) []componen
 		}
 	}
 	bs.stack = stack
+	bs.comps = out
 	return out
 }
 

@@ -21,6 +21,7 @@
 package detect
 
 import (
+	"context"
 	"math"
 
 	"adavp/internal/core"
@@ -33,11 +34,32 @@ type Detector interface {
 	Detect(f core.Frame, s core.Setting) []core.Detection
 }
 
+// ContextDetector is implemented by detectors that want to know when the
+// supervision layer has abandoned the call: ctx is cancelled once the guard
+// watchdog fires, at which point the call's result will be discarded and a
+// retry may already be running concurrently. Implementations use the signal
+// to release resources safely — e.g. the blob detector drops its pooled
+// scratch instead of returning it, because the retry may have drawn a fresh
+// one and a late Put would let two live calls share buffers.
+type ContextDetector interface {
+	Detector
+	DetectCtx(ctx context.Context, f core.Frame, s core.Setting) []core.Detection
+}
+
+// DetectWith calls d.DetectCtx when the detector supports cancellation and
+// plain Detect otherwise. It is the call sites' single dispatch point.
+func DetectWith(ctx context.Context, d Detector, f core.Frame, s core.Setting) []core.Detection {
+	if cd, ok := d.(ContextDetector); ok {
+		return cd.DetectCtx(ctx, f, s)
+	}
+	return d.Detect(f, s)
+}
+
 // Verify interface compliance.
 var (
-	_ Detector = (*SimDetector)(nil)
-	_ Detector = (*BlobDetector)(nil)
-	_ Detector = (*OracleDetector)(nil)
+	_ Detector        = (*SimDetector)(nil)
+	_ ContextDetector = (*BlobDetector)(nil)
+	_ Detector        = (*OracleDetector)(nil)
 )
 
 // Sanitize drops malformed detections — NaN/Inf coordinates, non-positive

@@ -45,6 +45,26 @@ func TestRunUnknownID(t *testing.T) {
 	}
 }
 
+// TestRunByteIdentical is the reproducibility gate the detrand analyzer
+// guards statically: two runs of the same experiment at the same seed must
+// emit byte-identical reports. A stray time.Now, math/rand draw, or
+// map-ordered accumulation anywhere in the sim/detect/track/adapt path would
+// break this.
+func TestRunByteIdentical(t *testing.T) {
+	sc := Scale{FramesPerVideo: 90, TrialFrames: 90, Seed: 7}
+	run := func() []byte {
+		var buf bytes.Buffer
+		if err := Run("fig1", sc, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed runs differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
 func TestFig1Shape(t *testing.T) {
 	r := Fig1(smallScale())
 	if len(r.Rows) != 4 {

@@ -28,6 +28,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -286,7 +287,7 @@ type Detector struct {
 	innerMu sync.Mutex
 }
 
-var _ detect.Detector = (*Detector)(nil)
+var _ detect.ContextDetector = (*Detector)(nil)
 
 // NewDetector wraps inner with the profile's fault schedule.
 func NewDetector(inner detect.Detector, p Profile, m Mode) *Detector {
@@ -299,11 +300,19 @@ func NewDetector(inner detect.Detector, p Profile, m Mode) *Detector {
 
 // Detect implements detect.Detector.
 func (d *Detector) Detect(f core.Frame, s core.Setting) []core.Detection {
+	return d.DetectCtx(context.Background(), f, s)
+}
+
+// DetectCtx implements detect.ContextDetector: the supervision layer's
+// abandonment signal passes through the injector to the inner detector (the
+// hang and latency faults are exactly what make the watchdog abandon calls,
+// so the inner detector must see the cancellation to drop its pooled state).
+func (d *Detector) DetectCtx(ctx context.Context, f core.Frame, s core.Setting) []core.Detection {
 	call, kind, faulted := d.next()
 	if !faulted {
 		d.innerMu.Lock()
 		defer d.innerMu.Unlock()
-		return d.inner.Detect(f, s)
+		return detect.DetectWith(ctx, d.inner, f, s)
 	}
 	switch kind {
 	case KindEmpty:
@@ -318,7 +327,7 @@ func (d *Detector) Detect(f core.Frame, s core.Setting) []core.Detection {
 		}
 		d.innerMu.Lock()
 		defer d.innerMu.Unlock()
-		return d.inner.Detect(f, s)
+		return detect.DetectWith(ctx, d.inner, f, s)
 	case KindHang:
 		if d.mode == Live {
 			time.Sleep(d.prof.Hang)

@@ -110,6 +110,8 @@ type tmplBuf struct {
 var tmplPool = sync.Pool{New: func() any { return new(tmplBuf) }}
 
 // ensure resizes the template buffers for window radius r.
+//
+//adavp:hotpath
 func (t *tmplBuf) ensure(r int) {
 	n := (2*r + 1) * (2*r + 1)
 	if cap(t.x) < n {
@@ -132,6 +134,8 @@ func Track(prev, next *imgproc.Pyramid, pts []geom.Point, p Params) []Result {
 // buffers persist in s across calls, and the points fan out over the worker
 // pool in contiguous bands. Each point's solve is independent and runs the
 // identical scalar code at any worker count, so results are deterministic.
+//
+//adavp:hotpath
 func (s *Scratch) Track(prev, next *imgproc.Pyramid, pts []geom.Point, p Params) []Result {
 	p = p.withDefaults()
 	levels := len(prev.Levels)
@@ -153,7 +157,7 @@ func (s *Scratch) Track(prev, next *imgproc.Pyramid, pts []geom.Point, p Params)
 		s.gy[l] = ensureSize(s.gy[l], lvl.W, lvl.H)
 		imgproc.GradientsInto(s.gx[l], s.gy[l], lvl, &s.img)
 	}
-	out := make([]Result, len(pts))
+	out := make([]Result, len(pts)) //adavp:alloc-ok the result slice is returned; its ownership transfers to the caller
 	par.Rows(len(pts), func(lo, hi int) {
 		tb := tmplPool.Get().(*tmplBuf)
 		tb.ensure(p.WindowRadius)
@@ -180,6 +184,8 @@ func ensureSize(g *imgproc.Gray, w, h int) *imgproc.Gray {
 }
 
 // trackOne runs the coarse-to-fine estimation for a single point.
+//
+//adavp:hotpath
 func trackOne(prev, next *imgproc.Pyramid, gxs, gys []*imgproc.Gray, pt geom.Point, levels int, p Params, tb *tmplBuf) Result {
 	r := p.WindowRadius
 	// Displacement guess carried across levels, expressed at the current level.

@@ -14,6 +14,7 @@
 package guard
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -236,9 +237,16 @@ type callResult struct {
 // Call runs fn in a supervised goroutine: panics are recovered and reported
 // as Panicked, and a call that outlives deadline is abandoned (the goroutine
 // keeps draining in the background; its eventual result is discarded) and
-// reported as Timeout. Because abandoned calls may still be executing when
-// the caller retries, fn must tolerate overlapping invocations.
-func (s *Supervisor) Call(deadline time.Duration, fn func() []core.Detection) ([]core.Detection, Outcome) {
+// reported as Timeout. The context passed to fn is cancelled the moment the
+// watchdog abandons the call (and, harmlessly, after a completed call
+// returns), so fn can tell "my result will be used" from "I am a zombie and
+// a retry may already be running" — which is what lets pooled resources be
+// dropped instead of double-shared. Because abandoned calls may still be
+// executing when the caller retries, fn must tolerate overlapping
+// invocations.
+func (s *Supervisor) Call(deadline time.Duration, fn func(ctx context.Context) []core.Detection) ([]core.Detection, Outcome) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	ch := make(chan callResult, 1)
 	go func() {
 		defer func() {
@@ -246,7 +254,7 @@ func (s *Supervisor) Call(deadline time.Duration, fn func() []core.Detection) ([
 				ch <- callResult{panicked: true}
 			}
 		}()
-		ch <- callResult{dets: fn()}
+		ch <- callResult{dets: fn(ctx)}
 	}()
 	timer := time.NewTimer(deadline)
 	defer timer.Stop()
@@ -257,6 +265,8 @@ func (s *Supervisor) Call(deadline time.Duration, fn func() []core.Detection) ([
 		}
 		return r.dets, OK
 	case <-timer.C:
+		// The deferred cancel marks the abandoned goroutine's context done
+		// before Call returns, strictly before any retry can start.
 		return nil, Timeout
 	}
 }

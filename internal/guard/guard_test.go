@@ -1,34 +1,78 @@
 package guard
 
 import (
+	"context"
+	"runtime"
 	"testing"
 	"time"
 
 	"adavp/internal/core"
 )
 
+// TestCallGoroutineReleased asserts that supervised call goroutines are not
+// leaked: a completed call's goroutine exits immediately, and an abandoned
+// (timed-out) call's goroutine exits once the underlying work returns — the
+// buffered result channel means it never blocks forever on send.
+func TestCallGoroutineReleased(t *testing.T) {
+	s := New(Config{})
+	base := runtime.NumGoroutine()
+
+	for i := 0; i < 8; i++ {
+		s.Call(time.Second, func(context.Context) []core.Detection { return nil })
+	}
+
+	release := make(chan struct{})
+	if _, o := s.Call(5*time.Millisecond, func(ctx context.Context) []core.Detection {
+		<-release
+		return nil
+	}); o != Timeout {
+		t.Fatalf("outcome = %v, want Timeout", o)
+	}
+	close(release) // let the zombie drain
+
+	deadline := time.Now().Add(5 * time.Second)
+	const tolerance = 2
+	for runtime.NumGoroutine() > base+tolerance {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine count %d never returned to baseline %d (+%d)\n%s",
+				runtime.NumGoroutine(), base, tolerance, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestCallOutcomes(t *testing.T) {
 	s := New(Config{})
 
 	want := []core.Detection{{Class: core.ClassCar, Score: 1}}
-	dets, o := s.Call(time.Second, func() []core.Detection { return want })
+	dets, o := s.Call(time.Second, func(context.Context) []core.Detection { return want })
 	if o != OK || len(dets) != 1 {
 		t.Fatalf("ok call: outcome %v, %d detections", o, len(dets))
 	}
 
-	dets, o = s.Call(time.Second, func() []core.Detection { panic("boom") })
+	dets, o = s.Call(time.Second, func(context.Context) []core.Detection { panic("boom") })
 	if o != Panicked || dets != nil {
 		t.Fatalf("panicking call: outcome %v, dets %v", o, dets)
 	}
 
 	release := make(chan struct{})
 	defer close(release)
-	dets, o = s.Call(10*time.Millisecond, func() []core.Detection {
+	abandonedCtx := make(chan context.Context, 1)
+	dets, o = s.Call(10*time.Millisecond, func(ctx context.Context) []core.Detection {
+		abandonedCtx <- ctx
 		<-release
 		return want
 	})
 	if o != Timeout || dets != nil {
 		t.Fatalf("hung call: outcome %v, dets %v", o, dets)
+	}
+	// The abandoned call's context must already be cancelled when Call
+	// returns Timeout — that ordering is what lets detectors drop pooled
+	// state before any retry can draw from the pool.
+	if err := (<-abandonedCtx).Err(); err == nil {
+		t.Fatal("abandoned call's context not cancelled after Timeout")
 	}
 }
 

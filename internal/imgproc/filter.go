@@ -42,6 +42,8 @@ func convolve1D(g *Gray, kernel []float32, horizontal bool) *Gray {
 // support lies fully inside the image take a flat-indexed fast path, and the
 // per-pixel accumulation order matches convolve1DRef tap for tap, so output
 // is bitwise-identical to the scalar reference at every worker count.
+//
+//adavp:hotpath
 func convolve1DInto(dst, g *Gray, kernel []float32, horizontal bool) {
 	radius := len(kernel) / 2
 	w, h := g.W, g.H
@@ -111,6 +113,8 @@ func convolve1DInto(dst, g *Gray, kernel []float32, horizontal bool) {
 
 // convolveClampedH is the border path of the horizontal convolution: the
 // same per-tap clamped accumulation the scalar reference performs.
+//
+//adavp:hotpath
 func convolveClampedH(g *Gray, kernel []float32, radius, x, y int) float32 {
 	var acc float32
 	for i, kv := range kernel {
@@ -135,6 +139,8 @@ func GaussianBlur(g *Gray, sigma float64) *Gray {
 // GaussianBlurInto smooths g into dst (same size, fully overwritten; must
 // not alias g) drawing the intermediate pass from s, allocating nothing in
 // steady state. Sigma <= 0 copies the input.
+//
+//adavp:hotpath
 func GaussianBlurInto(dst, g *Gray, sigma float64, s *Scratch) {
 	if sigma <= 0 {
 		copy(dst.Pix, g.Pix)
@@ -174,6 +180,8 @@ func Gradients(g *Gray) (gx, gy *Gray) {
 // GradientsInto computes the Scharr gradients into gx, gy (same size as g,
 // fully overwritten) using s for the intermediate pass, allocating nothing
 // when the scratch already holds a same-size buffer.
+//
+//adavp:hotpath
 func GradientsInto(gx, gy, g *Gray, s *Scratch) {
 	tmp := s.Take(g.W, g.H)
 	convolve1DInto(tmp, g, scharrDiff, true)
@@ -201,6 +209,8 @@ func Downsample2(g *Gray) *Gray {
 
 // Downsample2Into performs the pyramid reduction into dst (which must be
 // g.W/2 × g.H/2, fully overwritten), drawing temporaries from s.
+//
+//adavp:hotpath
 func Downsample2Into(dst, g *Gray, s *Scratch) {
 	sm := s.Take(g.W, g.H)
 	tmp := s.Take(g.W, g.H)

@@ -11,6 +11,7 @@ package imgproc
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"adavp/internal/par"
 )
@@ -90,6 +91,8 @@ func (g *Gray) Fill(v float32) {
 // centers at integer coordinates. Interior samples (all four taps in
 // bounds) take a flat-indexed fast path; the arithmetic is identical to the
 // clamped path, so the fast path is bitwise-equivalent.
+//
+//adavp:hotpath
 func (g *Gray) Bilinear(x, y float64) float32 {
 	x0 := int(math.Floor(x))
 	y0 := int(math.Floor(y))
@@ -124,12 +127,38 @@ func (g *Gray) Resize(w, h int) *Gray {
 	return out
 }
 
+// resizeTaps holds the per-destination-column tap tables of one ResizeInto
+// call. They are pooled rather than stack-allocated because their size is the
+// destination width (unknown at compile time) and rather than kept on Gray
+// because concurrent resizes of the same source — a watchdog-abandoned
+// detection racing its retry — must not share them.
+type resizeTaps struct {
+	x0s []int32
+	fxs []float32
+}
+
+// ensure resizes the tap tables to w columns, reallocating only on growth.
+//
+//adavp:hotpath
+func (t *resizeTaps) ensure(w int) {
+	if cap(t.x0s) < w {
+		t.x0s = make([]int32, w)
+		t.fxs = make([]float32, w)
+	}
+	t.x0s = t.x0s[:w]
+	t.fxs = t.fxs[:w]
+}
+
+var resizeTapPool = sync.Pool{New: func() any { return new(resizeTaps) }}
+
 // ResizeInto scales the image into dst (whose W, H select the target size),
 // overwriting its pixels. Destination rows are computed in parallel bands;
 // each destination pixel runs the same scalar arithmetic as Bilinear, so the
 // output is bitwise-identical for every worker count. Interior destination
 // pixels — those whose four source taps are all in bounds — skip the clamped
 // At path entirely.
+//
+//adavp:hotpath
 func (g *Gray) ResizeInto(dst *Gray) {
 	w, h := dst.W, dst.H
 	if w == 0 || h == 0 {
@@ -146,8 +175,9 @@ func (g *Gray) ResizeInto(dst *Gray) {
 	// columns whose two x taps are both in bounds form one contiguous range
 	// [xLo, xHi) — the branch-free interior of the per-row loop below. The
 	// fraction stored here is bit-for-bit the one Bilinear would compute.
-	x0s := make([]int32, w)
-	fxs := make([]float32, w)
+	taps := resizeTapPool.Get().(*resizeTaps)
+	taps.ensure(w)
+	x0s, fxs := taps.x0s, taps.fxs
 	xLo, xHi := w, 0
 	for x := 0; x < w; x++ {
 		srcX := (float64(x)+0.5)*sx - 0.5
@@ -202,6 +232,7 @@ func (g *Gray) ResizeInto(dst *Gray) {
 			}
 		}
 	})
+	resizeTapPool.Put(taps)
 }
 
 // Mean returns the average pixel value, or 0 for an empty image.

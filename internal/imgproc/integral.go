@@ -27,6 +27,8 @@ func NewIntegral(g *Gray) *Integral {
 // independent). Every cell's value is the column-order sum of row prefixes,
 // which is precisely the serial recurrence sum[y+1][x+1] = sum[y][x+1] +
 // rowSum — so the table is bitwise-identical at any worker count.
+//
+//adavp:hotpath
 func (it *Integral) Rebuild(g *Gray) {
 	w, h := g.W, g.H
 	it.W, it.H = w, h

@@ -1,0 +1,16 @@
+package lint
+
+// All returns the full adavplint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, HotAlloc, BandSafe, LeakyGo, PoolPair}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BandSafe guards the two ways to break internal/par's banding contract,
+// which is what makes every pixel kernel bitwise-deterministic at any
+// worker count (and what the parity tests assert):
+//
+//  1. A band closure writing a captured scalar variable: bands run
+//     concurrently, so such writes race, and even "benign" races (max
+//     trackers, accumulators) make the result depend on the worker count.
+//     Writes must go through the band-index arguments into disjoint
+//     elements of shared slices. (Writes through captured slices/pointers
+//     cannot be checked for disjointness statically; the analyzer trusts
+//     indexed writes and flags only direct captured-identifier stores.)
+//
+//  2. Calling par.Rows from inside a band closure: Rows joins its bands
+//     with a WaitGroup on the caller's goroutine, so reentrant fan-out
+//     multiplies goroutines quadratically and — with a bounded custom pool
+//     — can deadlock. Kernels compose sequentially, never nested.
+//
+// Named functions passed to par.Rows (rare; the code base always passes
+// literals) are not analyzed — keep band bodies as literals so the
+// analyzer sees them.
+var BandSafe = &Analyzer{
+	Name: "bandsafe",
+	Doc:  "par.Rows closures may write only through band-indexed elements and must not call par.Rows reentrantly",
+	Run:  runBandSafe,
+}
+
+func runBandSafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParRows(pass, call) || len(call.Args) != 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkBandClosure(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// isParRows reports whether the call resolves to internal/par's Rows.
+func isParRows(pass *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass.Info, call)
+	return f != nil && f.Name() == "Rows" && f.Pkg() != nil && pathHasSuffixPkg(f.Pkg().Path(), "par")
+}
+
+func checkBandClosure(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isParRows(pass, n) && !pass.Suppressed("bandsafe-ok", n.Pos()) {
+				pass.Reportf(n.Pos(), "reentrant par.Rows inside a band closure: bands must not fan out again (compose kernels sequentially)")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkBandWrite(pass, lit, lhs, n.Tok.String())
+			}
+		case *ast.IncDecStmt:
+			checkBandWrite(pass, lit, n.X, n.Tok.String())
+		case *ast.UnaryExpr:
+			// &captured escaping the closure could alias a write; out of
+			// scope for a mechanical check.
+		}
+		return true
+	})
+}
+
+// checkBandWrite flags a direct store to an identifier captured from the
+// enclosing function. Writes through index/star/selector expressions are
+// assumed band-disjoint (that is the contract the closure's author signs).
+func checkBandWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, tok string) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := objOf(pass, id)
+	if obj == nil {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	// Declared inside the closure (including its parameters) — fine.
+	if lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End() {
+		return
+	}
+	if pass.Suppressed("bandsafe-ok", id.Pos()) {
+		return
+	}
+	pass.Reportf(id.Pos(), "band closure writes captured variable %q (%s): concurrent bands race on it and the result depends on the worker count; write through band-indexed slice elements instead", id.Name, tok)
+}

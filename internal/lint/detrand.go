@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// detPackages are the packages whose outputs feed the paper reproduction
+// (Fig. 9, Table 2, the parity tests): everything they emit must be a pure
+// function of the seed. Matched by "internal/<name>" path suffix so the
+// fixtures under testdata exercise the same policy as the real tree.
+var detPackages = []string{
+	"sim", "detect", "adapt", "core", "imgproc", "flow", "track", "video",
+	"features", "metrics", "experiments",
+}
+
+// wallClockExempt lists deterministic packages that may read the wall
+// clock anyway: experiments measures real kernel latency for Table 2, and
+// that measurement is explicitly a wall-clock quantity. (rt is not in
+// detPackages at all — the live pipeline is wall-clock by design.)
+var wallClockExempt = []string{"experiments"}
+
+// detrandPackage reports whether path is held to the determinism contract.
+func detrandPackage(path string) bool {
+	for _, name := range detPackages {
+		if pathHasSuffixPkg(path, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func detrandWallClockExempt(path string) bool {
+	for _, name := range wallClockExempt {
+		if pathHasSuffixPkg(path, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// DetRand forbids the three ways a deterministic package silently loses
+// reproducibility: wall-clock reads (time.Now/Since/Until), math/rand
+// (unseeded global state, stream not stable across Go releases — use
+// internal/rng), and ranging over a map (iteration order is randomized per
+// run). Map ranges are allowed when the loop only collects keys that are
+// sorted afterwards in the same function, the canonical deterministic
+// idiom; anything subtler needs an "//adavp:detrand-ok <why>" suppression.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock, math/rand and ordered map iteration in deterministic packages " +
+		"(sim, detect, adapt, core, imgproc, flow, track, video, features, metrics, experiments)",
+	Run: runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	if !detrandPackage(pass.PkgPath) {
+		return nil
+	}
+	clockExempt := detrandWallClockExempt(pass.PkgPath)
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				if !pass.Suppressed("detrand-ok", imp.Pos()) {
+					pass.Reportf(imp.Pos(), "deterministic package imports %s; use the seeded streams of internal/rng instead", path)
+				}
+			}
+		}
+		// Track the innermost enclosing function of each node so the
+		// sorted-key-collection check can search sibling statements.
+		var funcStack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				ast.Inspect(funcBody(n), walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.CallExpr:
+				if !clockExempt {
+					if f := calleeFunc(pass.Info, n); f != nil && f.Pkg() != nil && f.Pkg().Path() == "time" {
+						switch f.Name() {
+						case "Now", "Since", "Until":
+							if !pass.Suppressed("detrand-ok", n.Pos()) {
+								pass.Reportf(n.Pos(), "wall-clock read time.%s in deterministic package; derive timing from the virtual clock or pass timestamps in", f.Name())
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, enclosingFunc(funcStack))
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit (possibly nil).
+func funcBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return &ast.BlockStmt{}
+		}
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+func enclosingFunc(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// checkMapRange flags `for ... := range m` over a map unless the iteration
+// provably cannot affect output order.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, fn ast.Node) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// `for range m` uses neither key nor value: pure counting, order-free.
+	if rng.Key == nil && rng.Value == nil {
+		return
+	}
+	if isSortedKeyCollection(pass, rng, fn) {
+		return
+	}
+	if pass.Suppressed("detrand-ok", rng.Pos()) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order is randomized; collect keys and sort (see metrics.ClassReport.Rows) or justify with //adavp:detrand-ok")
+}
+
+// isSortedKeyCollection recognizes the canonical deterministic idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)           // or sort.Strings, slices.Sort, ...
+//
+// The loop body must be exactly the append of the key into a slice that a
+// sort call in the same function later receives as its first argument.
+func isSortedKeyCollection(pass *Pass, rng *ast.RangeStmt, fn ast.Node) bool {
+	if rng.Value != nil || rng.Key == nil {
+		return false
+	}
+	keyIdent, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass.Info, call, "append") || len(call.Args) != 2 {
+		return false
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || base.Name != dst.Name {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok || arg.Name != keyIdent.Name {
+		return false
+	}
+	dstObj := pass.Info.Uses[dst]
+	if dstObj == nil {
+		dstObj = pass.Info.Defs[dst]
+	}
+	if fn == nil || dstObj == nil {
+		return false
+	}
+	// Look for a later sort.*/slices.* call taking the slice first.
+	sorted := false
+	ast.Inspect(funcBody(fn), func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		pkg := f.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" && !strings.HasSuffix(f.Name(), "Sort") {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[id] == dstObj {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc enforces the PR 2 contract "allocation-free in steady state" on
+// functions annotated //adavp:hotpath — the per-frame pixel kernels. Inside
+// an annotated function (including its closures, which is where the
+// par.Rows band bodies live), make/new/append are flagged unless the
+// allocation is demonstrably amortized:
+//
+//   - it sits under an if whose condition reads cap(...) — the guarded-grow
+//     idiom (allocate only when the reusable buffer is too small);
+//   - the appended slice is scratch-backed: initialized from a struct field
+//     or written back to one in the same function, so growth plateaus at
+//     the steady-state size;
+//   - the append base is x[:0] or a struct field directly (reset-reuse).
+//
+// Anything else needs "//adavp:alloc-ok <why>". The fix the analyzer points
+// to is imgproc.Scratch (or a sync.Pool when call lifetimes overlap).
+//
+// The check is per function body: an annotated kernel calling an
+// unannotated allocating helper is not flagged — annotate the helper too.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid steady-state allocation (make/new/growing append) in //adavp:hotpath functions; direct to imgproc.Scratch",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcHasAnnotation(fd, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Ancestor stack for the cap-guard test.
+	var stack []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isBuiltin(pass.Info, call, "make") || isBuiltin(pass.Info, call, "new"):
+			if underCapGuard(pass, stack) || pass.Suppressed("alloc-ok", call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "allocation in //adavp:hotpath function; reuse a buffer (imgproc.Scratch / sync.Pool) or guard the grow with a cap() check")
+		case isBuiltin(pass.Info, call, "append"):
+			if appendAmortized(pass, fd, call) || underCapGuard(pass, stack) || pass.Suppressed("alloc-ok", call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "growing append in //adavp:hotpath function; back the slice with scratch state (see blobScratch) or justify with //adavp:alloc-ok")
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// underCapGuard reports whether any enclosing if-statement's condition
+// reads cap(...): the amortized guarded-grow idiom
+//
+//	if cap(buf) < need { buf = make(...) }
+func underCapGuard(pass *Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "cap") {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// appendAmortized reports whether the append's base slice is scratch-backed
+// and therefore grows only until the steady-state high-water mark:
+//
+//   - base is x[:0] (reset-reuse of an existing capacity);
+//   - base is a struct field selector (persistent state);
+//   - base is a local initialized from a struct field, or assigned back to
+//     one somewhere in the same function (the `stack := bs.stack; ...;
+//     bs.stack = stack` idiom of the blob detector).
+func appendAmortized(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	base := ast.Unparen(call.Args[0])
+	switch b := base.(type) {
+	case *ast.SliceExpr:
+		// x[:0] — reusing existing capacity; growth beyond it is amortized
+		// into the backing variable via the surrounding idiom.
+		if b.Low == nil && b.High != nil && isZeroLiteral(b.High) {
+			return true
+		}
+		base = ast.Unparen(b.X)
+	}
+	switch b := base.(type) {
+	case *ast.SelectorExpr:
+		return true // struct-field slice: persistent, amortized
+	case *ast.Ident:
+		obj := pass.Info.Uses[b]
+		if obj == nil {
+			obj = pass.Info.Defs[b]
+		}
+		if obj == nil {
+			return false
+		}
+		return scratchBacked(pass, fd, obj)
+	default:
+		_ = b
+	}
+	return false
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Value == "0"
+}
+
+// scratchBacked reports whether obj (a slice variable) is connected to
+// struct state inside fd: defined from a field selector, or stored into a
+// field selector.
+func scratchBacked(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	backed := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if backed {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i := range asg.Lhs {
+			if i >= len(asg.Rhs) {
+				break
+			}
+			lhs, rhs := ast.Unparen(asg.Lhs[i]), ast.Unparen(asg.Rhs[i])
+			// stack := bs.stack  (or stack := bs.stack[:0])
+			if id, ok := lhs.(*ast.Ident); ok && objOf(pass, id) == obj {
+				if isFieldRooted(rhs) {
+					backed = true
+					return false
+				}
+			}
+			// bs.stack = stack
+			if _, ok := lhs.(*ast.SelectorExpr); ok {
+				if id, ok := rhs.(*ast.Ident); ok && objOf(pass, id) == obj {
+					backed = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return backed
+}
+
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pass.Info.Defs[id]
+}
+
+// isFieldRooted reports whether e is a selector expression, possibly
+// wrapped in slice/index expressions (bs.stack, bs.comps[:0]).
+func isFieldRooted(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return true
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakyGo requires every goroutine started in non-test code to be provably
+// collectible — the assumption the PR 1 supervision layer rests on (a
+// watchdog that abandons calls only works if abandoned goroutines
+// eventually exit). A `go` statement passes when its function body shows
+// one of the accepted shutdown shapes:
+//
+//   - it receives from a channel (a select case or a direct <-ch): covers
+//     ctx.Done() selects and quit channels;
+//   - it ranges over a channel (drains until the producer closes it);
+//   - it calls (*sync.WaitGroup).Done — a join-bounded worker whose
+//     lifetime ends with its task (internal/par's bands);
+//   - it forwards a context.Context into a call — delegated cancellation
+//     (rt's detector/tracker loop goroutines).
+//
+// `go` on a named function or method is accepted when the call forwards a
+// context argument; otherwise wrap it in a literal that does. Package
+// internal/guard is exempt wholesale: it is the sanctioned launcher — its
+// supervised-call goroutine is bounded by the supervised function itself,
+// which this analyzer checks at the caller. Anything else needs
+// "//adavp:leak-ok <why>".
+var LeakyGo = &Analyzer{
+	Name: "leakygo",
+	Doc:  "every goroutine in non-test code must be cancellable (channel receive / ctx forwarding / WaitGroup-joined) or launched via internal/guard",
+	Run:  runLeakyGo,
+}
+
+func runLeakyGo(pass *Pass) error {
+	if pathHasSuffixPkg(pass.PkgPath, "guard") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goCancellable(pass, gs) || pass.Suppressed("leak-ok", gs.Pos()) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine has no visible shutdown path: select/receive on a done channel, forward a context, join through a WaitGroup, or justify with //adavp:leak-ok")
+			return true
+		})
+	}
+	return nil
+}
+
+func goCancellable(pass *Pass, gs *ast.GoStmt) bool {
+	if forwardsContext(pass, gs.Call) {
+		return true
+	}
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	ok = false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// <-ch anywhere (including select cases, which contain these).
+			if n.Op.String() == "<-" {
+				ok = true
+			}
+		case *ast.RangeStmt:
+			if tv, found := pass.Info.Types[n.X]; found {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ok = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, n) || forwardsContext(pass, n) {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// isWaitGroupDone matches wg.Done() for a sync.WaitGroup receiver.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass.Info, call)
+	return f != nil && f.FullName() == "(*sync.WaitGroup).Done"
+}
+
+// forwardsContext reports whether any argument of the call has type
+// context.Context.
+func forwardsContext(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+// Package lint is adavplint: a static-analysis suite that turns this
+// repository's prose invariants into build-failing checks. Five analyzers
+// enforce the contracts the reproduction rests on:
+//
+//   - detrand: deterministic packages must not read the wall clock, use
+//     math/rand, or iterate maps in output-affecting order (ISSUE: the
+//     Fig. 9 / Table 2 numbers depend on seeded internal/rng).
+//   - hotalloc: functions annotated //adavp:hotpath — the per-frame pixel
+//     kernels — must not allocate in steady state.
+//   - bandsafe: closures passed to par.Rows may only write through their
+//     band indices and must not call par.Rows reentrantly.
+//   - leakygo: every goroutine in non-test code must be cancellable or
+//     join-bounded.
+//   - poolpair: a sync.Pool.Get must be paired with a Put in the same
+//     function, or carry an explicit //adavp:pool-drop justification.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) but is built on the standard library only:
+// this module has no third-party dependencies, and the linter must not be
+// the first. The loader in loader.go plays the role of go/packages for the
+// single-module, stdlib-only world this repository lives in.
+//
+// Suppressions are comments of the form
+//
+//	//adavp:<directive> <justification>
+//
+// on the flagged line or the line above it. A directive with no
+// justification does not suppress — the reason is the point.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is a one-paragraph description: the invariant and why it holds.
+	Doc string
+	// Run executes the check over one package, reporting through pass.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test sources.
+	Files []*ast.File
+	// Pkg is the type-checked package; PkgPath its import path within the
+	// module (fixture packages keep their testdata-relative path).
+	Pkg     *types.Package
+	PkgPath string
+	Info    *types.Info
+
+	diags *[]Diagnostic
+	// lineComments caches per-file line → comment text for suppression
+	// lookup; built lazily.
+	lineComments map[*token.File]map[int]string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether the line holding pos, or the line directly
+// above it, carries an "//adavp:<directive> <why>" comment with a non-empty
+// justification.
+func (p *Pass) Suppressed(directive string, pos token.Pos) bool {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	if p.lineComments == nil {
+		p.lineComments = make(map[*token.File]map[int]string)
+	}
+	lines, ok := p.lineComments[tf]
+	if !ok {
+		lines = make(map[int]string)
+		for _, f := range p.Files {
+			if p.Fset.File(f.Pos()) != tf {
+				continue
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ln := tf.Line(c.Pos())
+					lines[ln] += " " + c.Text
+				}
+			}
+		}
+		p.lineComments[tf] = lines
+	}
+	line := tf.Line(pos)
+	for _, ln := range []int{line, line - 1} {
+		if hasDirective(lines[ln], directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether text contains "//adavp:<directive>" followed
+// by a non-empty justification.
+func hasDirective(text, directive string) bool {
+	marker := "//adavp:" + directive
+	idx := strings.Index(text, marker)
+	if idx < 0 {
+		return false
+	}
+	rest := text[idx+len(marker):]
+	// Require whitespace-separated justification text on the same comment.
+	if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+		rest = rest[:nl]
+	}
+	return strings.TrimSpace(rest) != ""
+}
+
+// funcHasAnnotation reports whether the declaration's doc comment carries
+// the given //adavp:<name> marker (no justification required — annotations
+// are opt-in, not opt-out).
+func funcHasAnnotation(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	marker := "//adavp:" + name
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether the call's callee is the named predeclared
+// function (make, append, cap, new, ...), resolved through the type info so
+// shadowed identifiers don't count.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// calleeFunc resolves a call's callee to a *types.Func (methods and
+// package-level functions), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// pathHasSuffixPkg reports whether import path `path` denotes package
+// internal/<name> — either exactly or as a path suffix. Fixture packages
+// under testdata keep their long testdata path, so suffix matching lets the
+// fixtures exercise the real package policies.
+func pathHasSuffixPkg(path, name string) bool {
+	suffix := "internal/" + name
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// SortDiagnostics orders findings by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// RunAnalyzers executes every analyzer over one loaded package.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			PkgPath:  pkg.PkgPath,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	SortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}

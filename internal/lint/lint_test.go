@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// Each fixture package carries // want "regex" comments on every line the
+// analyzer must flag; RunFixture fails on both missed and spurious
+// diagnostics, so every fixture exercises flagged AND clean cases.
+
+func TestDetRandFixture(t *testing.T) {
+	RunFixture(t, DetRand, "testdata/src/internal/sim")
+}
+
+func TestDetRandWallClockExemptFixture(t *testing.T) {
+	RunFixture(t, DetRand, "testdata/src/internal/experiments")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	RunFixture(t, HotAlloc, "testdata/src/hotalloc")
+}
+
+func TestBandSafeFixture(t *testing.T) {
+	RunFixture(t, BandSafe, "testdata/src/bandsafe")
+}
+
+func TestLeakyGoFixture(t *testing.T) {
+	RunFixture(t, LeakyGo, "testdata/src/leakygo")
+}
+
+func TestPoolPairFixture(t *testing.T) {
+	RunFixture(t, PoolPair, "testdata/src/poolpair")
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// PoolPair enforces the blob-scratch pattern on sync.Pool usage: a function
+// that Gets from a pool must Put back to the same pool somewhere in the
+// same function body (closures included — the flow tracker's band closures
+// Get and Put inside one literal), or carry an explicit
+// "//adavp:pool-drop <why>" on the Get line.
+//
+// The check is deliberately function-local and name-matched rather than
+// path-sensitive: a leaked scratch is only a performance bug, but the
+// reviewer should see the drop decision written down. The sanctioned drop
+// case in this repository is the watchdog-abandoned Detect call, which must
+// NOT return its scratch because the supervisor's retry may already be
+// running (see detect.BlobDetector).
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "sync.Pool.Get must be paired with a Put on the same pool in the same function, or carry //adavp:pool-drop with a reason",
+	Run:  runPoolPair,
+}
+
+func runPoolPair(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	type getCall struct {
+		pos  token.Pos
+		recv string
+	}
+	var gets []getCall
+	puts := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil {
+			return true
+		}
+		switch f.FullName() {
+		case "(*sync.Pool).Get":
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			gets = append(gets, getCall{pos: call.Pos(), recv: exprString(pass.Fset, sel.X)})
+		case "(*sync.Pool).Put":
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			puts[exprString(pass.Fset, sel.X)] = true
+		}
+		return true
+	})
+	for _, g := range gets {
+		if puts[g.recv] {
+			continue
+		}
+		if pass.Suppressed("pool-drop", g.pos) {
+			continue
+		}
+		pass.Reportf(g.pos, "%s.Get without a matching %s.Put in this function: return the scratch on every path, or mark the deliberate drop with //adavp:pool-drop <why>", g.recv, g.recv)
+	}
+}
+
+// exprString renders a receiver expression for name matching (pools are
+// package-level or field-held; their receiver expressions are short).
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

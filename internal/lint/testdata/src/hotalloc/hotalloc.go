@@ -1,0 +1,56 @@
+// Package hotalloc is the hotalloc fixture: annotated kernels with flagged
+// allocations and each of the amortized idioms the analyzer accepts.
+package hotalloc
+
+type scratch struct {
+	buf   []float64
+	comps []int
+}
+
+// Fresh allocates on every call.
+//
+//adavp:hotpath
+func Fresh(n int) []float64 {
+	out := make([]float64, n) // want "allocation in //adavp:hotpath function"
+	xs := []int{}
+	xs = append(xs, n) // want "growing append in //adavp:hotpath function"
+	_ = xs
+	return out
+}
+
+// Nested allocations inside band closures are the common real-world case.
+//
+//adavp:hotpath
+func Nested(n int, fn func(func())) {
+	fn(func() {
+		_ = make([]byte, n) // want "allocation in //adavp:hotpath function"
+	})
+}
+
+// Amortized shows every accepted shape: cap-guarded grow, reset-reuse
+// append, struct-field append, the scratch-backed local idiom, and an
+// explicit justified suppression.
+//
+//adavp:hotpath
+func (s *scratch) Amortized(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+
+	s.comps = append(s.comps[:0], n)
+	s.comps = append(s.comps, n+1)
+
+	local := s.comps
+	local = append(local, n+2)
+	s.comps = local
+
+	result := make([]float64, n) //adavp:alloc-ok ownership of the result transfers to the caller
+	copy(result, s.buf)
+	return result
+}
+
+// Cold is not annotated: allocation is fine outside hot paths.
+func Cold(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,34 @@
+// Package experiments is the detrand negative fixture for the wall-clock
+// allowlist: experiments measures real kernel latency (Table 2), so clock
+// reads are exempt — but map-iteration order is still enforced.
+package experiments
+
+import (
+	"sort"
+	"time"
+)
+
+// Measure may read the wall clock: the package is on the allowlist.
+func Measure() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// Report still must iterate deterministically.
+func Report(rows map[string]float64) []string {
+	ids := make([]string, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Sum is still flagged: the exemption covers clocks only.
+func Sum(rows map[string]float64) float64 {
+	var s float64
+	for _, v := range rows { // want "map iteration order is randomized"
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,49 @@
+// Package sim is a detrand fixture: its testdata path ends in internal/sim,
+// so it is held to the same determinism policy as the real simulator.
+package sim
+
+import (
+	"math/rand" // want "deterministic package imports math/rand"
+	"sort"
+	"time"
+)
+
+// Clock shows the wall-clock findings.
+func Clock() float64 {
+	t0 := time.Now()          // want "wall-clock read time.Now"
+	d := time.Since(t0)       // want "wall-clock read time.Since"
+	_ = time.Until(t0)        // want "wall-clock read time.Until"
+	return d.Seconds() + rand.Float64()
+}
+
+// MapOrder shows the map-iteration findings and the allowed idioms.
+func MapOrder(m map[string]int) (int, []string) {
+	total := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+
+	// Counting without key or value never observes the order.
+	n := 0
+	for range m {
+		n++
+	}
+
+	// The canonical sorted-key collection is allowed.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// A justified suppression is allowed.
+	first := ""
+	//adavp:detrand-ok result is order-insensitive: only membership is tested
+	for k := range m {
+		if k == "sentinel" {
+			first = k
+		}
+	}
+	_ = first
+	return total + n, keys
+}

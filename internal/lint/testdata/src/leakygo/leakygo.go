@@ -1,0 +1,64 @@
+// Package leakygo is the leakygo fixture: goroutines with and without a
+// visible shutdown path.
+package leakygo
+
+import (
+	"context"
+	"sync"
+)
+
+// Orphan starts a goroutine nothing can stop.
+func Orphan(work func()) {
+	go func() { // want "goroutine has no visible shutdown path"
+		for {
+			work()
+		}
+	}()
+}
+
+// QuitChannel selects on a done channel: collectible.
+func QuitChannel(work func(), done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Drainer ranges over a channel, exiting when the producer closes it.
+func Drainer(jobs chan int, work func(int)) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// Joined is WaitGroup-bounded.
+func Joined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Delegated forwards a context into the named function it launches.
+func Delegated(ctx context.Context, loop func(context.Context)) {
+	go loop(ctx)
+}
+
+// Excused documents why this goroutine is bounded anyway.
+func Excused(work func()) {
+	//adavp:leak-ok work is a bounded one-shot call; the goroutine exits with it
+	go func() {
+		work()
+	}()
+}

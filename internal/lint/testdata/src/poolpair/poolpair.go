@@ -1,0 +1,40 @@
+// Package poolpair is the poolpair fixture: Get/Put pairing on sync.Pool.
+package poolpair
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// Leaky never returns its scratch.
+func Leaky(n int) int {
+	s := pool.Get().(*buf) // want "pool.Get without a matching pool.Put"
+	if cap(s.b) < n {
+		s.b = make([]byte, n)
+	}
+	return len(s.b)
+}
+
+// Paired is the standard shape.
+func Paired(n int) int {
+	s := pool.Get().(*buf)
+	defer pool.Put(s)
+	if cap(s.b) < n {
+		s.b = make([]byte, n)
+	}
+	return len(s.b)
+}
+
+// Dropper documents a deliberate drop (the abandoned-call pattern).
+func Dropper(abandoned bool, n int) int {
+	s := pool.Get().(*buf) //adavp:pool-drop dropped when abandoned: a concurrent retry may hold its own scratch
+	if cap(s.b) < n {
+		s.b = make([]byte, n)
+	}
+	if abandoned {
+		return 0
+	}
+	pool.Put(s)
+	return len(s.b)
+}

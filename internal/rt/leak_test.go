@@ -1,0 +1,53 @@
+package rt
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"adavp/internal/video"
+)
+
+// requireBaselineGoroutines polls until the goroutine count returns to at
+// most base+tolerance, failing with a full stack dump if it never does.
+// Polling with tolerance absorbs runtime and test-harness goroutines that
+// come and go on their own schedule.
+func requireBaselineGoroutines(t *testing.T, base int) {
+	t.Helper()
+	const tolerance = 3
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+tolerance {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine count %d never returned to baseline %d (+%d)\n%s",
+				runtime.NumGoroutine(), base, tolerance, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunLeaksNoGoroutines asserts that rt.Run tears down every goroutine it
+// starts — renderer, detector loop, tracker loop and supervised call
+// goroutines — both when cancelled mid-run and when completing normally.
+func TestRunLeaksNoGoroutines(t *testing.T) {
+	v := video.GenerateKind("hw", video.KindHighway, 5, 300)
+	base := runtime.NumGoroutine()
+
+	// Cancelled mid-run: teardown must not depend on reaching the end of
+	// the video.
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	_, _ = Run(ctx, v, liveConfig())
+	requireBaselineGoroutines(t, base)
+
+	// Completing normally.
+	if _, err := Run(context.Background(), v, liveConfig()); err != nil {
+		t.Fatal(err)
+	}
+	requireBaselineGoroutines(t, base)
+}

@@ -355,8 +355,10 @@ func (p *pipeline) superviseDetect(ctx context.Context, frameIdx int, setting co
 	for attempt := 0; ; attempt++ {
 		frame := p.frame(frameIdx)
 		s := setting
-		dets, outcome := p.sup.Call(p.detectDeadline(s), func() []core.Detection {
-			return p.det.Detect(frame, s)
+		dets, outcome := p.sup.Call(p.detectDeadline(s), func(callCtx context.Context) []core.Detection {
+			// callCtx is the watchdog's abandonment signal for this one call,
+			// distinct from the run-level ctx.
+			return detect.DetectWith(callCtx, p.det, frame, s)
 		})
 		at := time.Since(p.start)
 		if outcome == guard.OK {

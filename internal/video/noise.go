@@ -7,6 +7,8 @@ package video
 
 // mix64 is the SplitMix64 finalizer (same scrambler as internal/rng), inlined
 // here because hash2 runs once per pixel lattice corner and must not allocate.
+//
+//adavp:hotpath
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -15,6 +17,8 @@ func mix64(z uint64) uint64 {
 
 // hash2 maps integer lattice coordinates and a seed to a pseudo-random
 // value in [0, 1), stable across platforms and Go releases.
+//
+//adavp:hotpath
 func hash2(seed uint64, x, y int64) float64 {
 	h := mix64(seed ^ mix64(uint64(x)+0x9e3779b97f4a7c15))
 	h = mix64(h ^ mix64(uint64(y)+0x9e3779b97f4a7c15))
@@ -26,6 +30,8 @@ func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
 
 // valueNoise samples single-octave value noise at continuous coordinates.
 // Output is in [0, 1).
+//
+//adavp:hotpath
 func valueNoise(seed uint64, x, y float64) float64 {
 	// Floor toward negative infinity so the lattice is seamless across 0.
 	xi := int64(x)
@@ -50,6 +56,8 @@ func valueNoise(seed uint64, x, y float64) float64 {
 // fbmNoise layers octaves of value noise (fractional Brownian motion) for a
 // natural-looking texture: octave i has double the frequency and half the
 // amplitude of octave i-1. Output is normalized to [0, 1).
+//
+//adavp:hotpath
 func fbmNoise(seed uint64, x, y float64, octaves int) float64 {
 	if octaves < 1 {
 		octaves = 1

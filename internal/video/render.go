@@ -117,6 +117,8 @@ func (v *Video) Render(i int) *imgproc.Gray {
 //     along the object's apparent velocity. Fast objects smear; their
 //     silhouette corners and texture gradients wash out, so features become
 //     untrackable — the reason fast videos are the hard case (Fig. 2).
+//
+//adavp:hotpath
 func (v *Video) drawObject(img *imgproc.Gray, o renderObject, frame int) {
 	box := o.box
 	base := ObjectLuma(v.seed, o.id, o.class)
