@@ -6,6 +6,7 @@
 #   make vet          static analysis (go vet)
 #   make lint         project-specific analyzers (cmd/adavplint): determinism,
 #                     hot-path allocations, band safety, goroutine leaks, pool pairing
+#   make cover        whole-tree coverage, failing below the COVER_FLOOR baseline
 #   make bench-json   run the pixel-pipeline benchmark harness, write BENCH_pixel.json
 #   make check        everything CI runs: build + vet + lint + test + race + a
 #                     1-iteration bench-json smoke (catches harness rot without
@@ -13,7 +14,12 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check bench-json bench-json-smoke clean
+# Coverage floor for `make cover` (total statement coverage, percent). The
+# suite sits at ~82%; the floor trails it so honest refactors don't flap,
+# while a PR that lands a subsystem without tests fails the gate.
+COVER_FLOOR ?= 78.0
+
+.PHONY: build test race vet lint cover check bench-json bench-json-smoke clean
 
 build:
 	$(GO) build ./...
@@ -22,12 +28,13 @@ test:
 	$(GO) test ./...
 
 # Packages with real concurrency: the live pipeline and its supervision
-# layer, the fault injectors, plus everything that drives or implements the
-# par.Rows worker pool (kernels, detector, flow, renderer, tracker).
+# layer, the fault injectors, the observability registry (scraped while the
+# pipeline writes), plus everything that drives or implements the par.Rows
+# worker pool (kernels, detector, flow, renderer, tracker).
 race:
 	$(GO) test -race ./internal/rt/ ./internal/fault/ ./internal/guard/ ./internal/sim/ \
 		./internal/par/ ./internal/imgproc/ ./internal/flow/ ./internal/video/ \
-		./internal/detect/ ./internal/track/
+		./internal/detect/ ./internal/track/ ./internal/obs/
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +43,16 @@ vet:
 # leakygo, poolpair. Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/adavplint
+
+# Whole-tree statement coverage with a recorded floor: fails when total
+# coverage drops below COVER_FLOOR (see the variable above for the policy).
+cover:
+	$(GO) test -coverprofile=$(or $(TMPDIR),/tmp)/adavp_cover.out ./...
+	@total=$$($(GO) tool cover -func=$(or $(TMPDIR),/tmp)/adavp_cover.out \
+		| awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
+		|| { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # Full measurement run; results land in BENCH_pixel.json (committed, so perf
 # regressions show up in review as a diff).

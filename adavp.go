@@ -40,6 +40,7 @@ import (
 	"adavp/internal/experiments"
 	"adavp/internal/fault"
 	"adavp/internal/guard"
+	"adavp/internal/obs"
 	"adavp/internal/par"
 	"adavp/internal/rt"
 	"adavp/internal/sim"
@@ -84,6 +85,14 @@ type (
 	GuardStats = guard.Stats
 	// HealthState is the live pipeline's supervision state.
 	HealthState = guard.Health
+	// MetricsRegistry collects a run's observability data: per-stage latency
+	// histograms, frame/cycle/switch counters, guard health and an event
+	// journal (internal/obs).
+	MetricsRegistry = obs.Registry
+	// MetricsServer is a running HTTP observability endpoint.
+	MetricsServer = obs.Server
+	// MetricsSnapshot is a deterministic point-in-time view of a registry.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Fault kinds (see internal/fault for the taxonomy).
@@ -186,6 +195,22 @@ type Options struct {
 	// the current setting, default NumCPU). The pool only affects wall
 	// time: kernels are bitwise-deterministic at any worker count.
 	Workers int
+	// Obs, when set, receives the run's telemetry (see NewMetricsRegistry).
+	// Virtual-clock runs publish virtual timestamps and stay byte-for-byte
+	// deterministic; live runs publish wall-clock latencies.
+	Obs *MetricsRegistry
+}
+
+// NewMetricsRegistry returns an empty observability registry to pass in
+// Options.Obs and serve with ServeMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics exposes a registry over HTTP at addr (e.g. ":9090"):
+// Prometheus text on /metrics, the JSON snapshot on /debug/vars, and the
+// standard pprof endpoints under /debug/pprof/. The server runs until ctx is
+// cancelled.
+func ServeMetrics(ctx context.Context, addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.StartServer(ctx, addr, reg)
 }
 
 // SetWorkers configures the pixel-kernel worker pool (n <= 0 resets to
@@ -237,6 +262,7 @@ func Run(v *Video, opts Options) (*Result, error) {
 		Alpha:   opts.Alpha,
 		IoU:     opts.IoU,
 		Fault:   opts.Fault,
+		Obs:     opts.Obs,
 	}
 	if opts.PixelMode {
 		cfg.PixelMode = true
@@ -272,6 +298,7 @@ func RunLive(ctx context.Context, v *Video, opts Options, timeScale float64) (*R
 		PixelMode: opts.PixelMode,
 		Fault:     opts.Fault,
 		Workers:   opts.Workers,
+		Obs:       opts.Obs,
 	}
 	if opts.Policy == sim.PolicyInvalid || opts.Policy == PolicyAdaVP {
 		cfg.Adaptation = adapt.DefaultModel()

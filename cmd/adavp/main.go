@@ -47,6 +47,7 @@ type cliOpts struct {
 	live                       bool
 	workers                    int
 	timeScale                  float64
+	metricsAddr                string
 	faultRate                  float64
 	faultBurst                 int
 	faultKinds                 string
@@ -72,6 +73,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "pixel-kernel worker pool size (0 = NumCPU); never changes results, only wall time")
 	flag.BoolVar(&o.live, "live", false, "run the supervised goroutine pipeline instead of the virtual clock (adavp|mpdt only)")
 	flag.Float64Var(&o.timeScale, "timescale", 0.02, "live-mode latency scale (1.0 = real time)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :9090) for the duration of the run")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "fault-injection rate (probability per burst block); 0 disables")
 	flag.IntVar(&o.faultBurst, "fault-burst", 1, "consecutive calls per injected fault")
 	flag.StringVar(&o.faultKinds, "fault-kinds", "", "comma-separated fault kinds to inject (default: all; see DESIGN.md fault model)")
@@ -100,6 +102,20 @@ func run(o cliOpts) error {
 		Workers: o.workers,
 	}
 	effective := adavp.SetWorkers(o.workers)
+	if o.metricsAddr != "" {
+		opts.Obs = adavp.NewMetricsRegistry()
+		ctx, cancel := context.WithCancel(context.Background())
+		srv, err := adavp.ServeMetrics(ctx, o.metricsAddr, opts.Obs)
+		if err != nil {
+			cancel()
+			return err
+		}
+		fmt.Printf("metrics: http://%s/metrics (JSON at /debug/vars, profiling under /debug/pprof/)\n", srv.Addr())
+		defer func() {
+			cancel()
+			<-srv.Done()
+		}()
+	}
 	if o.faultRate > 0 {
 		kinds, err := adavp.ParseFaultKinds(o.faultKinds)
 		if err != nil {

@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"adavp/internal/core"
+	"adavp/internal/obs"
 )
 
 // Thresholds is one (v1, v2, v3) triple, ascending.
@@ -84,6 +86,26 @@ func (m *Model) Next(current core.Setting, velocity float64) core.Setting {
 		}
 	}
 	return th.Decide(velocity)
+}
+
+// PublishDecision records one adaptation decision into the observability
+// registry under the shared schema: the velocity gauge is updated for every
+// decision, and an applied switch (from != to) additionally increments the
+// switch counter, observes the decision in the adapt-decision stage
+// histogram (took is the switch overhead — virtual in sim, wall in rt) and
+// appends a journal event at the caller-supplied pipeline time. A nil
+// registry drops everything.
+func PublishDecision(reg *obs.Registry, from, to core.Setting, velocity float64, took, at time.Duration) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(obs.MetricVelocity).Set(velocity)
+	if from == to {
+		return
+	}
+	reg.Counter(obs.MetricAdaptSwitches, obs.L("from", from.String()), obs.L("to", to.String())).Inc()
+	reg.StageHistogram(obs.StageAdapt).ObserveDuration(took)
+	reg.Record(at, "adapt", from.String()+"->"+to.String(), "switch")
 }
 
 // Sample is one training observation: while running MPDT at a fixed setting,

@@ -193,6 +193,18 @@ func (s Setting) String() string {
 	}
 }
 
+// ParseSetting inverts String: it maps a setting name back to the Setting.
+// ok is false for names String never produces (including the "setting(N)"
+// fallback of invalid values).
+func ParseSetting(name string) (Setting, bool) {
+	for s := SettingTiny320; s < numSettings; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return SettingInvalid, false
+}
+
 // Frame is one camera frame presented to the pipeline.
 type Frame struct {
 	// Index is the zero-based frame number within the video.
@@ -237,6 +249,16 @@ func (s Source) String() string {
 	default:
 		return fmt.Sprintf("source(%d)", int(s))
 	}
+}
+
+// ParseSource inverts String for the defined sources; ok is false otherwise.
+func ParseSource(name string) (Source, bool) {
+	for s := SourceNone; s <= SourceHeld; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return SourceNone, false
 }
 
 // FrameOutput is the pipeline's result for one camera frame: what was drawn

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"adavp/internal/core"
+	"adavp/internal/obs"
 	"adavp/internal/trace"
 )
 
@@ -112,6 +113,10 @@ type Config struct {
 	// consecutive fault up to BackoffMax. Defaults: 5ms, 250ms.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Obs, when set, receives the supervisor's telemetry: the health gauge,
+	// fault/action counters, and every event-log entry mirrored into the
+	// journal (internal/obs schema). Nil disables publishing.
+	Obs *obs.Registry
 }
 
 // WithDefaults returns the config with zero fields replaced by defaults.
@@ -191,7 +196,9 @@ type Supervisor struct {
 
 // New returns a supervisor with the given (defaulted) config.
 func New(cfg Config) *Supervisor {
-	return &Supervisor{cfg: cfg.WithDefaults()}
+	s := &Supervisor{cfg: cfg.WithDefaults()}
+	s.cfg.Obs.Gauge(obs.MetricGuardHealth).Set(float64(Healthy))
+	return s
 }
 
 // Config returns the resolved configuration.
@@ -220,12 +227,27 @@ func (s *Supervisor) Events() []trace.FaultEvent {
 	return out
 }
 
-// event appends one record; callers hold s.mu.
+// event appends one record and mirrors it into the observability layer;
+// callers hold s.mu.
 func (s *Supervisor) event(component, kind, action string, cycle, frame int, at time.Duration) {
 	s.events = append(s.events, trace.FaultEvent{
 		Component: component, Kind: kind, Action: action,
 		Cycle: cycle, Frame: frame, At: at,
 	})
+	s.cfg.Obs.Record(at, component, kind, action)
+	switch action {
+	case "timeout", "panic", "empty-burst":
+		s.cfg.Obs.Counter(obs.MetricGuardFaults, obs.L("component", component), obs.L("kind", action)).Inc()
+	case "retry", "downgrade", "recovered":
+		s.cfg.Obs.Counter(obs.MetricGuardActions, obs.L("action", action)).Inc()
+	}
+}
+
+// setHealth transitions the state machine and publishes the gauge; callers
+// hold s.mu.
+func (s *Supervisor) setHealth(h Health) {
+	s.health = h
+	s.cfg.Obs.Gauge(obs.MetricGuardHealth).Set(float64(h))
 }
 
 // callResult carries one supervised call's outcome across the goroutine.
@@ -284,7 +306,7 @@ func (s *Supervisor) ObserveSuccess(empty bool, cycle, frame int, at time.Durati
 			s.emptyStreak++
 			if s.emptyStreak == s.cfg.EmptyBurst {
 				s.stats.EmptyBursts++
-				s.health = Degraded
+				s.setHealth(Degraded)
 				s.okStreak = 0
 				s.event(ComponentDetector, "empty", "empty-burst", cycle, frame, at)
 			}
@@ -296,12 +318,12 @@ func (s *Supervisor) ObserveSuccess(empty bool, cycle, frame int, at time.Durati
 	switch s.health {
 	case Healthy:
 	case Degraded:
-		s.health = Recovering
+		s.setHealth(Recovering)
 		s.okStreak = 1
 	case Recovering:
 		s.okStreak++
 		if s.okStreak >= s.cfg.RecoverAfter {
-			s.health = Healthy
+			s.setHealth(Healthy)
 			s.stats.Recoveries++
 			s.event(ComponentDetector, "", "recovered", cycle, frame, at)
 			return true
@@ -322,7 +344,7 @@ func (s *Supervisor) ObserveFault(component string, o Outcome, cycle, frame int,
 	case Panicked:
 		s.stats.Panics++
 	}
-	s.health = Degraded
+	s.setHealth(Degraded)
 	s.okStreak = 0
 	s.emptyStreak = 0
 	s.failStreak++

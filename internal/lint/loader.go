@@ -95,10 +95,17 @@ func (l *Loader) dirFor(path string) (string, error) {
 		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), nil
 	}
 	dir := filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
-	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
-		return "", fmt.Errorf("lint: import %q is neither module-internal nor standard library (this module must stay dependency-free)", path)
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
 	}
-	return dir, nil
+	// Dependencies vendored into the Go distribution itself (net →
+	// golang.org/x/net/..., crypto → golang.org/x/crypto/...) live under
+	// GOROOT/src/vendor and count as standard library.
+	vdir := filepath.Join(runtime.GOROOT(), "src", "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(vdir); err == nil && fi.IsDir() {
+		return vdir, nil
+	}
+	return "", fmt.Errorf("lint: import %q is neither module-internal nor standard library (this module must stay dependency-free)", path)
 }
 
 // pkgPathFor returns the module import path of a directory under the root.

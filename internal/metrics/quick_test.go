@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"adavp/internal/core"
+	"adavp/internal/geom"
+)
+
+// frameCase is one generated matching problem: a frame's detections and
+// ground truth on a small 20×20 grid (so overlaps are common), plus two
+// positive IoU thresholds.
+type frameCase struct {
+	Dets             []core.Detection
+	Truth            []core.Object
+	Thresh1, Thresh2 float64
+}
+
+func randBox(rng *rand.Rand) geom.Rect {
+	return geom.Rect{
+		Left: float64(rng.Intn(20)), Top: float64(rng.Intn(20)),
+		W: float64(rng.Intn(10)), H: float64(rng.Intn(10)),
+	}
+}
+
+// Generate implements quick.Generator.
+func (frameCase) Generate(rng *rand.Rand, size int) reflect.Value {
+	if size > 12 {
+		size = 12
+	}
+	fc := frameCase{
+		Thresh1: 0.01 + 0.99*rng.Float64(),
+		Thresh2: 0.01 + 0.99*rng.Float64(),
+	}
+	for i, n := 0, rng.Intn(size+1); i < n; i++ {
+		fc.Dets = append(fc.Dets, core.Detection{
+			Class: core.Class(rng.Intn(3)), Box: randBox(rng), Score: rng.Float64(),
+		})
+	}
+	for i, n := 0, rng.Intn(size+1); i < n; i++ {
+		fc.Truth = append(fc.Truth, core.Object{
+			ID: i, Class: core.Class(rng.Intn(3)), Box: randBox(rng),
+		})
+	}
+	return reflect.ValueOf(fc)
+}
+
+var quickCfg = &quick.Config{MaxCount: 2000}
+
+// TestMatchCountInvariants: every detection is exactly one of TP/FP and
+// every ground-truth object exactly one of TP/FN, at any threshold.
+func TestMatchCountInvariants(t *testing.T) {
+	prop := func(fc frameCase) bool {
+		m := Match(fc.Dets, fc.Truth, fc.Thresh1)
+		return m.TP >= 0 && m.FP >= 0 && m.FN >= 0 &&
+			m.TP+m.FP == len(fc.Dets) &&
+			m.TP+m.FN == len(fc.Truth)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIoUSymmetry: IoU is symmetric and confined to [0, 1].
+func TestIoUSymmetry(t *testing.T) {
+	prop := func(fc frameCase) bool {
+		for _, d := range fc.Dets {
+			for _, g := range fc.Truth {
+				ab := d.Box.IoU(g.Box)
+				ba := g.Box.IoU(d.Box)
+				if ab != ba || ab < 0 || ab > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestF1MonotoneInIoUThreshold: raising the IoU threshold can only remove
+// matches, never add them, so F1 is weakly decreasing in the threshold.
+// (Since F1 = 2·TP/(len(dets)+len(truth)) with fixed denominators, this is
+// equivalent to greedy TP being weakly decreasing — the matched-truth set at
+// the stricter threshold stays a subset of the laxer one's.)
+func TestF1MonotoneInIoUThreshold(t *testing.T) {
+	prop := func(fc frameCase) bool {
+		lo, hi := fc.Thresh1, fc.Thresh2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return FrameF1(fc.Dets, fc.Truth, lo) >= FrameF1(fc.Dets, fc.Truth, hi)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchRespectsClass: a detection never claims a ground-truth object of
+// a different class, even with identical boxes.
+func TestMatchRespectsClass(t *testing.T) {
+	prop := func(fc frameCase) bool {
+		onlyA := make([]core.Detection, 0, len(fc.Dets))
+		for _, d := range fc.Dets {
+			d.Class = 0
+			onlyA = append(onlyA, d)
+		}
+		onlyB := make([]core.Object, 0, len(fc.Truth))
+		for _, g := range fc.Truth {
+			g.Class = 1
+			onlyB = append(onlyB, g)
+		}
+		m := Match(onlyA, onlyB, fc.Thresh1)
+		return m.TP == 0 && m.FP == len(onlyA) && m.FN == len(onlyB)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package rt
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"adavp/internal/adapt"
+	"adavp/internal/fault"
+	"adavp/internal/obs"
+	"adavp/internal/video"
+)
+
+// TestLiveRunPublishesMetrics drives the acceptance path of the live
+// observability layer: a supervised adaptive run with a registry attached
+// must publish per-stage latency histograms, the guard health gauge and the
+// frame counters, and the registry must be scrapeable over HTTP while the
+// pipeline owns it.
+func TestLiveRunPublishesMetrics(t *testing.T) {
+	v := video.GenerateKind("obs", video.KindRacetrack, 11, 240)
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := obs.StartServer(ctx, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		Adaptation: adapt.DefaultModel(),
+		TimeScale:  0.002,
+		Seed:       11,
+		Obs:        reg,
+		Fault:      &fault.Profile{Rate: 0.2, Seed: 4, Kinds: []fault.Kind{fault.KindPanic}},
+	}
+	if _, err := Run(ctx, v, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE " + obs.MetricStageLatency + " histogram",
+		`stage="detect"`,
+		`stage="track"`,
+		"# TYPE " + obs.MetricGuardHealth + " gauge",
+		"# TYPE " + obs.MetricFrames + " counter",
+		"# TYPE " + obs.MetricCycles + " counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q; got:\n%s", want, text)
+		}
+	}
+
+	snap := reg.Snapshot()
+	var frames int64
+	for _, c := range snap.Counters {
+		if c.Name == obs.MetricFrames {
+			frames += c.Value
+		}
+	}
+	if frames != int64(v.NumFrames()) {
+		t.Errorf("frame counters sum to %d, want %d", frames, v.NumFrames())
+	}
+}

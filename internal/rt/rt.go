@@ -42,6 +42,7 @@ import (
 	"adavp/internal/fault"
 	"adavp/internal/guard"
 	"adavp/internal/metrics"
+	"adavp/internal/obs"
 	"adavp/internal/par"
 	"adavp/internal/rng"
 	"adavp/internal/trace"
@@ -78,6 +79,13 @@ type Config struct {
 	// (0 keeps the current setting, default NumCPU). Worker count never
 	// changes results, only wall time (see internal/par).
 	Workers int
+	// Obs, when set, receives live telemetry under the shared schema:
+	// per-stage wall-clock latency histograms (detect labeled with the model
+	// setting and the supervisor's health at observation time), frame/cycle/
+	// switch counters, the velocity gauge, guard health and events, and
+	// injected-fault counts. It is also handed to the supervisor unless
+	// Guard.Obs is already set. Nil disables publishing.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +188,11 @@ func Run(ctx context.Context, v *video.Video, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if v == nil || v.NumFrames() == 0 {
 		return nil, fmt.Errorf("rt: empty video")
+	}
+	if cfg.Guard.Obs == nil {
+		// The supervisor publishes its health gauge and fault counters into
+		// the run's registry unless the caller routed it elsewhere.
+		cfg.Guard.Obs = cfg.Obs
 	}
 	if cfg.Workers > 0 {
 		par.SetWorkers(cfg.Workers)
@@ -410,9 +423,13 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 				vel := float64FromBits(bits)
 				if track.ValidVelocity(vel) {
 					if next := p.cfg.Adaptation.Next(setting, vel); next != setting {
+						swStart := time.Now()
 						p.sleep(p.latDet.SettingSwitch())
 						p.switches.Add(1)
+						adapt.PublishDecision(p.cfg.Obs, setting, next, vel, time.Since(swStart), time.Since(p.start))
 						setting = next
+					} else {
+						adapt.PublishDecision(p.cfg.Obs, setting, next, vel, 0, time.Since(p.start))
 					}
 				}
 			}
@@ -428,9 +445,17 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 			}
 		}
 
+		detStart := time.Now()
 		dets, newSetting, detected := p.superviseDetect(ctx, frameIdx, setting)
 		setting = newSetting
 		p.sleep(p.latDet.Detect(setting))
+		// The detect observation spans supervision (including retries and
+		// backoff) plus the emulated inference itself, labeled with the
+		// setting that ended the cycle and the health it left behind.
+		p.cfg.Obs.StageHistogram(obs.StageDetect,
+			obs.L("setting", setting.String()),
+			obs.L("health", p.sup.Health().String()),
+		).ObserveDuration(time.Since(detStart))
 		if detected {
 			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceDetector, Setting: setting, Detections: dets})
 			prevDets = dets
@@ -440,6 +465,7 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceHeld, Setting: setting, Detections: prevDets})
 		}
 		p.cycles.Add(1)
+		p.cfg.Obs.Counter(obs.MetricCycles).Inc()
 		prevFrame = frameIdx
 	}
 }
@@ -456,10 +482,14 @@ func (p *pipeline) trackerLoop(ctx context.Context) {
 		if buffered <= 0 {
 			continue
 		}
+		feStart := time.Now()
 		if !p.safeTrackInit(p.frame(w.RefFrame), w.RefDets) {
 			continue
 		}
 		p.sleep(p.latTrk.FeatureExtract())
+		// Feature extraction is CPU-track work, same as in the simulator's
+		// busy log.
+		p.cfg.Obs.StageHistogram(obs.StageTrack).ObserveDuration(time.Since(feStart))
 
 		plan := p.selector.Plan(buffered)
 		tracked := 0
@@ -473,6 +503,7 @@ func (p *pipeline) trackerLoop(ctx context.Context) {
 				break
 			}
 			frameIdx := w.RefFrame + 1 + idx
+			stepStart := time.Now()
 			dets, vel, ok := p.safeTrackStep(p.frame(frameIdx))
 			if !ok {
 				// The tracker panicked mid-cycle: hold the last good boxes
@@ -484,8 +515,11 @@ func (p *pipeline) trackerLoop(ctx context.Context) {
 			}
 			dets = detect.Sanitize(dets)
 			p.sleep(p.latTrk.TrackFrame(len(cur)))
+			p.cfg.Obs.StageHistogram(obs.StageTrack).ObserveDuration(time.Since(stepStart))
+			ovStart := time.Now()
 			p.sleep(p.latTrk.Overlay())
 			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceTracker, Setting: w.Setting, Detections: dets})
+			p.cfg.Obs.StageHistogram(obs.StageOverlay).ObserveDuration(time.Since(ovStart))
 			cur = dets
 			tracked++
 			if track.ValidVelocity(vel) {
@@ -556,6 +590,9 @@ func (p *pipeline) finish() *Result {
 					Component: ev.Component, Kind: ev.Kind.String(),
 					Action: "injected", Cycle: ev.Call,
 				})
+				p.cfg.Obs.Counter(obs.MetricFaultsInjected,
+					obs.L("component", ev.Component), obs.L("kind", ev.Kind.String())).Inc()
+				p.cfg.Obs.Record(time.Since(p.start), ev.Component, ev.Kind.String(), "injected")
 			}
 		}
 	}
@@ -575,6 +612,9 @@ func (p *pipeline) finish() *Result {
 			p.outputs[i].FrameIndex = i
 			last = p.outputs[i]
 			haveLast = true
+		}
+		if src := p.outputs[i].Source; src != core.SourceNone {
+			p.cfg.Obs.Counter(obs.MetricFrames, obs.L("source", src.String())).Inc()
 		}
 		res.FrameF1[i] = metrics.FrameF1(p.outputs[i].Detections, p.v.Truth(i), metrics.DefaultIoU)
 	}

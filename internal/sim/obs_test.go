@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"adavp/internal/fault"
+	"adavp/internal/obs"
+)
+
+// snapshotBytes serializes a registry both ways (Prometheus text + JSON) —
+// the byte strings the determinism contract is stated over.
+func snapshotBytes(t *testing.T, reg *obs.Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	snap := reg.Snapshot()
+	if err := snap.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestObsSnapshotByteIdentical runs the same instrumented simulation twice
+// into fresh registries: the serialized snapshots must match byte for byte.
+// This is the observability layer's determinism contract — obs never reads
+// the wall clock, all timestamps are virtual.
+func TestObsSnapshotByteIdentical(t *testing.T) {
+	v := testVideo(t)
+	run := func() []byte {
+		reg := obs.NewRegistry()
+		cfg := Config{Policy: PolicyAdaVP, Seed: 3, Obs: reg,
+			Fault: &fault.Profile{Rate: 0.05, Seed: 9}}
+		if _, err := Run(v, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return snapshotBytes(t, reg)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two identical runs produced different snapshots:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Error("instrumented run produced an empty snapshot")
+	}
+}
+
+// TestObsHydrateMatchesInline checks the schema's central parity promise:
+// hydrating the recorded trace of a run into a fresh registry reproduces the
+// exact snapshot the inline-instrumented run published.
+func TestObsHydrateMatchesInline(t *testing.T) {
+	v := testVideo(t)
+	inline := obs.NewRegistry()
+	res, err := Run(v, Config{Policy: PolicyAdaVP, Seed: 5, Obs: inline,
+		Fault: &fault.Profile{Rate: 0.05, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hydrated := obs.NewRegistry()
+	res.Run.Hydrate(hydrated)
+	a := snapshotBytes(t, inline)
+	b := snapshotBytes(t, hydrated)
+	if !bytes.Equal(a, b) {
+		t.Errorf("hydrated snapshot differs from inline:\n--- inline ---\n%s\n--- hydrated ---\n%s", a, b)
+	}
+	// The parity claim is only interesting if the run exercised the full
+	// schema: stage histograms, adaptation switches and injected faults.
+	for _, want := range []string{
+		obs.MetricStageLatency, obs.MetricAdaptSwitches,
+		obs.MetricFrames, obs.MetricFaultsInjected,
+	} {
+		if !bytes.Contains(a, []byte(want)) {
+			t.Errorf("snapshot never mentions %s — the parity test lost its teeth", want)
+		}
+	}
+}
+
+// TestObsUninstrumentedUnchanged: passing no registry must not change the
+// simulation's outputs (nil-safe instrumentation, not branched logic).
+func TestObsUninstrumentedUnchanged(t *testing.T) {
+	v := testVideo(t)
+	plain, err := Run(v, Config{Policy: PolicyAdaVP, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := Run(v, Config{Policy: PolicyAdaVP, Seed: 7, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Accuracy != instr.Accuracy || plain.MeanF1 != instr.MeanF1 ||
+		len(plain.Run.Cycles) != len(instr.Run.Cycles) ||
+		len(plain.Run.Switches) != len(instr.Run.Switches) {
+		t.Errorf("instrumentation changed results: %+v vs %+v", plain, instr)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"adavp/internal/detect"
 	"adavp/internal/fault"
 	"adavp/internal/metrics"
+	"adavp/internal/obs"
 	"adavp/internal/rng"
 	"adavp/internal/trace"
 	"adavp/internal/track"
@@ -94,6 +95,13 @@ type Config struct {
 	// nothing the discrete-event scheduler could wait on. The same Profile
 	// handed to internal/rt injects the identical schedule live.
 	Fault *fault.Profile
+	// Obs, when set, receives the run's telemetry under the internal/obs
+	// schema, with virtual-clock timestamps: per-stage latency histograms
+	// published through the busy-interval choke point, setting switches,
+	// frame/cycle counters and the fault journal. Because every published
+	// value derives from the virtual clock, two identical runs produce
+	// byte-identical snapshots.
+	Obs *obs.Registry
 	// Seed derives all run randomness (latency jitter, detector noise).
 	Seed uint64
 	// Alpha is the per-frame F1 threshold for the accuracy metric (0.7).
@@ -256,10 +264,16 @@ func (e *engine) capturedAt(t time.Duration) int {
 	return idx
 }
 
-// busy records a busy interval and returns its end.
+// busy records a busy interval and returns its end. It is also the
+// observability choke point: every hardware-busy span maps to one stage
+// latency observation, exactly mirroring what trace.Run.Hydrate later
+// reconstructs from the Busy log — so inline and hydrated registries agree.
 func (e *engine) busy(res trace.Resource, s core.Setting, start, dur time.Duration) time.Duration {
 	end := start + dur
 	e.run.Busy = append(e.run.Busy, trace.Interval{Resource: res, Setting: s, Start: start, End: end})
+	if e.cfg.Obs != nil {
+		trace.ObserveInterval(e.cfg.Obs, res, s, dur)
+	}
 	return end
 }
 
@@ -284,11 +298,14 @@ func (e *engine) runParallel(adaptive bool) {
 		// Adaptation decision (AdaVP): velocity measured during the cycle
 		// that just completed chooses the setting for the next one.
 		if adaptive && lastVelocity >= 0 {
-			next := e.model.Next(setting, lastVelocity)
-			if next != setting {
-				e.run.Switches = append(e.run.Switches, trace.Switch{CycleIndex: cycle, From: setting, To: next, At: now})
-				now += e.lat.SettingSwitch()
+			if next := e.model.Next(setting, lastVelocity); next != setting {
+				took := e.lat.SettingSwitch()
+				e.run.Switches = append(e.run.Switches, trace.Switch{CycleIndex: cycle, From: setting, To: next, At: now, Took: took})
+				adapt.PublishDecision(e.cfg.Obs, setting, next, lastVelocity, took, now)
+				now += took
 				setting = next
+			} else {
+				adapt.PublishDecision(e.cfg.Obs, setting, next, lastVelocity, 0, now)
 			}
 		}
 
@@ -572,6 +589,12 @@ func (e *engine) finish() *Result {
 	e.run.FrameF1 = make([]float64, n)
 	for i := 0; i < n; i++ {
 		e.run.FrameF1[i] = metrics.FrameF1(e.outputs[i].Detections, e.v.Truth(i), e.cfg.IoU)
+	}
+	// Outcome telemetry (frame/cycle counters, fault journal, velocity
+	// gauge) is published through the same helper trace.Run.Hydrate uses, so
+	// an inline-instrumented run and a hydrated trace yield equal snapshots.
+	if e.cfg.Obs != nil {
+		e.run.HydrateOutcome(e.cfg.Obs)
 	}
 	return &Result{
 		Run:      e.run,

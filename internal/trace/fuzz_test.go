@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"adavp/internal/core"
+)
+
+// fuzzSettings are the settings a generated run may use — every value
+// core.ParseSetting can invert.
+var fuzzSettings = []core.Setting{
+	core.SettingTiny320, core.Setting320, core.Setting416,
+	core.Setting512, core.Setting608, core.Setting704,
+}
+
+// buildRun derives a Run from the fuzz arguments: sizes are taken modulo a
+// small bound, every float is a raw bit pattern (so NaN and ±Inf appear
+// constantly), and strings include quotes, newlines and non-ASCII to
+// exercise the JSON escaper.
+func buildRun(seed, nOut, nCycles, nSwitches, nFaults uint64, durNs int64) *Run {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	bits := func() float64 { return math.Float64frombits(rng.Uint64()) }
+	setting := func() core.Setting { return fuzzSettings[rng.Intn(len(fuzzSettings))] }
+	r := &Run{
+		Video:    fmt.Sprintf("fuzz-%d", seed),
+		Policy:   []string{"AdaVP", "MPDT", `we"ird`, "poli\ncy", "ünïcode"}[rng.Intn(5)],
+		Duration: time.Duration(durNs),
+	}
+	for i := 0; i < int(nOut%64); i++ {
+		r.Outputs = append(r.Outputs, core.FrameOutput{FrameIndex: i})
+		r.FrameF1 = append(r.FrameF1, bits())
+	}
+	for i := 0; i < int(nCycles%32); i++ {
+		r.Cycles = append(r.Cycles, Cycle{
+			Index: i, Setting: setting(), DetectedFrame: rng.Intn(1000),
+			Start: time.Duration(rng.Int63()), End: time.Duration(rng.Int63()),
+			FramesBuffered: rng.Intn(30), FramesTracked: rng.Intn(30),
+			Velocity: bits(),
+		})
+	}
+	for i := 0; i < int(nSwitches%16); i++ {
+		r.Switches = append(r.Switches, Switch{
+			CycleIndex: rng.Intn(100), From: setting(), To: setting(),
+			At: time.Duration(rng.Int63()), Took: time.Duration(rng.Int63()),
+		})
+	}
+	kinds := []string{"hang", "panic", "", "em\tpty", `k"ind`}
+	actions := []string{"injected", "timeout", "retry", "recovered"}
+	for i := 0; i < int(nFaults%16); i++ {
+		r.Faults = append(r.Faults, FaultEvent{
+			Component: []string{"detector", "tracker"}[rng.Intn(2)],
+			Kind:      kinds[rng.Intn(len(kinds))],
+			Action:    actions[rng.Intn(len(actions))],
+			Cycle:     rng.Intn(100), Frame: rng.Intn(1000),
+			At: time.Duration(rng.Int63()),
+		})
+	}
+	return r
+}
+
+// FuzzJSONRoundTrip checks the export→import→export fixed point: the second
+// export must reproduce the first byte-for-byte, including NaN/Inf frame
+// scores and nanosecond-exact times.
+func FuzzJSONRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(4), uint64(3), uint64(2), uint64(1), int64(30_000_000_000))
+	f.Add(uint64(7), uint64(0), uint64(0), uint64(0), uint64(0), int64(0))
+	f.Add(uint64(42), uint64(63), uint64(31), uint64(15), uint64(15), int64(-12345))
+	f.Add(uint64(99), uint64(10), uint64(5), uint64(1), uint64(8), int64(math.MaxInt64))
+	f.Fuzz(func(t *testing.T, seed, nOut, nCycles, nSwitches, nFaults uint64, durNs int64) {
+		run := buildRun(seed, nOut, nCycles, nSwitches, nFaults, durNs)
+		var first bytes.Buffer
+		if err := run.WriteJSON(&first); err != nil {
+			t.Fatalf("first export: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("import: %v\nexport was:\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := back.WriteJSON(&second); err != nil {
+			t.Fatalf("second export: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip drifted:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+// FuzzCSVRoundTrip checks the same fixed point for the per-frame CSV export.
+func FuzzCSVRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(10), int64(1))
+	f.Add(uint64(2), uint64(0), int64(0))
+	f.Add(uint64(3), uint64(63), int64(-1))
+	f.Fuzz(func(t *testing.T, seed, nOut uint64, durNs int64) {
+		run := buildRun(seed, nOut, 0, 0, 0, durNs)
+		// Exercise both evaluated and unevaluated rows.
+		if seed%2 == 0 {
+			run.FrameF1 = run.FrameF1[:len(run.FrameF1)/2]
+		}
+		recs := run.Records()
+		var first bytes.Buffer
+		if err := WriteCSVRecords(&first, recs); err != nil {
+			t.Fatalf("first export: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("import: %v\nexport was:\n%s", err, first.Bytes())
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("row count drifted: %d -> %d", len(recs), len(back))
+		}
+		var second bytes.Buffer
+		if err := WriteCSVRecords(&second, back); err != nil {
+			t.Fatalf("second export: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip drifted:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -1,0 +1,91 @@
+// Hydration: replaying a recorded run into an observability registry so a
+// trace captured earlier (or on another machine) can be inspected through
+// the exact same /metrics vocabulary a live pipeline publishes.
+package trace
+
+import (
+	"time"
+
+	"adavp/internal/core"
+	"adavp/internal/obs"
+)
+
+// ObserveInterval publishes one busy interval into the shared per-stage
+// latency histograms: GPU time is detect work (labeled with the model
+// setting; trace-derived samples carry health="healthy" because the guard's
+// live state is not part of the busy log), CPU-track time is track work, and
+// CPU-overlay time is overlay work. internal/sim routes its inline
+// instrumentation through this same function, which is what makes a hydrated
+// trace's histograms match an inline-instrumented run's byte-for-byte. A nil
+// registry drops the observation.
+func ObserveInterval(reg *obs.Registry, res Resource, s core.Setting, dur time.Duration) {
+	if reg == nil {
+		return
+	}
+	switch res {
+	case ResourceGPU:
+		reg.StageHistogram(obs.StageDetect, obs.L("setting", s.String()), obs.L("health", "healthy")).ObserveDuration(dur)
+	case ResourceCPUTrack:
+		reg.StageHistogram(obs.StageTrack).ObserveDuration(dur)
+	case ResourceCPUOverlay:
+		reg.StageHistogram(obs.StageOverlay).ObserveDuration(dur)
+	}
+}
+
+// Hydrate replays the complete recorded run into reg under the shared
+// schema: every busy interval through ObserveInterval, every model-setting
+// switch (counter, adapt-decision histogram and journal event at the
+// recorded virtual time), then the outcome aggregates via HydrateOutcome.
+func (r *Run) Hydrate(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, iv := range r.Busy {
+		ObserveInterval(reg, iv.Resource, iv.Setting, iv.Dur())
+	}
+	for _, sw := range r.Switches {
+		reg.Counter(obs.MetricAdaptSwitches, obs.L("from", sw.From.String()), obs.L("to", sw.To.String())).Inc()
+		reg.StageHistogram(obs.StageAdapt).ObserveDuration(sw.Took)
+		reg.Record(sw.At, "adapt", sw.From.String()+"->"+sw.To.String(), "switch")
+	}
+	r.HydrateOutcome(reg)
+}
+
+// HydrateOutcome publishes the run's outcome aggregates: displayed-frame and
+// cycle counters, the final measured velocity gauge, and the fault log (one
+// journal event per entry plus the matching injected/fault/action counters).
+// The simulator calls this once at the end of an instrumented run instead of
+// counting inline, so an inline-instrumented sim run and a hydrated trace of
+// the same run yield identical snapshots.
+func (r *Run) HydrateOutcome(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, out := range r.Outputs {
+		if out.Source == core.SourceNone {
+			continue
+		}
+		reg.Counter(obs.MetricFrames, obs.L("source", out.Source.String())).Inc()
+	}
+	reg.Counter(obs.MetricCycles).Add(int64(len(r.Cycles)))
+	last, ok := 0.0, false
+	for _, c := range r.Cycles {
+		if c.Velocity >= 0 {
+			last, ok = c.Velocity, true
+		}
+	}
+	if ok {
+		reg.Gauge(obs.MetricVelocity).Set(last)
+	}
+	for _, ev := range r.Faults {
+		reg.Record(ev.At, ev.Component, ev.Kind, ev.Action)
+		switch ev.Action {
+		case "injected":
+			reg.Counter(obs.MetricFaultsInjected, obs.L("component", ev.Component), obs.L("kind", ev.Kind)).Inc()
+		case "timeout", "panic", "empty-burst":
+			reg.Counter(obs.MetricGuardFaults, obs.L("component", ev.Component), obs.L("kind", ev.Action)).Inc()
+		case "retry", "downgrade", "recovered":
+			reg.Counter(obs.MetricGuardActions, obs.L("action", ev.Action)).Inc()
+		}
+	}
+}

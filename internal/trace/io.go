@@ -1,0 +1,299 @@
+// Import/export of runs — the paper's "data storage" facility (§V) plus the
+// inverse direction: reading an export back so recorded runs can be
+// re-evaluated or hydrated into an observability registry offline.
+//
+// Round-trip contract (held by the fuzz tests): for both formats,
+// export → import → export reproduces the first export byte-for-byte. CSV
+// stores F1 with four decimals, so the contract is on the serialized bytes,
+// not the original float. JSON stores every time twice — a readable float
+// seconds field and an exact nanosecond integer the importer reads — and
+// encodes non-finite floats as quoted "NaN"/"+Inf"/"-Inf" strings (via
+// obs.SafeFloat) because encoding/json rejects them as numbers.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"adavp/internal/core"
+	"adavp/internal/obs"
+)
+
+// csvHeader is the column set of the per-frame CSV export.
+var csvHeader = []string{"frame", "source", "setting", "objects", "f1"}
+
+// FrameRecord is one row of the per-frame CSV export.
+type FrameRecord struct {
+	Frame   int
+	Source  string
+	Setting string
+	Objects int
+	// F1 is the frame's evaluated score; HasF1 is false for rows exported
+	// before evaluation ran (blank field in the file).
+	F1    float64
+	HasF1 bool
+}
+
+// Records flattens the run into its per-frame CSV rows.
+func (r *Run) Records() []FrameRecord {
+	recs := make([]FrameRecord, len(r.Outputs))
+	for i, out := range r.Outputs {
+		recs[i] = FrameRecord{
+			Frame:   out.FrameIndex,
+			Source:  out.Source.String(),
+			Setting: out.Setting.String(),
+			Objects: len(out.Detections),
+		}
+		if i < len(r.FrameF1) {
+			recs[i].F1, recs[i].HasF1 = r.FrameF1[i], true
+		}
+	}
+	return recs
+}
+
+// WriteCSV exports the per-frame record (frame number, source, setting,
+// object count, F1) — the data the paper's runtime saves for offline
+// evaluation.
+func (r *Run) WriteCSV(w io.Writer) error {
+	return WriteCSVRecords(w, r.Records())
+}
+
+// WriteCSVRecords writes the header plus one row per record.
+func WriteCSVRecords(w io.Writer, recs []FrameRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for i, rec := range recs {
+		f1 := ""
+		if rec.HasF1 {
+			f1 = strconv.FormatFloat(rec.F1, 'f', 4, 64)
+		}
+		row := []string{
+			strconv.Itoa(rec.Frame),
+			rec.Source,
+			rec.Setting,
+			strconv.Itoa(rec.Objects),
+			f1,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a per-frame export back into records.
+func ReadCSV(rd io.Reader) ([]FrameRecord, error) {
+	cr := csv.NewReader(rd)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: CSV header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, col := range csvHeader {
+		if rows[0][i] != col {
+			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, rows[0][i], col)
+		}
+	}
+	recs := make([]FrameRecord, 0, len(rows)-1)
+	for n, row := range rows[1:] {
+		frame, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d frame: %w", n, err)
+		}
+		objects, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d objects: %w", n, err)
+		}
+		rec := FrameRecord{Frame: frame, Source: row[1], Setting: row[2], Objects: objects}
+		if row[4] != "" {
+			f1, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: CSV row %d f1: %w", n, err)
+			}
+			rec.F1, rec.HasF1 = f1, true
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// jsonRun is the serialized shape of a Run. Every time field is stored twice:
+// the float seconds form for humans and an exact nanosecond integer the
+// importer reads, so export→import round-trips exactly.
+type jsonRun struct {
+	Video      string          `json:"video"`
+	Policy     string          `json:"policy"`
+	Duration   float64         `json:"duration_sec"`
+	DurationNs int64           `json:"duration_ns"`
+	Frames     int             `json:"frames"`
+	Cycles     []jsonCycle     `json:"cycles"`
+	Switches   []jsonSwitch    `json:"switches"`
+	Faults     []jsonFault     `json:"faults,omitempty"`
+	FrameF1    []obs.SafeFloat `json:"frame_f1,omitempty"`
+}
+
+type jsonCycle struct {
+	Index    int           `json:"index"`
+	Setting  string        `json:"setting"`
+	Frame    int           `json:"frame"`
+	StartSec float64       `json:"start_sec"`
+	EndSec   float64       `json:"end_sec"`
+	StartNs  int64         `json:"start_ns"`
+	EndNs    int64         `json:"end_ns"`
+	Buffered int           `json:"buffered"`
+	Tracked  int           `json:"tracked"`
+	Velocity obs.SafeFloat `json:"velocity"`
+}
+
+type jsonSwitch struct {
+	Cycle  int     `json:"cycle"`
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	AtSec  float64 `json:"at_sec"`
+	AtNs   int64   `json:"at_ns"`
+	TookNs int64   `json:"took_ns"`
+}
+
+type jsonFault struct {
+	Component string  `json:"component"`
+	Kind      string  `json:"kind,omitempty"`
+	Action    string  `json:"action"`
+	Cycle     int     `json:"cycle"`
+	Frame     int     `json:"frame"`
+	AtSec     float64 `json:"at_sec"`
+	AtNs      int64   `json:"at_ns"`
+}
+
+// WriteJSON exports the run summary as indented JSON.
+func (r *Run) WriteJSON(w io.Writer) error {
+	out := jsonRun{
+		Video:      r.Video,
+		Policy:     r.Policy,
+		Duration:   r.Duration.Seconds(),
+		DurationNs: int64(r.Duration),
+		Frames:     len(r.Outputs),
+	}
+	if len(r.FrameF1) > 0 {
+		out.FrameF1 = make([]obs.SafeFloat, len(r.FrameF1))
+		for i, v := range r.FrameF1 {
+			out.FrameF1[i] = obs.SafeFloat(v)
+		}
+	}
+	for _, c := range r.Cycles {
+		out.Cycles = append(out.Cycles, jsonCycle{
+			Index: c.Index, Setting: c.Setting.String(), Frame: c.DetectedFrame,
+			StartSec: c.Start.Seconds(), EndSec: c.End.Seconds(),
+			StartNs: int64(c.Start), EndNs: int64(c.End),
+			Buffered: c.FramesBuffered, Tracked: c.FramesTracked,
+			Velocity: obs.SafeFloat(c.Velocity),
+		})
+	}
+	for _, s := range r.Switches {
+		out.Switches = append(out.Switches, jsonSwitch{
+			Cycle: s.CycleIndex, From: s.From.String(), To: s.To.String(),
+			AtSec: s.At.Seconds(), AtNs: int64(s.At), TookNs: int64(s.Took),
+		})
+	}
+	for _, f := range r.Faults {
+		out.Faults = append(out.Faults, jsonFault{
+			Component: f.Component, Kind: f.Kind, Action: f.Action,
+			Cycle: f.Cycle, Frame: f.Frame, AtSec: f.At.Seconds(), AtNs: int64(f.At),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// dur reconstructs a duration from the exact ns field, falling back to the
+// float seconds field for exports that predate the ns schema.
+func dur(ns int64, sec float64) time.Duration {
+	if ns == 0 && sec != 0 {
+		return time.Duration(sec * float64(time.Second))
+	}
+	return time.Duration(ns)
+}
+
+// parseSetting maps a serialized setting name back to the enum.
+func parseSetting(name string) (core.Setting, error) {
+	s, ok := core.ParseSetting(name)
+	if !ok {
+		return core.SettingInvalid, fmt.Errorf("trace: unknown setting %q", name)
+	}
+	return s, nil
+}
+
+// ReadJSON imports a run summary previously produced by WriteJSON. The
+// reconstruction is exact for everything the summary carries; per-frame
+// outputs are summarized as a bare frame count, so Outputs comes back as
+// placeholder entries (SourceNone) of the right length.
+func ReadJSON(rd io.Reader) (*Run, error) {
+	var jr jsonRun
+	if err := json.NewDecoder(rd).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	r := &Run{Video: jr.Video, Policy: jr.Policy, Duration: dur(jr.DurationNs, jr.Duration)}
+	if jr.Frames > 0 {
+		r.Outputs = make([]core.FrameOutput, jr.Frames)
+		for i := range r.Outputs {
+			r.Outputs[i].FrameIndex = i
+		}
+	}
+	if len(jr.FrameF1) > 0 {
+		r.FrameF1 = make([]float64, len(jr.FrameF1))
+		for i, v := range jr.FrameF1 {
+			r.FrameF1[i] = float64(v)
+		}
+	}
+	for i, c := range jr.Cycles {
+		s, err := parseSetting(c.Setting)
+		if err != nil {
+			return nil, fmt.Errorf("trace: cycle %d: %w", i, err)
+		}
+		r.Cycles = append(r.Cycles, Cycle{
+			Index: c.Index, Setting: s, DetectedFrame: c.Frame,
+			Start: dur(c.StartNs, c.StartSec), End: dur(c.EndNs, c.EndSec),
+			FramesBuffered: c.Buffered, FramesTracked: c.Tracked,
+			Velocity: float64(c.Velocity),
+		})
+	}
+	for i, sw := range jr.Switches {
+		from, err := parseSetting(sw.From)
+		if err != nil {
+			return nil, fmt.Errorf("trace: switch %d: %w", i, err)
+		}
+		to, err := parseSetting(sw.To)
+		if err != nil {
+			return nil, fmt.Errorf("trace: switch %d: %w", i, err)
+		}
+		r.Switches = append(r.Switches, Switch{
+			CycleIndex: sw.Cycle, From: from, To: to,
+			At: dur(sw.AtNs, sw.AtSec), Took: time.Duration(sw.TookNs),
+		})
+	}
+	for _, f := range jr.Faults {
+		r.Faults = append(r.Faults, FaultEvent{
+			Component: f.Component, Kind: f.Kind, Action: f.Action,
+			Cycle: f.Cycle, Frame: f.Frame, At: dur(f.AtNs, f.AtSec),
+		})
+	}
+	return r, nil
+}

@@ -6,11 +6,7 @@
 package trace
 
 import (
-	"encoding/csv"
-	"encoding/json"
 	"fmt"
-	"io"
-	"strconv"
 	"time"
 
 	"adavp/internal/core"
@@ -85,6 +81,9 @@ type Switch struct {
 	CycleIndex int
 	From, To   core.Setting
 	At         time.Duration
+	// Took is the model-switch overhead the pipeline paid (§IV-D's switch
+	// cost); zero when not measured.
+	Took time.Duration
 }
 
 // FaultEvent records one injected fault or one supervision action during a
@@ -188,109 +187,4 @@ func (r *Run) SettingUsage() map[core.Setting]float64 {
 		out[s] = float64(n) / float64(len(r.Cycles))
 	}
 	return out
-}
-
-// WriteCSV exports the per-frame record (frame number, source, setting,
-// object count, F1) — the data the paper's runtime saves for offline
-// evaluation.
-func (r *Run) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"frame", "source", "setting", "objects", "f1"}); err != nil {
-		return fmt.Errorf("trace: writing CSV header: %w", err)
-	}
-	for i, out := range r.Outputs {
-		f1 := ""
-		if i < len(r.FrameF1) {
-			f1 = strconv.FormatFloat(r.FrameF1[i], 'f', 4, 64)
-		}
-		rec := []string{
-			strconv.Itoa(out.FrameIndex),
-			out.Source.String(),
-			out.Setting.String(),
-			strconv.Itoa(len(out.Detections)),
-			f1,
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("trace: writing CSV row %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return fmt.Errorf("trace: flushing CSV: %w", err)
-	}
-	return nil
-}
-
-// jsonRun is the serialized shape of a Run.
-type jsonRun struct {
-	Video    string       `json:"video"`
-	Policy   string       `json:"policy"`
-	Duration float64      `json:"duration_sec"`
-	Frames   int          `json:"frames"`
-	Cycles   []jsonCycle  `json:"cycles"`
-	Switches []jsonSwitch `json:"switches"`
-	Faults   []jsonFault  `json:"faults,omitempty"`
-	FrameF1  []float64    `json:"frame_f1,omitempty"`
-}
-
-type jsonCycle struct {
-	Index    int     `json:"index"`
-	Setting  string  `json:"setting"`
-	Frame    int     `json:"frame"`
-	StartSec float64 `json:"start_sec"`
-	EndSec   float64 `json:"end_sec"`
-	Buffered int     `json:"buffered"`
-	Tracked  int     `json:"tracked"`
-	Velocity float64 `json:"velocity"`
-}
-
-type jsonSwitch struct {
-	Cycle int     `json:"cycle"`
-	From  string  `json:"from"`
-	To    string  `json:"to"`
-	AtSec float64 `json:"at_sec"`
-}
-
-type jsonFault struct {
-	Component string  `json:"component"`
-	Kind      string  `json:"kind,omitempty"`
-	Action    string  `json:"action"`
-	Cycle     int     `json:"cycle"`
-	Frame     int     `json:"frame"`
-	AtSec     float64 `json:"at_sec"`
-}
-
-// WriteJSON exports the run summary as indented JSON.
-func (r *Run) WriteJSON(w io.Writer) error {
-	out := jsonRun{
-		Video:    r.Video,
-		Policy:   r.Policy,
-		Duration: r.Duration.Seconds(),
-		Frames:   len(r.Outputs),
-		FrameF1:  r.FrameF1,
-	}
-	for _, c := range r.Cycles {
-		out.Cycles = append(out.Cycles, jsonCycle{
-			Index: c.Index, Setting: c.Setting.String(), Frame: c.DetectedFrame,
-			StartSec: c.Start.Seconds(), EndSec: c.End.Seconds(),
-			Buffered: c.FramesBuffered, Tracked: c.FramesTracked, Velocity: c.Velocity,
-		})
-	}
-	for _, s := range r.Switches {
-		out.Switches = append(out.Switches, jsonSwitch{
-			Cycle: s.CycleIndex, From: s.From.String(), To: s.To.String(), AtSec: s.At.Seconds(),
-		})
-	}
-	for _, f := range r.Faults {
-		out.Faults = append(out.Faults, jsonFault{
-			Component: f.Component, Kind: f.Kind, Action: f.Action,
-			Cycle: f.Cycle, Frame: f.Frame, AtSec: f.At.Seconds(),
-		})
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		return fmt.Errorf("trace: encoding JSON: %w", err)
-	}
-	return nil
 }
