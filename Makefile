@@ -34,7 +34,7 @@ test:
 race:
 	$(GO) test -race ./internal/rt/ ./internal/fault/ ./internal/guard/ ./internal/sim/ \
 		./internal/par/ ./internal/imgproc/ ./internal/flow/ ./internal/video/ \
-		./internal/detect/ ./internal/track/ ./internal/obs/
+		./internal/detect/ ./internal/track/ ./internal/obs/ ./internal/serve/
 
 vet:
 	$(GO) vet ./...

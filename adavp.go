@@ -43,6 +43,7 @@ import (
 	"adavp/internal/obs"
 	"adavp/internal/par"
 	"adavp/internal/rt"
+	"adavp/internal/serve"
 	"adavp/internal/sim"
 	"adavp/internal/trace"
 	"adavp/internal/track"
@@ -327,6 +328,180 @@ func RunLive(ctx context.Context, v *Video, opts Options, timeScale float64) (*R
 		return res, fmt.Errorf("adavp: %w", err)
 	}
 	return res, nil
+}
+
+// ServeOptions configures multi-stream serving: N independent streams share
+// K detector slots (K < N queues detection requests oldest-calibration-first;
+// see DESIGN.md §12 for the queueing model and fairness bound).
+type ServeOptions struct {
+	// Slots is K, the number of shared detector slots. Default 1.
+	Slots int
+	// QueueBound caps the detector wait queue. A stream that cannot enqueue
+	// defers its detection and keeps tracking (backpressure — staleness
+	// grows instead of memory). Default: one entry per stream, which never
+	// refuses.
+	QueueBound int
+	// MaxStreams is the admission-control cap: larger stream sets are
+	// rejected up front. 0 means unlimited.
+	MaxStreams int
+	// DowngradeBudget caps guard fault-escalation downgrades across ALL
+	// streams of a live run, so a correlated fault burst cannot walk every
+	// stream down to the smallest model at once. 0 means unlimited.
+	DowngradeBudget int
+}
+
+// StreamRun is one stream's outcome in a multi-stream run.
+type StreamRun struct {
+	// ID names the stream ("s0", "s1", ...); it labels the stream's series
+	// in Options.Obs (stream=<id>).
+	ID string
+	// Result is the stream's completed run (same schema as single-stream).
+	Result *Result
+	// Grants counts detector-slot grants and Deferred the requests refused
+	// by the bounded queue.
+	Grants, Deferred int
+	// MaxWait, MaxOccupancy and MaxCalibAge are the virtual-clock
+	// scheduler's per-stream accounting (zero for live runs, which publish
+	// slot waits to the registry instead).
+	MaxWait, MaxOccupancy, MaxCalibAge time.Duration
+	// Err is the stream's pipeline error, if any (live cancellation).
+	Err error
+}
+
+// MultiResult is a completed multi-stream run.
+type MultiResult struct {
+	// Streams holds one outcome per input video, in input order.
+	Streams []StreamRun
+	// MaxQueueDepth is the deepest the detector wait queue ever got
+	// (virtual-clock runs).
+	MaxQueueDepth int
+	// FairnessBound is the guaranteed maximum calibration age for the run's
+	// observed slot occupancy (virtual-clock runs): no stream's MaxCalibAge
+	// exceeds it.
+	FairnessBound time.Duration
+}
+
+// RunMulti executes one stream per video against a shared detector pool on
+// the deterministic virtual clock. Stream i runs opts with Seed+i; only the
+// parallel policies (AdaVP, MPDT) can be scheduled. Two same-seed calls are
+// byte-for-byte identical, including the telemetry in Options.Obs.
+func RunMulti(videos []*Video, opts Options, so ServeOptions) (*MultiResult, error) {
+	if opts.Policy == sim.PolicyInvalid {
+		opts.Policy = PolicyAdaVP
+	}
+	if so.MaxStreams > 0 && len(videos) > so.MaxStreams {
+		return nil, fmt.Errorf("adavp: %d streams exceed the admission cap %d", len(videos), so.MaxStreams)
+	}
+	if opts.Workers > 0 {
+		par.SetWorkers(opts.Workers)
+	}
+	streams := make([]sim.MultiStream, len(videos))
+	for i, v := range videos {
+		cfg := sim.Config{
+			Policy:  opts.Policy,
+			Setting: opts.Setting,
+			Seed:    opts.Seed + uint64(i),
+			Alpha:   opts.Alpha,
+			IoU:     opts.IoU,
+			Fault:   opts.Fault,
+		}
+		if opts.PixelMode {
+			cfg.PixelMode = true
+			cfg.Detector = detect.NewBlobDetector()
+			cfg.NewTracker = func(uint64) track.Tracker { return track.NewPixelTracker() }
+		}
+		streams[i] = sim.MultiStream{ID: fmt.Sprintf("s%d", i), Video: v, Config: cfg}
+	}
+	r, err := sim.RunMulti(streams, sim.MultiConfig{Slots: so.Slots, QueueBound: so.QueueBound, Obs: opts.Obs})
+	if err != nil {
+		return nil, fmt.Errorf("adavp: %w", err)
+	}
+	out := &MultiResult{Streams: make([]StreamRun, len(r.Streams)), MaxQueueDepth: r.MaxQueueDepth}
+	var frameInterval time.Duration
+	for _, v := range videos {
+		if v.FrameInterval() > frameInterval {
+			frameInterval = v.FrameInterval()
+		}
+	}
+	out.FairnessBound = serve.FairnessBound(len(videos), so.Slots, r.MaxOccupancy, frameInterval)
+	for i, s := range r.Streams {
+		out.Streams[i] = StreamRun{
+			ID: s.ID,
+			Result: &Result{
+				Accuracy: s.Result.Accuracy,
+				MeanF1:   s.Result.MeanF1,
+				FrameF1:  s.Result.Run.FrameF1,
+				Outputs:  s.Result.Run.Outputs,
+				Trace:    s.Result.Run,
+				Faults:   s.Result.Run.Faults,
+			},
+			Grants:       s.Grants,
+			Deferred:     s.Deferred,
+			MaxWait:      s.MaxWait,
+			MaxOccupancy: s.MaxOccupancy,
+			MaxCalibAge:  s.MaxCalibAge,
+		}
+	}
+	return out, nil
+}
+
+// RunLiveMulti executes one supervised live pipeline per video, all
+// contending for a shared pool of detector slots (internal/serve). Stream i
+// runs opts with Seed+i. Each stream has its own tracker, adaptation state
+// and guard supervisor; the slots, the downgrade budget and the registry are
+// shared. As with RunLive, only AdaVP and MPDT run live. Cancelled streams
+// carry their partial Result alongside StreamRun.Err.
+func RunLiveMulti(ctx context.Context, videos []*Video, opts Options, timeScale float64, so ServeOptions) (*MultiResult, error) {
+	specs := make([]serve.StreamSpec, len(videos))
+	for i, v := range videos {
+		cfg := rt.Config{
+			Setting:   opts.Setting,
+			Seed:      opts.Seed + uint64(i),
+			TimeScale: timeScale,
+			PixelMode: opts.PixelMode,
+			Fault:     opts.Fault,
+			Workers:   opts.Workers,
+		}
+		if opts.Policy == sim.PolicyInvalid || opts.Policy == PolicyAdaVP {
+			cfg.Adaptation = adapt.DefaultModel()
+		} else if opts.Policy != PolicyMPDT {
+			return nil, fmt.Errorf("adavp: live pipeline supports PolicyAdaVP and PolicyMPDT, not %v", opts.Policy)
+		}
+		if opts.PixelMode {
+			cfg.Detector = detect.NewBlobDetector()
+			cfg.NewTracker = func(uint64) track.Tracker { return track.NewPixelTracker() }
+		}
+		specs[i] = serve.StreamSpec{ID: fmt.Sprintf("s%d", i), Video: v, Config: cfg}
+	}
+	r, err := serve.Run(ctx, specs, serve.RunConfig{
+		Slots:           so.Slots,
+		QueueBound:      so.QueueBound,
+		MaxStreams:      so.MaxStreams,
+		DowngradeBudget: so.DowngradeBudget,
+		Obs:             opts.Obs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adavp: %w", err)
+	}
+	out := &MultiResult{Streams: make([]StreamRun, len(r.Streams))}
+	for i, s := range r.Streams {
+		sr := StreamRun{ID: s.ID, Err: s.Err}
+		if s.Result != nil {
+			sr.Result = &Result{
+				Accuracy: s.Result.Accuracy,
+				MeanF1:   s.Result.MeanF1,
+				FrameF1:  s.Result.FrameF1,
+				Outputs:  s.Result.Outputs,
+				Faults:   s.Result.Events,
+				Guard:    s.Result.Faults,
+				Health:   s.Result.Health,
+				Partial:  s.Result.Partial,
+			}
+			sr.Deferred = s.Result.Deferred
+		}
+		out.Streams[i] = sr
+	}
+	return out, nil
 }
 
 // Energy integrates a run's busy intervals with the TX2 power model.

@@ -11,6 +11,8 @@
 //	adavp -scenario city-street -csv run.csv -json run.json
 //	adavp -scenario highway -dump-frames 5 -dump-dir /tmp/frames
 //	adavp -scenario highway -live -fault-rate 0.1 -fault-kinds hang,panic
+//	adavp -scenario city-street -streams 8 -detector-slots 2
+//	adavp -scenario highway -live -streams 4 -detector-slots 1
 package main
 
 import (
@@ -23,7 +25,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"adavp"
 	"adavp/internal/core"
@@ -36,49 +40,74 @@ import (
 
 // cliOpts collects the parsed command line.
 type cliOpts struct {
-	scenario, policy           string
-	settingPx, frames          int
-	seed                       uint64
-	pixel, perClass            bool
-	csvPath, jsonPath          string
-	dumpN                      int
-	annotate                   bool
-	dumpDir                    string
-	live                       bool
-	workers                    int
-	timeScale                  float64
-	metricsAddr                string
-	faultRate                  float64
-	faultBurst                 int
-	faultKinds                 string
-	faultSeed                  uint64
+	scenario, policy       string
+	setting                adavp.Setting
+	frames                 int
+	seed                   uint64
+	pixel, perClass        bool
+	csvPath, jsonPath      string
+	dumpN                  int
+	annotate               bool
+	dumpDir                string
+	live                   bool
+	workers                int
+	timeScale              float64
+	metricsAddr            string
+	streams, detectorSlots int
+	faultRate              float64
+	faultBurst             int
+	faultKinds             string
+	faultSeed              uint64
+}
+
+// newFlagSet registers every flag on a fresh FlagSet writing into o. The
+// -setting flag validates at parse time: an invalid pixel size fails the
+// parse with a clear error instead of surviving until the run starts.
+func newFlagSet(o *cliOpts, eh flag.ErrorHandling) *flag.FlagSet {
+	fs := flag.NewFlagSet("adavp", eh)
+	fs.StringVar(&o.scenario, "scenario", "highway", "scenario preset ("+scenarioList()+")")
+	fs.StringVar(&o.policy, "policy", "adavp", "policy: adavp|mpdt|marlin|notracking|continuous")
+	o.setting = adavp.Setting512
+	fs.Func("setting", "fixed model setting (320|416|512|608); initial setting for adavp (default 512)", func(s string) error {
+		px, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("setting %q is not a pixel size (use 320|416|512|608)", s)
+		}
+		set, err := parseSetting(px)
+		if err != nil {
+			return err
+		}
+		o.setting = set
+		return nil
+	})
+	fs.IntVar(&o.frames, "frames", 900, "video length in frames (30 FPS)")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed (runs are reproducible)")
+	fs.BoolVar(&o.pixel, "pixel", false, "use the real pixel detector and Lucas-Kanade tracker (slow)")
+	fs.StringVar(&o.csvPath, "csv", "", "write the per-frame trace as CSV to this file")
+	fs.StringVar(&o.jsonPath, "json", "", "write the run summary as JSON to this file")
+	fs.IntVar(&o.dumpN, "dump-frames", 0, "render and save this many frames as PGM images")
+	fs.BoolVar(&o.annotate, "annotate", false, "dump frames as truth-vs-output composites with drawn boxes")
+	fs.BoolVar(&o.perClass, "per-class", false, "print the per-class precision/recall breakdown")
+	fs.StringVar(&o.dumpDir, "dump-dir", ".", "directory for dumped frames")
+	fs.IntVar(&o.workers, "workers", 0, "pixel-kernel worker pool size (0 = NumCPU); never changes results, only wall time")
+	fs.BoolVar(&o.live, "live", false, "run the supervised goroutine pipeline instead of the virtual clock (adavp|mpdt only)")
+	fs.Float64Var(&o.timeScale, "timescale", 0.02, "live-mode latency scale (1.0 = real time)")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :9090) for the duration of the run")
+	fs.IntVar(&o.streams, "streams", 1, "serve this many concurrent streams against the shared detector pool (adavp|mpdt; stream i uses seed+i)")
+	fs.IntVar(&o.detectorSlots, "detector-slots", 1, "detector slots shared by all streams (K < streams queues requests oldest-calibration-first)")
+	fs.Float64Var(&o.faultRate, "fault-rate", 0, "fault-injection rate (probability per burst block); 0 disables")
+	fs.IntVar(&o.faultBurst, "fault-burst", 1, "consecutive calls per injected fault")
+	fs.StringVar(&o.faultKinds, "fault-kinds", "", "comma-separated fault kinds to inject (default: all; see DESIGN.md fault model)")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 0, "fault schedule seed (0: reuse -seed)")
+	return fs
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adavp: ")
 	var o cliOpts
-	flag.StringVar(&o.scenario, "scenario", "highway", "scenario preset ("+scenarioList()+")")
-	flag.StringVar(&o.policy, "policy", "adavp", "policy: adavp|mpdt|marlin|notracking|continuous")
-	flag.IntVar(&o.settingPx, "setting", 512, "fixed model setting (320|416|512|608); initial setting for adavp")
-	flag.IntVar(&o.frames, "frames", 900, "video length in frames (30 FPS)")
-	flag.Uint64Var(&o.seed, "seed", 1, "random seed (runs are reproducible)")
-	flag.BoolVar(&o.pixel, "pixel", false, "use the real pixel detector and Lucas-Kanade tracker (slow)")
-	flag.StringVar(&o.csvPath, "csv", "", "write the per-frame trace as CSV to this file")
-	flag.StringVar(&o.jsonPath, "json", "", "write the run summary as JSON to this file")
-	flag.IntVar(&o.dumpN, "dump-frames", 0, "render and save this many frames as PGM images")
-	flag.BoolVar(&o.annotate, "annotate", false, "dump frames as truth-vs-output composites with drawn boxes")
-	flag.BoolVar(&o.perClass, "per-class", false, "print the per-class precision/recall breakdown")
-	flag.StringVar(&o.dumpDir, "dump-dir", ".", "directory for dumped frames")
-	flag.IntVar(&o.workers, "workers", 0, "pixel-kernel worker pool size (0 = NumCPU); never changes results, only wall time")
-	flag.BoolVar(&o.live, "live", false, "run the supervised goroutine pipeline instead of the virtual clock (adavp|mpdt only)")
-	flag.Float64Var(&o.timeScale, "timescale", 0.02, "live-mode latency scale (1.0 = real time)")
-	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :9090) for the duration of the run")
-	flag.Float64Var(&o.faultRate, "fault-rate", 0, "fault-injection rate (probability per burst block); 0 disables")
-	flag.IntVar(&o.faultBurst, "fault-burst", 1, "consecutive calls per injected fault")
-	flag.StringVar(&o.faultKinds, "fault-kinds", "", "comma-separated fault kinds to inject (default: all; see DESIGN.md fault model)")
-	flag.Uint64Var(&o.faultSeed, "fault-seed", 0, "fault schedule seed (0: reuse -seed)")
-	flag.Parse()
+	fs := newFlagSet(&o, flag.ExitOnError)
+	_ = fs.Parse(os.Args[1:]) // ExitOnError: a parse failure never returns
 	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
@@ -93,12 +122,14 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	setting, err := parseSetting(o.settingPx)
-	if err != nil {
-		return err
+	if o.streams < 1 {
+		return fmt.Errorf("-streams %d: need at least one stream", o.streams)
+	}
+	if o.detectorSlots < 1 {
+		return fmt.Errorf("-detector-slots %d: need at least one slot", o.detectorSlots)
 	}
 	opts := adavp.Options{
-		Policy: policy, Setting: setting, Seed: o.seed, PixelMode: o.pixel,
+		Policy: policy, Setting: o.setting, Seed: o.seed, PixelMode: o.pixel,
 		Workers: o.workers,
 	}
 	effective := adavp.SetWorkers(o.workers)
@@ -129,6 +160,11 @@ func run(o cliOpts) error {
 			Rate: o.faultRate, Burst: o.faultBurst, Kinds: kinds, Seed: fseed,
 		}
 		fmt.Printf("fault profile: %s\n", opts.Fault)
+	}
+
+	if o.streams > 1 {
+		fmt.Printf("pixel workers: %d (of %d CPUs)\n", effective, runtime.NumCPU())
+		return runMulti(kind, opts, o)
 	}
 
 	v := adavp.GenerateVideo(kind, o.seed, o.frames)
@@ -216,6 +252,57 @@ func runLive(v *adavp.Video, opts adavp.Options, o cliOpts) error {
 	fmt.Printf("guard: %d timeouts, %d panics, %d empty bursts, %d retries, %d downgrades, %d recoveries\n",
 		g.Timeouts, g.Panics, g.EmptyBursts, g.Retries, g.Downgrades, g.Recoveries)
 	printFaults(res.Faults)
+	return nil
+}
+
+// runMulti serves -streams concurrent streams of the same scenario (stream i
+// generated and seeded with seed+i) against -detector-slots shared detector
+// slots — virtual clock by default, the live goroutine pipelines with -live.
+// Trace-backed single-stream reports are unavailable here.
+func runMulti(kind adavp.Scenario, opts adavp.Options, o cliOpts) error {
+	if o.csvPath != "" || o.jsonPath != "" || o.dumpN > 0 || o.perClass {
+		return fmt.Errorf("-csv, -json, -dump-frames and -per-class report a single stream; drop -streams to use them")
+	}
+	videos := make([]*adavp.Video, o.streams)
+	for i := range videos {
+		videos[i] = adavp.GenerateVideo(kind, o.seed+uint64(i), o.frames)
+	}
+	fmt.Printf("serving: %d %s streams (%d frames each) over %d detector slot(s)\n",
+		o.streams, kind, o.frames, o.detectorSlots)
+	so := adavp.ServeOptions{Slots: o.detectorSlots}
+
+	if o.live {
+		res, err := adavp.RunLiveMulti(context.Background(), videos, opts, o.timeScale, so)
+		if err != nil {
+			return err
+		}
+		for _, s := range res.Streams {
+			if s.Err != nil {
+				fmt.Printf("stream %s: interrupted: %v\n", s.ID, s.Err)
+				continue
+			}
+			r := s.Result
+			fmt.Printf("stream %s: accuracy %.3f, mean F1 %.3f, deferred %d, health %s, %d downgrades\n",
+				s.ID, r.Accuracy, r.MeanF1, s.Deferred, r.Health, r.Guard.Downgrades)
+		}
+		return nil
+	}
+
+	res, err := adavp.RunMulti(videos, opts, so)
+	if err != nil {
+		return err
+	}
+	var maxAge time.Duration
+	for _, s := range res.Streams {
+		r := s.Result
+		fmt.Printf("stream %s: accuracy %.3f, mean F1 %.3f, cycles %d, deferred %d, max slot wait %s, max calibration age %s\n",
+			s.ID, r.Accuracy, r.MeanF1, len(r.Trace.Cycles), s.Deferred, s.MaxWait, s.MaxCalibAge)
+		if s.MaxCalibAge > maxAge {
+			maxAge = s.MaxCalibAge
+		}
+	}
+	fmt.Printf("scheduler: max queue depth %d; max calibration age %s within fairness bound %s\n",
+		res.MaxQueueDepth, maxAge, res.FairnessBound)
 	return nil
 }
 

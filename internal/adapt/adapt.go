@@ -76,8 +76,14 @@ func DefaultModel() *Model {
 
 // Next returns the setting to use for the next detection cycle, given the
 // setting the current cycle ran at and the velocity its tracker measured.
-// Unknown current settings fall back to the 512 triple (the mid model).
+// Unknown current settings fall back to the 512 triple (the mid model). A
+// non-finite velocity (a tracker interval with zero live features divides
+// 0/0) keeps the current setting: NaN compares false against every
+// threshold, which would otherwise silently select the smallest model.
 func (m *Model) Next(current core.Setting, velocity float64) core.Setting {
+	if math.IsNaN(velocity) || math.IsInf(velocity, 0) {
+		return current
+	}
 	th, ok := m.PerSetting[current]
 	if !ok {
 		th, ok = m.PerSetting[core.Setting512]
@@ -94,17 +100,26 @@ func (m *Model) Next(current core.Setting, velocity float64) core.Setting {
 // switch counter, observes the decision in the adapt-decision stage
 // histogram (took is the switch overhead — virtual in sim, wall in rt) and
 // appends a journal event at the caller-supplied pipeline time. A nil
-// registry drops everything.
-func PublishDecision(reg *obs.Registry, from, to core.Setting, velocity float64, took, at time.Duration) {
+// registry drops everything. Extra labels (stream=<id> in multi-stream runs)
+// are applied to the gauge, counter and histogram series.
+//
+// The gauge is sanitized the same way the trace path guards its serialized
+// floats (obs.SafeFloat): a NaN or ±Inf velocity — a tracker interval with
+// zero live features yields 0/0 — never reaches the gauge, which keeps its
+// last finite value instead of poisoning every scrape that follows.
+func PublishDecision(reg *obs.Registry, from, to core.Setting, velocity float64, took, at time.Duration, extra ...obs.Label) {
 	if reg == nil {
 		return
 	}
-	reg.Gauge(obs.MetricVelocity).Set(velocity)
+	if !math.IsNaN(velocity) && !math.IsInf(velocity, 0) {
+		reg.Gauge(obs.MetricVelocity, extra...).Set(velocity)
+	}
 	if from == to {
 		return
 	}
-	reg.Counter(obs.MetricAdaptSwitches, obs.L("from", from.String()), obs.L("to", to.String())).Inc()
-	reg.StageHistogram(obs.StageAdapt).ObserveDuration(took)
+	labels := append([]obs.Label{obs.L("from", from.String()), obs.L("to", to.String())}, extra...)
+	reg.Counter(obs.MetricAdaptSwitches, labels...).Inc()
+	reg.StageHistogram(obs.StageAdapt, extra...).ObserveDuration(took)
 	reg.Record(at, "adapt", from.String()+"->"+to.String(), "switch")
 }
 

@@ -1,0 +1,72 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"adavp/internal/core"
+	"adavp/internal/obs"
+)
+
+// TestPublishDecisionSanitizesVelocity is the regression test for the
+// NaN/±Inf velocity gauge: a tracker interval with zero live features can
+// produce a 0/0 velocity, and publishing it must not poison the gauge — the
+// last finite value stays.
+func TestPublishDecisionSanitizesVelocity(t *testing.T) {
+	reg := obs.NewRegistry()
+	PublishDecision(reg, core.Setting512, core.Setting512, 3.5, 0, 0)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		PublishDecision(reg, core.Setting512, core.Setting512, bad, 0, 0)
+		if got := reg.Gauge(obs.MetricVelocity).Value(); got != 3.5 {
+			t.Errorf("after publishing %v the gauge reads %v, want the last finite value 3.5", bad, got)
+		}
+	}
+	// A later finite publish still lands.
+	PublishDecision(reg, core.Setting512, core.Setting512, 1.25, 0, 0)
+	if got := reg.Gauge(obs.MetricVelocity).Value(); got != 1.25 {
+		t.Errorf("finite publish after sanitized ones reads %v, want 1.25", got)
+	}
+}
+
+// TestPublishDecisionNonFiniteStillRecordsSwitch: sanitization only guards
+// the gauge — an applied switch keeps its counter, histogram and journal
+// entry even when the velocity that triggered it was garbage.
+func TestPublishDecisionNonFiniteStillRecordsSwitch(t *testing.T) {
+	reg := obs.NewRegistry()
+	PublishDecision(reg, core.Setting512, core.Setting416, math.NaN(), 0, 0)
+	c := reg.Counter(obs.MetricAdaptSwitches,
+		obs.L("from", core.Setting512.String()), obs.L("to", core.Setting416.String()))
+	if c.Value() != 1 {
+		t.Errorf("switch counter = %d, want 1", c.Value())
+	}
+}
+
+// TestNextNonFiniteVelocityHoldsSetting: NaN compares false against every
+// threshold, which without the guard would silently pick the smallest
+// model; an invalid measurement must instead keep the current setting.
+func TestNextNonFiniteVelocityHoldsSetting(t *testing.T) {
+	m := DefaultModel()
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for _, s := range core.AdaptiveSettings {
+			if got := m.Next(s, bad); got != s {
+				t.Errorf("Next(%v, %v) = %v, want the current setting held", s, bad, got)
+			}
+		}
+	}
+}
+
+// TestPublishDecisionStreamLabels: extra labels (multi-stream runs) are
+// applied to the per-decision series.
+func TestPublishDecisionStreamLabels(t *testing.T) {
+	reg := obs.NewRegistry()
+	PublishDecision(reg, core.Setting512, core.Setting416, 7.0, 0, 0, obs.L("stream", "s1"))
+	if got := reg.Gauge(obs.MetricVelocity, obs.L("stream", "s1")).Value(); got != 7.0 {
+		t.Errorf("labeled velocity gauge = %v, want 7.0", got)
+	}
+	c := reg.Counter(obs.MetricAdaptSwitches,
+		obs.L("from", core.Setting512.String()), obs.L("to", core.Setting416.String()),
+		obs.L("stream", "s1"))
+	if c.Value() != 1 {
+		t.Errorf("labeled switch counter = %d, want 1", c.Value())
+	}
+}

@@ -1,0 +1,92 @@
+package guard
+
+import (
+	"sync"
+	"testing"
+
+	"adavp/internal/obs"
+)
+
+// TestEscalationBudgetSharedAcrossSupervisors: two supervisors sharing a
+// budget of 2 get exactly two downgrades between them, then none.
+func TestEscalationBudgetSharedAcrossSupervisors(t *testing.T) {
+	b := NewEscalationBudget(2)
+	s1 := New(Config{Budget: b, Stream: "s1"})
+	s2 := New(Config{Budget: b, Stream: "s2"})
+	granted := 0
+	for _, s := range []*Supervisor{s1, s2, s1, s2} {
+		if s.AllowDowngrade() {
+			granted++
+		}
+	}
+	if granted != 2 {
+		t.Errorf("%d downgrades granted across supervisors, want 2 (shared budget)", granted)
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining() = %d, want 0", b.Remaining())
+	}
+}
+
+// TestEscalationBudgetNilUnlimited: a supervisor without a budget always
+// grants (the single-stream default).
+func TestEscalationBudgetNilUnlimited(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 10; i++ {
+		if !s.AllowDowngrade() {
+			t.Fatalf("downgrade %d denied without a budget", i)
+		}
+	}
+}
+
+// TestEscalationBudgetConcurrent: concurrent Take calls never over-grant
+// (run under -race by make race).
+func TestEscalationBudgetConcurrent(t *testing.T) {
+	const cap, workers, tries = 64, 8, 100
+	b := NewEscalationBudget(cap)
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < tries; i++ {
+				if b.Take() {
+					n++
+				}
+			}
+			mu.Lock()
+			total += int64(n)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != cap {
+		t.Errorf("%d downgrades granted concurrently, want exactly %d", total, cap)
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining() = %d, want 0", b.Remaining())
+	}
+}
+
+// TestStreamLabeledSeries: a supervisor with a stream id publishes its
+// health gauge and counters under stream=<id>, keeping N streams sharing a
+// registry distinguishable; journal events carry the id in the component.
+func TestStreamLabeledSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Obs: reg, Stream: "s3"})
+	s.ObserveFault(ComponentDetector, Timeout, 0, 1, 0)
+	if got := reg.Gauge(obs.MetricGuardHealth, obs.L("stream", "s3")).Value(); got != float64(Degraded) {
+		t.Errorf("labeled health gauge = %v, want %v", got, float64(Degraded))
+	}
+	c := reg.Counter(obs.MetricGuardFaults,
+		obs.L("component", ComponentDetector), obs.L("kind", "timeout"), obs.L("stream", "s3"))
+	if c.Value() != 1 {
+		t.Errorf("labeled fault counter = %d, want 1", c.Value())
+	}
+	snap := reg.Snapshot()
+	if len(snap.Events) != 1 || snap.Events[0].Component != "detector@s3" {
+		t.Errorf("journal events = %+v, want one event with component detector@s3", snap.Events)
+	}
+}

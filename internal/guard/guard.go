@@ -16,6 +16,7 @@ package guard
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adavp/internal/core"
@@ -117,6 +118,15 @@ type Config struct {
 	// fault/action counters, and every event-log entry mirrored into the
 	// journal (internal/obs schema). Nil disables publishing.
 	Obs *obs.Registry
+	// Stream names the stream this supervisor belongs to in a multi-stream
+	// serving run: every published series gains a stream=<id> label and
+	// journal events carry the id, so N streams sharing one registry stay
+	// distinguishable. Empty (single-stream) leaves the schema unchanged.
+	Stream string
+	// Budget, when set, is an escalation budget shared with the other
+	// streams' supervisors: a model-setting downgrade may only be applied
+	// while the budget has capacity left (AllowDowngrade). Nil is unlimited.
+	Budget *EscalationBudget
 }
 
 // WithDefaults returns the config with zero fields replaced by defaults.
@@ -172,6 +182,51 @@ type Stats struct {
 // Faults returns the total hard-fault count.
 func (s Stats) Faults() int { return s.Timeouts + s.Panics + s.EmptyBursts }
 
+// EscalationBudget caps the total number of model-setting downgrades a group
+// of supervisors may apply. In a multi-stream serving run every stream's
+// supervisor shares one budget, so a correlated fault burst (an overloaded
+// accelerator times out for everyone at once) cannot stampede every stream
+// onto the smallest model — the first takers downgrade, the rest ride out
+// the burst on retries and held calibrations. A nil budget is unlimited.
+type EscalationBudget struct {
+	remaining atomic.Int64
+}
+
+// NewEscalationBudget returns a budget allowing n downgrades in total
+// across every supervisor that shares it. n <= 0 yields an exhausted budget.
+func NewEscalationBudget(n int) *EscalationBudget {
+	b := &EscalationBudget{}
+	if n > 0 {
+		b.remaining.Store(int64(n))
+	}
+	return b
+}
+
+// Take consumes one downgrade if capacity remains, reporting whether it was
+// granted. A nil budget always grants. Safe for concurrent use.
+func (b *EscalationBudget) Take() bool {
+	if b == nil {
+		return true
+	}
+	for {
+		r := b.remaining.Load()
+		if r <= 0 {
+			return false
+		}
+		if b.remaining.CompareAndSwap(r, r-1) {
+			return true
+		}
+	}
+}
+
+// Remaining returns the downgrades left (a nil budget reports -1, unlimited).
+func (b *EscalationBudget) Remaining() int {
+	if b == nil {
+		return -1
+	}
+	return int(b.remaining.Load())
+}
+
 // Decision is the supervisor's recommendation after a fault.
 type Decision struct {
 	// Backoff is how long to wait before retrying the cycle.
@@ -197,8 +252,18 @@ type Supervisor struct {
 // New returns a supervisor with the given (defaulted) config.
 func New(cfg Config) *Supervisor {
 	s := &Supervisor{cfg: cfg.WithDefaults()}
-	s.cfg.Obs.Gauge(obs.MetricGuardHealth).Set(float64(Healthy))
+	s.cfg.Obs.Gauge(obs.MetricGuardHealth, s.cfg.obsLabels()...).Set(float64(Healthy))
 	return s
+}
+
+// AllowDowngrade reports whether a recommended model-setting downgrade may
+// actually be applied, consuming one unit of the shared escalation budget
+// when granted. Callers must check that a smaller setting exists *first*
+// (core.NextSmaller): a stream already at the smallest setting has nothing
+// to escalate to, and asking anyway would burn budget other streams need.
+// With no budget configured every downgrade is allowed.
+func (s *Supervisor) AllowDowngrade() bool {
+	return s.cfg.Budget.Take()
 }
 
 // Config returns the resolved configuration.
@@ -227,6 +292,15 @@ func (s *Supervisor) Events() []trace.FaultEvent {
 	return out
 }
 
+// obsLabels appends the stream label (multi-stream runs) to ls; with no
+// stream configured the series keep the single-stream schema.
+func (c Config) obsLabels(ls ...obs.Label) []obs.Label {
+	if c.Stream != "" {
+		ls = append(ls, obs.L("stream", c.Stream))
+	}
+	return ls
+}
+
 // event appends one record and mirrors it into the observability layer;
 // callers hold s.mu.
 func (s *Supervisor) event(component, kind, action string, cycle, frame int, at time.Duration) {
@@ -234,12 +308,16 @@ func (s *Supervisor) event(component, kind, action string, cycle, frame int, at 
 		Component: component, Kind: kind, Action: action,
 		Cycle: cycle, Frame: frame, At: at,
 	})
-	s.cfg.Obs.Record(at, component, kind, action)
+	journalComponent := component
+	if s.cfg.Stream != "" {
+		journalComponent = component + "@" + s.cfg.Stream
+	}
+	s.cfg.Obs.Record(at, journalComponent, kind, action)
 	switch action {
 	case "timeout", "panic", "empty-burst":
-		s.cfg.Obs.Counter(obs.MetricGuardFaults, obs.L("component", component), obs.L("kind", action)).Inc()
+		s.cfg.Obs.Counter(obs.MetricGuardFaults, s.cfg.obsLabels(obs.L("component", component), obs.L("kind", action))...).Inc()
 	case "retry", "downgrade", "recovered":
-		s.cfg.Obs.Counter(obs.MetricGuardActions, obs.L("action", action)).Inc()
+		s.cfg.Obs.Counter(obs.MetricGuardActions, s.cfg.obsLabels(obs.L("action", action))...).Inc()
 	}
 }
 
@@ -247,7 +325,7 @@ func (s *Supervisor) event(component, kind, action string, cycle, frame int, at 
 // hold s.mu.
 func (s *Supervisor) setHealth(h Health) {
 	s.health = h
-	s.cfg.Obs.Gauge(obs.MetricGuardHealth).Set(float64(h))
+	s.cfg.Obs.Gauge(obs.MetricGuardHealth, s.cfg.obsLabels()...).Set(float64(h))
 }
 
 // callResult carries one supervised call's outcome across the goroutine.

@@ -13,7 +13,7 @@ import (
 // fixtures under testdata exercise the same policy as the real tree.
 var detPackages = []string{
 	"sim", "detect", "adapt", "core", "imgproc", "flow", "track", "video",
-	"features", "metrics", "experiments", "obs",
+	"features", "metrics", "experiments", "obs", "serve",
 }
 
 // wallClockExempt lists deterministic packages that may read the wall
@@ -51,7 +51,7 @@ func detrandWallClockExempt(path string) bool {
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall-clock, math/rand and ordered map iteration in deterministic packages " +
-		"(sim, detect, adapt, core, imgproc, flow, track, video, features, metrics, experiments, obs)",
+		"(sim, detect, adapt, core, imgproc, flow, track, video, features, metrics, experiments, obs, serve)",
 	Run: runDetRand,
 }
 

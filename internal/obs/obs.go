@@ -62,6 +62,18 @@ const (
 	// MetricFaultsInjected counts faults the injection framework actually
 	// fired, labeled component and kind.
 	MetricFaultsInjected = "adavp_faults_injected_total"
+	// MetricSlotWait is a histogram of how long a stream waited for a shared
+	// detector slot, in seconds, labeled stream=<id> in multi-stream runs.
+	MetricSlotWait = "adavp_detector_slot_wait_seconds"
+	// MetricQueueDepth is the number of detection requests currently waiting
+	// for a detector slot (aggregate over all streams).
+	MetricQueueDepth = "adavp_detector_queue_depth"
+	// MetricDetectDeferred counts detection requests rejected by queue
+	// backpressure — the stream kept tracking against its stale calibration
+	// instead (labeled stream=<id> in multi-stream runs).
+	MetricDetectDeferred = "adavp_detector_deferred_total"
+	// MetricStreams is the number of streams admitted to a serving run.
+	MetricStreams = "adavp_streams"
 )
 
 // Stage label values of MetricStageLatency.
@@ -266,12 +278,21 @@ type Histogram struct {
 	sumBits atomic.Uint64
 }
 
-// Observe records one sample.
+// Observe records one sample. Bucket bounds are inclusive upper bounds
+// (Prometheus `le` semantics): an observation exactly equal to a bound lands
+// in that bound's bucket, not the next one.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; +Inf overflow lands past the end
+	// Explicit v <= bound comparison so the `le`-inclusive contract is
+	// locally visible (and NaN falls through every bucket into +Inf, never
+	// panicking). Bounds are small fixed arrays; a linear scan beats a
+	// binary search at this size and allocates nothing.
+	i := 0
+	for i < len(h.bounds) && !(v <= h.bounds[i]) {
+		i++
+	}
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	for {

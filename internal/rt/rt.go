@@ -86,6 +86,43 @@ type Config struct {
 	// injected-fault counts. It is also handed to the supervisor unless
 	// Guard.Obs is already set. Nil disables publishing.
 	Obs *obs.Registry
+	// StreamID, when non-empty, labels every published series with
+	// stream=<id> and is forwarded to the detector-slot provider and the
+	// guard supervisor, so N pipelines sharing one registry and one slot
+	// pool stay distinguishable. Set by serve.Run.
+	StreamID string
+	// Slots is the detector-slot provider the detector thread acquires a
+	// slot from before every inference (serve.Pool in multi-stream runs).
+	// Nil runs against a dedicated always-free slot — the single-stream
+	// special case (N=1, K=1).
+	Slots DetectorSlots
+}
+
+// DetectorSlots grants shared detector slots to competing streams. The live
+// implementation is serve.Pool; the interface is declared here (with
+// basic-typed arguments) so the serving layer can depend on rt and not the
+// other way around.
+type DetectorSlots interface {
+	// Acquire blocks until a detector slot is granted or ctx is cancelled.
+	// stream identifies the caller; lastCalib is the pipeline time its most
+	// recent calibration completed (zero before the first) — the
+	// oldest-calibration-first fairness key. The returned release must be
+	// called exactly once, when the inference is done. A non-ctx error is
+	// backpressure: the wait queue is full, and the caller skips this
+	// detection — it keeps tracking against its previous calibration and
+	// retries on a later frame, so staleness grows instead of memory.
+	Acquire(ctx context.Context, stream string, lastCalib time.Duration) (release func(), err error)
+}
+
+// exclusiveSlots is the nil-Slots default: a dedicated, always-free detector
+// slot with zero acquisition cost.
+type exclusiveSlots struct{}
+
+func (exclusiveSlots) Acquire(ctx context.Context, _ string, _ time.Duration) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return func() {}, nil
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +145,10 @@ type Result struct {
 	// changes (AdaVP only).
 	Cycles   int
 	Switches int
+	// Deferred counts detections skipped because the shared slot pool
+	// refused the request (bounded-queue backpressure). Always zero without
+	// Config.Slots.
+	Deferred int
 	// Health is the supervisor's final state; Faults its fault/recovery
 	// counters (all zero for a clean run).
 	Health guard.Health
@@ -194,6 +235,9 @@ func Run(ctx context.Context, v *video.Video, cfg Config) (*Result, error) {
 		// the run's registry unless the caller routed it elsewhere.
 		cfg.Guard.Obs = cfg.Obs
 	}
+	if cfg.Guard.Stream == "" {
+		cfg.Guard.Stream = cfg.StreamID
+	}
 	if cfg.Workers > 0 {
 		par.SetWorkers(cfg.Workers)
 	}
@@ -261,6 +305,15 @@ type pipeline struct {
 	outputs  []core.FrameOutput
 	cycles   atomic.Int64
 	switches atomic.Int64
+	deferred atomic.Int64
+}
+
+// obsLabels appends stream=<id> to a series' labels in multi-stream runs.
+func (p *pipeline) obsLabels(ls ...obs.Label) []obs.Label {
+	if p.cfg.StreamID == "" {
+		return ls
+	}
+	return append(ls, obs.L("stream", p.cfg.StreamID))
 }
 
 // frame fetches a frame (with pixels only in pixel mode).
@@ -387,7 +440,11 @@ func (p *pipeline) superviseDetect(ctx context.Context, frameIdx int, setting co
 		}
 		dec := p.sup.ObserveFault(guard.ComponentDetector, outcome, cycle, frameIdx, at)
 		if dec.Downgrade {
-			if smaller, ok := core.NextSmaller(setting); ok {
+			// Check applicability before spending shared escalation budget:
+			// at the smallest setting there is nothing to downgrade to, and a
+			// stream saturated at 320 must not burn grants other streams
+			// could still use (nor may the index ever walk below 320).
+			if smaller, ok := core.NextSmaller(setting); ok && p.sup.AllowDowngrade() {
 				p.sup.NoteDowngrade(cycle, frameIdx, at, setting.String(), smaller.String())
 				setting = smaller
 			}
@@ -402,16 +459,56 @@ func (p *pipeline) superviseDetect(ctx context.Context, frameIdx int, setting co
 	}
 }
 
-// detectorLoop is the GPU thread: fetch newest frame, adapt the setting,
-// detect (supervised), hand off to the tracker.
+// detectorLoop is the GPU thread, written as a slot-requesting client: fetch
+// newest frame, acquire a detector slot (the nil-Slots default grants
+// instantly, making single-stream the N=1, K=1 special case), adapt the
+// setting, detect (supervised), release the slot, hand off to the tracker.
 func (p *pipeline) detectorLoop(ctx context.Context) {
 	setting := p.cfg.Setting
 	prevFrame := -1
 	var prevDets []core.Detection
+	var lastCalib time.Duration
+	slots := p.cfg.Slots
+	if slots == nil {
+		slots = exclusiveSlots{}
+	}
 	for ctx.Err() == nil {
 		frameIdx, ok := p.buffer.waitNewer(prevFrame)
 		if !ok {
 			return
+		}
+
+		// Claim a shared detector slot before committing to the cycle. The
+		// wait is measured here — the slot pool itself is clock-free.
+		slotStart := time.Now()
+		release, err := slots.Acquire(ctx, p.cfg.StreamID, lastCalib)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// Backpressure: the pool's wait queue is full. Skip this
+			// detection — hand the buffered frames to the tracker so it keeps
+			// extrapolating against the previous calibration — and re-request
+			// at the next captured frame. Staleness grows; memory does not.
+			p.deferred.Add(1)
+			p.cfg.Obs.Counter(obs.MetricDetectDeferred, p.obsLabels()...).Inc()
+			if prevFrame >= 0 {
+				gen := p.generation.Add(1)
+				select {
+				case p.work <- cycleWork{RefFrame: prevFrame, RefDets: prevDets, EndFrame: frameIdx, Setting: setting, Generation: gen}:
+				case <-ctx.Done():
+					return
+				}
+				prevFrame = frameIdx
+			}
+			continue
+		}
+		p.cfg.Obs.Histogram(obs.MetricSlotWait, obs.DefLatencyBuckets, p.obsLabels()...).
+			ObserveDuration(time.Since(slotStart))
+		// Frames kept arriving while we queued for the slot: detect the
+		// newest one, not the one that triggered the request.
+		if newest, stillOpen := p.buffer.waitNewer(frameIdx - 1); stillOpen && newest > frameIdx {
+			frameIdx = newest
 		}
 		// Fetching a new frame tells the tracker to wind down (§IV-B).
 		gen := p.generation.Add(1)
@@ -426,10 +523,10 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 						swStart := time.Now()
 						p.sleep(p.latDet.SettingSwitch())
 						p.switches.Add(1)
-						adapt.PublishDecision(p.cfg.Obs, setting, next, vel, time.Since(swStart), time.Since(p.start))
+						adapt.PublishDecision(p.cfg.Obs, setting, next, vel, time.Since(swStart), time.Since(p.start), p.obsLabels()...)
 						setting = next
 					} else {
-						adapt.PublishDecision(p.cfg.Obs, setting, next, vel, 0, time.Since(p.start))
+						adapt.PublishDecision(p.cfg.Obs, setting, next, vel, 0, time.Since(p.start), p.obsLabels()...)
 					}
 				}
 			}
@@ -441,6 +538,7 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 			select {
 			case p.work <- cycleWork{RefFrame: prevFrame, RefDets: prevDets, EndFrame: frameIdx, Setting: setting, Generation: gen}:
 			case <-ctx.Done():
+				release()
 				return
 			}
 		}
@@ -449,13 +547,15 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 		dets, newSetting, detected := p.superviseDetect(ctx, frameIdx, setting)
 		setting = newSetting
 		p.sleep(p.latDet.Detect(setting))
+		release()
+		lastCalib = time.Since(p.start)
 		// The detect observation spans supervision (including retries and
 		// backoff) plus the emulated inference itself, labeled with the
 		// setting that ended the cycle and the health it left behind.
-		p.cfg.Obs.StageHistogram(obs.StageDetect,
+		p.cfg.Obs.StageHistogram(obs.StageDetect, p.obsLabels(
 			obs.L("setting", setting.String()),
 			obs.L("health", p.sup.Health().String()),
-		).ObserveDuration(time.Since(detStart))
+		)...).ObserveDuration(time.Since(detStart))
 		if detected {
 			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceDetector, Setting: setting, Detections: dets})
 			prevDets = dets
@@ -465,7 +565,7 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceHeld, Setting: setting, Detections: prevDets})
 		}
 		p.cycles.Add(1)
-		p.cfg.Obs.Counter(obs.MetricCycles).Inc()
+		p.cfg.Obs.Counter(obs.MetricCycles, p.obsLabels()...).Inc()
 		prevFrame = frameIdx
 	}
 }
@@ -489,7 +589,7 @@ func (p *pipeline) trackerLoop(ctx context.Context) {
 		p.sleep(p.latTrk.FeatureExtract())
 		// Feature extraction is CPU-track work, same as in the simulator's
 		// busy log.
-		p.cfg.Obs.StageHistogram(obs.StageTrack).ObserveDuration(time.Since(feStart))
+		p.cfg.Obs.StageHistogram(obs.StageTrack, p.obsLabels()...).ObserveDuration(time.Since(feStart))
 
 		plan := p.selector.Plan(buffered)
 		tracked := 0
@@ -515,11 +615,11 @@ func (p *pipeline) trackerLoop(ctx context.Context) {
 			}
 			dets = detect.Sanitize(dets)
 			p.sleep(p.latTrk.TrackFrame(len(cur)))
-			p.cfg.Obs.StageHistogram(obs.StageTrack).ObserveDuration(time.Since(stepStart))
+			p.cfg.Obs.StageHistogram(obs.StageTrack, p.obsLabels()...).ObserveDuration(time.Since(stepStart))
 			ovStart := time.Now()
 			p.sleep(p.latTrk.Overlay())
 			p.setOutput(core.FrameOutput{FrameIndex: frameIdx, Source: core.SourceTracker, Setting: w.Setting, Detections: dets})
-			p.cfg.Obs.StageHistogram(obs.StageOverlay).ObserveDuration(time.Since(ovStart))
+			p.cfg.Obs.StageHistogram(obs.StageOverlay, p.obsLabels()...).ObserveDuration(time.Since(ovStart))
 			cur = dets
 			tracked++
 			if track.ValidVelocity(vel) {
@@ -568,6 +668,7 @@ func (p *pipeline) finish() *Result {
 		FrameF1:  make([]float64, n),
 		Cycles:   int(p.cycles.Load()),
 		Switches: int(p.switches.Load()),
+		Deferred: int(p.deferred.Load()),
 		Health:   p.sup.Health(),
 		Faults:   p.sup.Stats(),
 		Events:   p.sup.Events(),
@@ -591,8 +692,12 @@ func (p *pipeline) finish() *Result {
 					Action: "injected", Cycle: ev.Call,
 				})
 				p.cfg.Obs.Counter(obs.MetricFaultsInjected,
-					obs.L("component", ev.Component), obs.L("kind", ev.Kind.String())).Inc()
-				p.cfg.Obs.Record(time.Since(p.start), ev.Component, ev.Kind.String(), "injected")
+					p.obsLabels(obs.L("component", ev.Component), obs.L("kind", ev.Kind.String()))...).Inc()
+				component := ev.Component
+				if p.cfg.StreamID != "" {
+					component += "@" + p.cfg.StreamID
+				}
+				p.cfg.Obs.Record(time.Since(p.start), component, ev.Kind.String(), "injected")
 			}
 		}
 	}
@@ -614,7 +719,7 @@ func (p *pipeline) finish() *Result {
 			haveLast = true
 		}
 		if src := p.outputs[i].Source; src != core.SourceNone {
-			p.cfg.Obs.Counter(obs.MetricFrames, obs.L("source", src.String())).Inc()
+			p.cfg.Obs.Counter(obs.MetricFrames, p.obsLabels(obs.L("source", src.String()))...).Inc()
 		}
 		res.FrameF1[i] = metrics.FrameF1(p.outputs[i].Detections, p.v.Truth(i), metrics.DefaultIoU)
 	}

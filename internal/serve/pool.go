@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"adavp/internal/obs"
+)
+
+// ErrQueueFull is the backpressure signal: the pool's wait queue is at its
+// bound, so the request was refused rather than queued. The stream keeps
+// tracking against its previous calibration and re-requests on a later frame.
+var ErrQueueFull = errors.New("serve: detector wait queue full")
+
+// Pool is the live K-slot detector pool: rt detector threads acquire a slot
+// before every inference and release it after. Waiting is bounded (FairQueue)
+// and served oldest-calibration-first, so no stream starves and a burst of
+// requests costs queue entries, not memory. Pool implements rt.DetectorSlots.
+//
+// The pool itself never reads a clock: grant order derives entirely from the
+// calibration timestamps callers pass in, and slot-wait time is measured by
+// the callers around Acquire.
+type Pool struct {
+	reg *obs.Registry
+
+	mu      sync.Mutex
+	slots   int
+	free    int
+	queue   *FairQueue
+	nextID  int
+	waiters map[int]*waiter
+}
+
+// waiter is one blocked Acquire.
+type waiter struct {
+	ch        chan struct{} // buffered(1); receives the grant
+	cancelled bool          // abandoned by context; skipped when popped
+	granted   bool
+}
+
+// NewPool builds a pool of `slots` detector slots (clamped to ≥ 1) whose
+// wait queue admits at most queueBound requests (clamped to ≥ 1). A non-nil
+// registry receives the aggregate queue-depth gauge.
+func NewPool(slots, queueBound int, reg *obs.Registry) *Pool {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Pool{
+		reg:     reg,
+		slots:   slots,
+		free:    slots,
+		queue:   NewFairQueue(queueBound),
+		waiters: make(map[int]*waiter),
+	}
+}
+
+// Slots returns K, the number of concurrent detector slots.
+func (p *Pool) Slots() int { return p.slots }
+
+// QueueDepth returns the current number of waiting requests (including
+// requests whose callers have since been cancelled but not yet skipped).
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queue.Len()
+}
+
+// publishDepth mirrors the queue depth into the registry; callers hold p.mu.
+func (p *Pool) publishDepth() {
+	if p.reg != nil {
+		p.reg.Gauge(obs.MetricQueueDepth).Set(float64(p.queue.Len()))
+	}
+}
+
+// Acquire implements rt.DetectorSlots: it blocks until a detector slot is
+// granted or ctx is cancelled. When the wait queue is full it fails fast
+// with ErrQueueFull instead of queueing — the backpressure contract.
+func (p *Pool) Acquire(ctx context.Context, stream string, lastCalib time.Duration) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.free > 0 {
+		// Invariant: a free slot implies an empty queue (release grants
+		// waiters before freeing), so taking it immediately cannot overtake
+		// an older waiter.
+		p.free--
+		p.mu.Unlock()
+		return p.releaseFunc(), nil
+	}
+	id := p.nextID
+	p.nextID++
+	if !p.queue.Push(Request{Stream: stream, Index: id, LastCalib: lastCalib}) {
+		p.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{ch: make(chan struct{}, 1)}
+	p.waiters[id] = w
+	p.publishDepth()
+	p.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return p.releaseFunc(), nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours, hand it
+			// straight back so it is not leaked.
+			p.mu.Unlock()
+			p.releaseFunc()()
+			return nil, ctx.Err()
+		}
+		w.cancelled = true
+		p.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the single-use release callback for a granted slot.
+func (p *Pool) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			// Hand the slot to the oldest-calibration waiter, skipping
+			// entries whose callers have been cancelled meanwhile.
+			for {
+				req, ok := p.queue.Pop()
+				if !ok {
+					p.free++
+					break
+				}
+				w := p.waiters[req.Index]
+				delete(p.waiters, req.Index)
+				if w == nil || w.cancelled {
+					continue
+				}
+				w.granted = true
+				w.ch <- struct{}{}
+				break
+			}
+			p.publishDepth()
+			p.mu.Unlock()
+		})
+	}
+}

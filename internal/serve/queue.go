@@ -1,0 +1,172 @@
+// Package serve is the multi-stream serving layer: N independent AdaVP
+// streams — each with its own tracker, adaptation state, guard supervisor
+// and scenario — share a pool of K detector slots (K < N means detection
+// requests queue). The paper's premise, one heavyweight detector paired with
+// cheap trackers (§IV-B), generalizes directly: while a stream waits for the
+// shared detector it keeps tracking and extrapolating against its previous
+// calibration, exactly as MPDT does between calibrations — staleness grows
+// instead of memory.
+//
+// The package provides three layers:
+//
+//   - FairQueue: the pure scheduling policy — a bounded
+//     oldest-calibration-first priority queue. Deterministic and clock-free,
+//     it is shared verbatim by the live pool below and by the virtual-clock
+//     scheduler in internal/sim (sim.RunMulti), so both engines queue in the
+//     exact same order.
+//   - Pool: the live K-slot semaphore around FairQueue that rt's detector
+//     loop blocks on. Bounded waiting with backpressure: when the wait queue
+//     is full Acquire fails fast and the stream skips the detection instead
+//     of queueing unboundedly.
+//   - Run: the live multi-stream runner — one supervised rt pipeline per
+//     stream against a shared Pool, a shared observability registry
+//     (per-stream series labeled stream=<id>) and a shared guard escalation
+//     budget.
+//
+// Determinism contract: this package never reads a clock (it is on the
+// detrand deterministic-package list). All queue ordering derives from
+// caller-supplied calibration timestamps — wall-relative in rt, virtual in
+// sim — and wait durations are measured by the callers that own the clock.
+package serve
+
+import "time"
+
+// Request is one stream's claim on a detector slot.
+type Request struct {
+	// Stream identifies the requesting stream (labels, diagnostics).
+	Stream string
+	// Index is an opaque caller-side identifier: the waiter slot in the live
+	// pool, the stream index in the virtual-clock scheduler.
+	Index int
+	// LastCalib is the pipeline time at which the stream's most recent
+	// calibration completed (zero before the first). The fairness key:
+	// oldest calibration is served first, so no stream starves — a stream
+	// that just calibrated yields to every stream running on staler results.
+	LastCalib time.Duration
+	// seq breaks ties FIFO among equal calibration ages.
+	seq uint64
+}
+
+// FairQueue is a bounded oldest-calibration-first wait queue. It is a pure
+// data structure — no clock, no goroutines, not safe for concurrent use on
+// its own (Pool wraps it in a mutex; the virtual-clock scheduler is
+// single-threaded). Ordering is deterministic: by LastCalib ascending, then
+// by push order.
+type FairQueue struct {
+	bound int
+	seq   uint64
+	heap  []Request // min-heap on (LastCalib, seq)
+}
+
+// NewFairQueue returns a queue admitting at most bound waiting requests;
+// bound < 1 is clamped to 1 (a queue that admits nothing could never grant).
+func NewFairQueue(bound int) *FairQueue {
+	if bound < 1 {
+		bound = 1
+	}
+	return &FairQueue{bound: bound}
+}
+
+// Bound returns the queue's capacity.
+func (q *FairQueue) Bound() int { return q.bound }
+
+// Len returns the number of waiting requests.
+func (q *FairQueue) Len() int { return len(q.heap) }
+
+// Push enqueues a request, reporting false when the queue is full — the
+// backpressure signal: the caller keeps tracking against its previous
+// calibration and retries later instead of waiting.
+func (q *FairQueue) Push(r Request) bool {
+	if len(q.heap) >= q.bound {
+		return false
+	}
+	q.seq++
+	r.seq = q.seq
+	q.heap = append(q.heap, r)
+	q.up(len(q.heap) - 1)
+	return true
+}
+
+// Pop removes and returns the request with the oldest calibration (FIFO
+// among ties); ok is false on an empty queue.
+func (q *FairQueue) Pop() (Request, bool) {
+	if len(q.heap) == 0 {
+		return Request{}, false
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// less orders the heap: oldest calibration first, then FIFO.
+func (q *FairQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.LastCalib != b.LastCalib {
+		return a.LastCalib < b.LastCalib
+	}
+	return a.seq < b.seq
+}
+
+func (q *FairQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *FairQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}
+
+// FairnessBound returns the documented worst-case calibration age of any
+// stream under the oldest-calibration-first policy, given N streams sharing
+// K work-conserving slots whose longest single occupancy (detection plus any
+// setting-switch overhead) is maxOccupancy, and a capture interval of
+// frameInterval.
+//
+// Derivation: when a stream completes a calibration at time T it re-requests
+// within one frame interval. Any other stream granted a slot after T leaves
+// with a calibration newer than T, so strict oldest-first ordering means each
+// of the N-1 other streams can be served at most once before this one — at
+// most (N-1)/K × maxOccupancy of queueing on K work-conserving slots — plus
+// one residual occupancy already in flight on the granting slot and the
+// stream's own detection:
+//
+//	age ≤ (ceil((N-1)/K) + 2) × maxOccupancy + frameInterval
+//
+// The multi-stream determinism test (internal/sim) asserts every stream's
+// observed calibration age against this bound.
+func FairnessBound(streams, slots int, maxOccupancy, frameInterval time.Duration) time.Duration {
+	if streams < 1 {
+		streams = 1
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	rounds := (streams - 1 + slots - 1) / slots
+	return time.Duration(rounds+2)*maxOccupancy + frameInterval
+}

@@ -1,0 +1,295 @@
+// Multi-stream serving on the virtual clock: the deterministic counterpart
+// of internal/serve's live pool. N independent AdaVP/MPDT streams share K
+// detector slots; detection requests queue oldest-calibration-first through
+// the exact same serve.FairQueue the live pool uses, so the two schedulers
+// order grants identically. Everything — grants, waits, deferrals — derives
+// from the virtual clock, so two same-seed runs are byte-identical.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"adavp/internal/obs"
+	"adavp/internal/serve"
+	"adavp/internal/video"
+)
+
+// MultiStream describes one stream of a multi-stream run.
+type MultiStream struct {
+	// ID names the stream; required, unique. Labels every published obs
+	// series (stream=<id>).
+	ID string
+	// Video is the stream's input; required.
+	Video *video.Video
+	// Config is the stream's pipeline configuration. Policy must be
+	// PolicyAdaVP or PolicyMPDT (the parallel policies — the baselines have
+	// no calibration cycle to schedule). Obs and StreamLabel are overridden
+	// by the scheduler.
+	Config Config
+}
+
+// MultiConfig parameterizes the shared detector pool.
+type MultiConfig struct {
+	// Slots is K, the number of concurrent detector slots. Default 1.
+	Slots int
+	// QueueBound caps the number of detection requests waiting for a slot.
+	// A stream that cannot enqueue is deferred: it keeps tracking against
+	// its previous calibration and retries one frame interval later
+	// (backpressure — staleness grows instead of memory). Default: number
+	// of streams, which never overflows.
+	QueueBound int
+	// Obs, when set, receives every stream's telemetry under the shared
+	// schema with stream=<id> labels, plus the aggregate scheduler series:
+	// queue depth gauge, per-stream slot-wait histograms and deferral
+	// counters.
+	Obs *obs.Registry
+}
+
+// StreamOutcome is one stream's result plus its scheduling accounting.
+type StreamOutcome struct {
+	// ID echoes the stream's identifier.
+	ID string
+	// Result is the stream's completed run, exactly as single-stream Run
+	// would return it (same schema, same evaluation).
+	Result *Result
+	// Grants counts detector-slot grants (completed cycles, including the
+	// terminal empty one).
+	Grants int
+	// Deferred counts requests refused by the bounded queue.
+	Deferred int
+	// MaxWait is the longest a granted request waited for a slot.
+	MaxWait time.Duration
+	// MaxOccupancy is the stream's longest single slot occupancy
+	// (setting-switch overhead plus detection).
+	MaxOccupancy time.Duration
+	// MaxCalibAge is the longest gap between consecutive calibration
+	// completions (the first measured from time zero). The fairness
+	// guarantee: MaxCalibAge never exceeds serve.FairnessBound for the
+	// run's observed maximum occupancy.
+	MaxCalibAge time.Duration
+}
+
+// MultiResult is a completed multi-stream run.
+type MultiResult struct {
+	// Streams holds one outcome per input stream, in input order.
+	Streams []StreamOutcome
+	// MaxQueueDepth is the deepest the wait queue ever got.
+	MaxQueueDepth int
+	// MaxOccupancy is the longest single slot occupancy across all streams —
+	// the maxOccupancy term to feed serve.FairnessBound.
+	MaxOccupancy time.Duration
+}
+
+// mstream is one stream's scheduler-side state.
+type mstream struct {
+	id       string
+	e        *engine
+	st       *parallelState
+	adaptive bool
+	started  bool // bootstrap cycle granted
+	done     bool
+	queued   bool          // currently in the wait queue
+	readyAt  time.Duration // when the pending request was (or will be) issued
+	lastCalib time.Duration
+	out      StreamOutcome
+}
+
+// RunMulti executes N streams against K shared detector slots on the virtual
+// clock. Scheduling is work-conserving and deterministic: at every step the
+// earliest-free slot serves the waiting request with the oldest calibration
+// (FIFO among ties, stream input order among simultaneous arrivals). While a
+// stream waits, its engine is simply not advanced — on grant, its next cycle
+// starts at the grant time, so all the frames captured during the wait show
+// up as buffered frames for its tracker, exactly the paper's growing-
+// staleness semantics. A panicking component is recovered into an error.
+func RunMulti(streams []MultiStream, cfg MultiConfig) (res *MultiResult, err error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("sim: no streams")
+	}
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	bound := cfg.QueueBound
+	if bound <= 0 {
+		bound = len(streams)
+	}
+	seen := make(map[string]bool, len(streams))
+	ms := make([]*mstream, len(streams))
+	for i, s := range streams {
+		if s.ID == "" {
+			return nil, fmt.Errorf("sim: stream %d: empty ID", i)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("sim: duplicate stream ID %q", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Video == nil || s.Video.NumFrames() == 0 {
+			return nil, fmt.Errorf("sim: stream %q: empty video", s.ID)
+		}
+		c := s.Config.withDefaults()
+		if c.Policy != PolicyAdaVP && c.Policy != PolicyMPDT {
+			return nil, fmt.Errorf("sim: stream %q: multi-stream runs schedule the parallel policies (AdaVP, MPDT), got %v", s.ID, c.Policy)
+		}
+		c.Obs = cfg.Obs
+		c.StreamLabel = s.ID
+		ms[i] = &mstream{
+			id:       s.ID,
+			e:        newEngine(s.Video, c),
+			st:       &parallelState{},
+			adaptive: c.Policy == PolicyAdaVP,
+			out:      StreamOutcome{ID: s.ID},
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("sim: pipeline component panicked: %v", r)
+		}
+	}()
+
+	if cfg.Obs != nil {
+		cfg.Obs.Gauge(obs.MetricStreams).Set(float64(len(streams)))
+	}
+	q := serve.NewFairQueue(bound)
+	slots := make([]time.Duration, cfg.Slots)
+	result := &MultiResult{Streams: make([]StreamOutcome, len(streams))}
+
+	setDepth := func() {
+		if q.Len() > result.MaxQueueDepth {
+			result.MaxQueueDepth = q.Len()
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Gauge(obs.MetricQueueDepth).Set(float64(q.Len()))
+		}
+	}
+	// admit moves every pending stream whose request time has arrived into
+	// the wait queue, in (readyAt, input index) order so simultaneous
+	// arrivals enqueue deterministically. A full queue defers the stream by
+	// one frame interval (its tracker keeps extrapolating meanwhile).
+	admit := func(t time.Duration) {
+		for {
+			best := -1
+			for i, m := range ms {
+				if m.done || m.queued || m.readyAt > t {
+					continue
+				}
+				if best < 0 || m.readyAt < ms[best].readyAt {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			m := ms[best]
+			if q.Push(serve.Request{Stream: m.id, Index: best, LastCalib: m.lastCalib}) {
+				m.queued = true
+			} else {
+				m.out.Deferred++
+				m.readyAt += m.e.delta
+				if cfg.Obs != nil {
+					cfg.Obs.Counter(obs.MetricDetectDeferred, obs.L("stream", m.id)).Inc()
+				}
+				if m.readyAt > t {
+					continue
+				}
+			}
+		}
+		setDepth()
+	}
+
+	for {
+		remaining := 0
+		for _, m := range ms {
+			if !m.done {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		// The earliest-free slot (lowest index among ties) serves next.
+		si := 0
+		for i := 1; i < len(slots); i++ {
+			if slots[i] < slots[si] {
+				si = i
+			}
+		}
+		t := slots[si]
+		admit(t)
+		if q.Len() == 0 {
+			// Nothing is asking yet: advance to the earliest future request.
+			earliest, found := time.Duration(0), false
+			for _, m := range ms {
+				if m.done || m.queued {
+					continue
+				}
+				if !found || m.readyAt < earliest {
+					earliest, found = m.readyAt, true
+				}
+			}
+			if !found {
+				break // unreachable: remaining > 0 implies a pending or queued stream
+			}
+			if earliest > t {
+				t = earliest
+			}
+			admit(t)
+		}
+		req, ok := q.Pop()
+		if !ok {
+			break // unreachable: admit above guaranteed at least one entry
+		}
+		setDepth()
+		m := ms[req.Index]
+		m.queued = false
+
+		grant := t
+		if m.readyAt > grant {
+			grant = m.readyAt
+		}
+		wait := grant - m.readyAt
+		var end time.Duration
+		var done bool
+		if !m.started {
+			end = m.e.bootstrapCycle(m.st, grant)
+			m.started = true
+		} else {
+			end, done = m.e.nextCycle(m.st, m.adaptive, grant)
+		}
+		slots[si] = end
+		occupancy := end - grant
+
+		m.out.Grants++
+		if wait > m.out.MaxWait {
+			m.out.MaxWait = wait
+		}
+		if occupancy > m.out.MaxOccupancy {
+			m.out.MaxOccupancy = occupancy
+		}
+		if occupancy > result.MaxOccupancy {
+			result.MaxOccupancy = occupancy
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Histogram(obs.MetricSlotWait, obs.DefLatencyBuckets, obs.L("stream", m.id)).ObserveDuration(wait)
+		}
+		if done {
+			m.done = true
+			m.e.run.Duration = maxDuration(end, time.Duration(m.e.v.NumFrames())*m.e.delta)
+			continue
+		}
+		// A completed calibration: account its age and re-request for the
+		// next cycle immediately (the live pipeline's detector loop likewise
+		// turns around as soon as a newer frame exists).
+		if age := end - m.lastCalib; age > m.out.MaxCalibAge {
+			m.out.MaxCalibAge = age
+		}
+		m.lastCalib = end
+		m.readyAt = end
+	}
+
+	for i, m := range ms {
+		m.out.Result = m.e.finish()
+		result.Streams[i] = m.out
+	}
+	return result, nil
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"adavp/internal/obs"
+	"adavp/internal/serve"
+	"adavp/internal/video"
+)
+
+// testStreams builds n streams over distinct scenarios and seeds so their
+// schedules genuinely diverge (different velocities, different adaptation
+// decisions).
+func testStreams(n int) []MultiStream {
+	kinds := []video.Kind{video.KindHighway, video.KindIntersection, video.KindCityStreet}
+	streams := make([]MultiStream, n)
+	for i := range streams {
+		id := fmt.Sprintf("s%d", i)
+		streams[i] = MultiStream{
+			ID:    id,
+			Video: video.GenerateKind(id, kinds[i%len(kinds)], uint64(i+1), 300),
+			Config: Config{
+				Policy: PolicyAdaVP,
+				Seed:   uint64(100 + i),
+			},
+		}
+	}
+	return streams
+}
+
+// TestRunMultiDeterministic is the acceptance test for the multi-stream
+// scheduler: 8 AdaVP streams over 2 shared detector slots, run twice with
+// the same seeds, must produce byte-identical observability snapshots and
+// identical scheduling outcomes.
+func TestRunMultiDeterministic(t *testing.T) {
+	run := func() (*MultiResult, []byte) {
+		reg := obs.NewRegistry()
+		res, err := RunMulti(testStreams(8), MultiConfig{Slots: 2, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, snapshotBytes(t, reg)
+	}
+	resA, snapA := run()
+	resB, snapB := run()
+	if !bytes.Equal(snapA, snapB) {
+		t.Error("two identical multi-stream runs produced different snapshots")
+	}
+	if len(snapA) == 0 {
+		t.Error("instrumented multi-stream run produced an empty snapshot")
+	}
+	for i := range resA.Streams {
+		a, b := resA.Streams[i], resB.Streams[i]
+		if a.Grants != b.Grants || a.Deferred != b.Deferred ||
+			a.MaxWait != b.MaxWait || a.MaxCalibAge != b.MaxCalibAge ||
+			a.Result.Accuracy != b.Result.Accuracy || a.Result.MeanF1 != b.Result.MeanF1 {
+			t.Errorf("stream %s: outcomes differ between identical runs:\n%+v\n%+v", a.ID, a, b)
+		}
+	}
+	if resA.MaxQueueDepth != resB.MaxQueueDepth || resA.MaxOccupancy != resB.MaxOccupancy {
+		t.Errorf("aggregate outcomes differ: %+v vs %+v", resA, resB)
+	}
+	// With 8 streams over 2 slots the queue must actually have queued.
+	if resA.MaxQueueDepth < 2 {
+		t.Errorf("MaxQueueDepth = %d; 8 streams over 2 slots should have queued", resA.MaxQueueDepth)
+	}
+}
+
+// TestRunMultiFairnessBound asserts the documented no-starvation guarantee:
+// under oldest-calibration-first scheduling, no stream's calibration age ever
+// exceeds serve.FairnessBound for the run's observed maximum slot occupancy.
+func TestRunMultiFairnessBound(t *testing.T) {
+	streams := testStreams(8)
+	res, err := RunMulti(streams, MultiConfig{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frameInterval time.Duration
+	for _, s := range streams {
+		if fi := s.Video.FrameInterval(); fi > frameInterval {
+			frameInterval = fi
+		}
+	}
+	bound := serve.FairnessBound(len(streams), 2, res.MaxOccupancy, frameInterval)
+	for _, s := range res.Streams {
+		if s.MaxCalibAge > bound {
+			t.Errorf("stream %s: MaxCalibAge %v exceeds fairness bound %v (maxOccupancy %v)",
+				s.ID, s.MaxCalibAge, bound, res.MaxOccupancy)
+		}
+		if s.MaxCalibAge == 0 {
+			t.Errorf("stream %s: MaxCalibAge = 0 — it never calibrated", s.ID)
+		}
+	}
+}
+
+// TestRunMultiPerStreamSeries checks the per-stream observability contract:
+// every stream's series are present under its stream=<id> label and agree
+// with that stream's own result — cycles counter vs recorded cycles,
+// slot-wait sample count vs grants, deferral counter vs deferrals.
+func TestRunMultiPerStreamSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := RunMulti(testStreams(8), MultiConfig{Slots: 2, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge(obs.MetricStreams).Value(); got != 8 {
+		t.Errorf("streams gauge = %v, want 8", got)
+	}
+	for _, s := range res.Streams {
+		ls := obs.L("stream", s.ID)
+		if got := reg.Counter(obs.MetricCycles, ls).Value(); got != int64(len(s.Result.Run.Cycles)) {
+			t.Errorf("stream %s: cycles counter = %d, want %d", s.ID, got, len(s.Result.Run.Cycles))
+		}
+		if got := reg.Histogram(obs.MetricSlotWait, obs.DefLatencyBuckets, ls).Count(); got != int64(s.Grants) {
+			t.Errorf("stream %s: slot-wait samples = %d, want %d grants", s.ID, got, s.Grants)
+		}
+		if got := reg.Counter(obs.MetricDetectDeferred, ls).Value(); got != int64(s.Deferred) {
+			t.Errorf("stream %s: deferred counter = %d, want %d", s.ID, got, s.Deferred)
+		}
+		// Frame counters: the labeled detector-source counter must equal the
+		// stream's own detector-sourced outputs.
+		var detected int64
+		for _, out := range s.Result.Run.Outputs {
+			if out.Source.String() == "detector" {
+				detected++
+			}
+		}
+		if got := reg.Counter(obs.MetricFrames, obs.L("source", "detector"), ls).Value(); got != detected {
+			t.Errorf("stream %s: frames{source=detector} = %d, want %d", s.ID, got, detected)
+		}
+	}
+}
+
+// TestRunMultiSingleStreamMatchesRun: N=1, K=1 is the single-stream special
+// case — RunMulti must reproduce Run exactly (same schedule, same rng draws,
+// same evaluation).
+func TestRunMultiSingleStreamMatchesRun(t *testing.T) {
+	v := testVideo(t)
+	single, err := Run(v, Config{Policy: PolicyAdaVP, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunMulti(
+		[]MultiStream{{ID: "only", Video: v, Config: Config{Policy: PolicyAdaVP, Seed: 11}}},
+		MultiConfig{Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multi.Streams[0].Result
+	if m.Accuracy != single.Accuracy || m.MeanF1 != single.MeanF1 {
+		t.Errorf("single-stream RunMulti evaluation differs: %v/%v vs %v/%v",
+			m.Accuracy, m.MeanF1, single.Accuracy, single.MeanF1)
+	}
+	if len(m.Run.Cycles) != len(single.Run.Cycles) {
+		t.Errorf("cycles: %d vs %d", len(m.Run.Cycles), len(single.Run.Cycles))
+	}
+	if m.Run.Duration != single.Run.Duration {
+		t.Errorf("duration: %v vs %v", m.Run.Duration, single.Run.Duration)
+	}
+	if len(m.Run.Switches) != len(single.Run.Switches) {
+		t.Errorf("switches: %d vs %d", len(m.Run.Switches), len(single.Run.Switches))
+	}
+	if multi.Streams[0].MaxWait != 0 {
+		t.Errorf("single stream on its own slot waited %v, want 0", multi.Streams[0].MaxWait)
+	}
+}
+
+// TestRunMultiBackpressure: a queue bound smaller than the stream count
+// forces deferrals — streams keep making progress (all complete, outputs
+// full-length) while the scheduler reports the refused requests.
+func TestRunMultiBackpressure(t *testing.T) {
+	streams := testStreams(4)
+	res, err := RunMulti(streams, MultiConfig{Slots: 1, QueueBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalDeferred := 0
+	for i, s := range res.Streams {
+		totalDeferred += s.Deferred
+		if s.Result == nil || len(s.Result.Run.Outputs) != streams[i].Video.NumFrames() {
+			t.Fatalf("stream %s: incomplete result under backpressure", s.ID)
+		}
+		if s.Result.MeanF1 <= 0 {
+			t.Errorf("stream %s: MeanF1 = %v, want > 0", s.ID, s.Result.MeanF1)
+		}
+	}
+	if totalDeferred == 0 {
+		t.Error("queue bound 1 with 4 streams never deferred a request")
+	}
+	if res.MaxQueueDepth > 1 {
+		t.Errorf("MaxQueueDepth = %d exceeds the configured bound 1", res.MaxQueueDepth)
+	}
+}
+
+// TestRunMultiValidation: admission control rejects malformed stream sets.
+func TestRunMultiValidation(t *testing.T) {
+	v := testVideo(t)
+	good := MultiStream{ID: "a", Video: v, Config: Config{Policy: PolicyAdaVP}}
+	cases := []struct {
+		name    string
+		streams []MultiStream
+	}{
+		{"empty set", nil},
+		{"empty id", []MultiStream{{Video: v, Config: Config{Policy: PolicyAdaVP}}}},
+		{"duplicate id", []MultiStream{good, good}},
+		{"nil video", []MultiStream{{ID: "b", Config: Config{Policy: PolicyAdaVP}}}},
+		{"sequential policy", []MultiStream{{ID: "c", Video: v, Config: Config{Policy: PolicyMARLIN}}}},
+	}
+	for _, tc := range cases {
+		if _, err := RunMulti(tc.streams, MultiConfig{}); err == nil {
+			t.Errorf("%s: RunMulti accepted invalid input", tc.name)
+		}
+	}
+}

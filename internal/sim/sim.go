@@ -104,6 +104,11 @@ type Config struct {
 	Obs *obs.Registry
 	// Seed derives all run randomness (latency jitter, detector noise).
 	Seed uint64
+	// StreamLabel, when non-empty, labels every series this run publishes
+	// into Obs with stream=<label>, so N streams sharing one registry stay
+	// distinguishable. Set by RunMulti; it does not affect the trace, the
+	// schedule or the results.
+	StreamLabel string
 	// Alpha is the per-frame F1 threshold for the accuracy metric (0.7).
 	Alpha float64
 	// IoU is the matching threshold (0.5).
@@ -264,6 +269,15 @@ func (e *engine) capturedAt(t time.Duration) int {
 	return idx
 }
 
+// obsLabels returns the extra labels this run publishes under: stream=<id>
+// in multi-stream runs, nothing in single-stream ones.
+func (e *engine) obsLabels() []obs.Label {
+	if e.cfg.StreamLabel == "" {
+		return nil
+	}
+	return []obs.Label{obs.L("stream", e.cfg.StreamLabel)}
+}
+
 // busy records a busy interval and returns its end. It is also the
 // observability choke point: every hardware-busy span maps to one stage
 // latency observation, exactly mirroring what trace.Run.Hydrate later
@@ -272,88 +286,124 @@ func (e *engine) busy(res trace.Resource, s core.Setting, start, dur time.Durati
 	end := start + dur
 	e.run.Busy = append(e.run.Busy, trace.Interval{Resource: res, Setting: s, Start: start, End: end})
 	if e.cfg.Obs != nil {
-		trace.ObserveInterval(e.cfg.Obs, res, s, dur)
+		trace.ObserveInterval(e.cfg.Obs, res, s, dur, e.obsLabels()...)
 	}
 	return end
 }
 
-// runParallel implements MPDT and AdaVP: GPU and CPU work concurrently.
-func (e *engine) runParallel(adaptive bool) {
-	n := e.v.NumFrames()
+// parallelState carries the MPDT/AdaVP loop state between detection cycles.
+// Single-stream runs drive it in a tight loop (runParallel); the multi-stream
+// scheduler (RunMulti) keeps one per stream and interleaves cycles from many
+// engines over shared detector slots, granting each stream one cycle at a
+// time at whatever virtual time its slot became available.
+type parallelState struct {
+	prevFrame    int
+	prevDets     []core.Detection
+	setting      core.Setting
+	lastVelocity float64 // EWMA of per-cycle velocity; <0 means no measurement
+	cycle        int
+}
+
+// bootstrapCycle runs the mandatory first cycle — detect frame 0 — starting
+// at the given virtual time, and returns when the detection completes.
+func (e *engine) bootstrapCycle(st *parallelState, start time.Duration) time.Duration {
 	setting := e.cfg.Setting
-	var now time.Duration
-
-	// Bootstrap: detect frame 0.
-	prevFrame := 0
 	dur := e.lat.Detect(setting)
-	end := e.busy(trace.ResourceGPU, setting, now, dur)
-	prevDets := e.detect(e.frame(0), setting)
-	e.outputs[0] = core.FrameOutput{FrameIndex: 0, Source: core.SourceDetector, Setting: setting, Detections: prevDets, Ready: end}
-	e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: 0, Setting: setting, DetectedFrame: 0, Start: now, End: end, Velocity: -1})
-	now = end
-	lastVelocity := -1.0 // EWMA of per-cycle velocity; <0 means no measurement
+	end := e.busy(trace.ResourceGPU, setting, start, dur)
+	dets := e.detect(e.frame(0), setting)
+	e.outputs[0] = core.FrameOutput{FrameIndex: 0, Source: core.SourceDetector, Setting: setting, Detections: dets, Ready: end}
+	e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: 0, Setting: setting, DetectedFrame: 0, Start: start, End: end, Velocity: -1})
+	st.prevFrame = 0
+	st.prevDets = dets
+	st.setting = setting
+	st.lastVelocity = -1
+	st.cycle = 1
+	return end
+}
 
-	cycle := 1
+// nextCycle runs one detection-and-tracking cycle starting at the given
+// virtual time: the adaptation decision (AdaVP), then one detection on the
+// GPU with the buffered frames tracked concurrently on the CPU. It returns
+// the time the cycle's slot frees up and whether the video is exhausted (a
+// done cycle performs no detection; its returned end covers at most a
+// setting-switch overhead).
+func (e *engine) nextCycle(st *parallelState, adaptive bool, start time.Duration) (time.Duration, bool) {
+	n := e.v.NumFrames()
+	now := start
+
+	// Adaptation decision (AdaVP): velocity measured during the cycle
+	// that just completed chooses the setting for the next one.
+	if adaptive && st.lastVelocity >= 0 {
+		if next := e.model.Next(st.setting, st.lastVelocity); next != st.setting {
+			took := e.lat.SettingSwitch()
+			e.run.Switches = append(e.run.Switches, trace.Switch{CycleIndex: st.cycle, From: st.setting, To: next, At: now, Took: took})
+			adapt.PublishDecision(e.cfg.Obs, st.setting, next, st.lastVelocity, took, now, e.obsLabels()...)
+			now += took
+			st.setting = next
+		} else {
+			adapt.PublishDecision(e.cfg.Obs, st.setting, next, st.lastVelocity, 0, now, e.obsLabels()...)
+		}
+	}
+
+	nextFrame := e.capturedAt(now)
+	if nextFrame <= st.prevFrame {
+		nextFrame = st.prevFrame + 1
+	}
+	if nextFrame >= n {
+		return now, true
+	}
+
+	// GPU: detect nextFrame with the (possibly new) setting.
+	detDur := e.lat.Detect(st.setting)
+	detEnd := e.busy(trace.ResourceGPU, st.setting, now, detDur)
+	nextDets := e.detect(e.frame(nextFrame), st.setting)
+
+	// CPU, concurrently: track the buffered frames (prevFrame+1 ..
+	// nextFrame-1) against prevFrame's detections, within the detection
+	// budget.
+	buffered := nextFrame - 1 - st.prevFrame
+	tracked, velocity := e.trackCycle(st.prevFrame, st.prevDets, nextFrame, st.setting, now, detDur)
+	if buffered > 0 {
+		e.selector.Update(tracked, buffered)
+	}
+	// Lightly smooth the velocity across cycles: single-cycle
+	// measurements are noisy (few tracked steps) and the training
+	// distribution is 1-second chunk means.
+	if velocity >= 0 {
+		if st.lastVelocity < 0 || e.cfg.NoVelocitySmoothing {
+			st.lastVelocity = velocity
+		} else {
+			st.lastVelocity = 0.3*st.lastVelocity + 0.7*velocity
+		}
+	}
+
+	e.run.Cycles = append(e.run.Cycles, trace.Cycle{
+		Index: st.cycle, Setting: st.setting, DetectedFrame: nextFrame,
+		Start: now, End: detEnd,
+		FramesBuffered: buffered, FramesTracked: tracked, Velocity: velocity,
+	})
+	e.outputs[nextFrame] = core.FrameOutput{FrameIndex: nextFrame, Source: core.SourceDetector, Setting: st.setting, Detections: nextDets, Ready: detEnd}
+
+	st.prevFrame = nextFrame
+	st.prevDets = nextDets
+	st.cycle++
+	return detEnd, false
+}
+
+// runParallel implements MPDT and AdaVP: GPU and CPU work concurrently. It
+// is the single-stream special case of the multi-stream scheduler — the one
+// detector slot is always immediately re-granted to the same stream.
+func (e *engine) runParallel(adaptive bool) {
+	st := &parallelState{}
+	now := e.bootstrapCycle(st, 0)
 	for {
-		// Adaptation decision (AdaVP): velocity measured during the cycle
-		// that just completed chooses the setting for the next one.
-		if adaptive && lastVelocity >= 0 {
-			if next := e.model.Next(setting, lastVelocity); next != setting {
-				took := e.lat.SettingSwitch()
-				e.run.Switches = append(e.run.Switches, trace.Switch{CycleIndex: cycle, From: setting, To: next, At: now, Took: took})
-				adapt.PublishDecision(e.cfg.Obs, setting, next, lastVelocity, took, now)
-				now += took
-				setting = next
-			} else {
-				adapt.PublishDecision(e.cfg.Obs, setting, next, lastVelocity, 0, now)
-			}
-		}
-
-		nextFrame := e.capturedAt(now)
-		if nextFrame <= prevFrame {
-			nextFrame = prevFrame + 1
-		}
-		if nextFrame >= n {
+		end, done := e.nextCycle(st, adaptive, now)
+		now = end
+		if done {
 			break
 		}
-
-		// GPU: detect nextFrame with the (possibly new) setting.
-		detDur := e.lat.Detect(setting)
-		detEnd := e.busy(trace.ResourceGPU, setting, now, detDur)
-		nextDets := e.detect(e.frame(nextFrame), setting)
-
-		// CPU, concurrently: track the buffered frames (prevFrame+1 ..
-		// nextFrame-1) against prevFrame's detections, within the detection
-		// budget.
-		buffered := nextFrame - 1 - prevFrame
-		tracked, velocity := e.trackCycle(prevFrame, prevDets, nextFrame, setting, now, detDur)
-		if buffered > 0 {
-			e.selector.Update(tracked, buffered)
-		}
-		// Lightly smooth the velocity across cycles: single-cycle
-		// measurements are noisy (few tracked steps) and the training
-		// distribution is 1-second chunk means.
-		if velocity >= 0 {
-			if lastVelocity < 0 || e.cfg.NoVelocitySmoothing {
-				lastVelocity = velocity
-			} else {
-				lastVelocity = 0.3*lastVelocity + 0.7*velocity
-			}
-		}
-
-		e.run.Cycles = append(e.run.Cycles, trace.Cycle{
-			Index: cycle, Setting: setting, DetectedFrame: nextFrame,
-			Start: now, End: detEnd,
-			FramesBuffered: buffered, FramesTracked: tracked, Velocity: velocity,
-		})
-		e.outputs[nextFrame] = core.FrameOutput{FrameIndex: nextFrame, Source: core.SourceDetector, Setting: setting, Detections: nextDets, Ready: detEnd}
-
-		prevFrame = nextFrame
-		prevDets = nextDets
-		now = detEnd
-		cycle++
 	}
-	e.run.Duration = maxDuration(now, time.Duration(n)*e.delta)
+	e.run.Duration = maxDuration(now, time.Duration(e.v.NumFrames())*e.delta)
 }
 
 // trackCycle runs the tracker over the frames buffered during one detection,
@@ -594,7 +644,7 @@ func (e *engine) finish() *Result {
 	// gauge) is published through the same helper trace.Run.Hydrate uses, so
 	// an inline-instrumented run and a hydrated trace yield equal snapshots.
 	if e.cfg.Obs != nil {
-		e.run.HydrateOutcome(e.cfg.Obs)
+		e.run.HydrateOutcome(e.cfg.Obs, e.obsLabels()...)
 	}
 	return &Result{
 		Run:      e.run,

@@ -17,18 +17,20 @@ import (
 // CPU-overlay time is overlay work. internal/sim routes its inline
 // instrumentation through this same function, which is what makes a hydrated
 // trace's histograms match an inline-instrumented run's byte-for-byte. A nil
-// registry drops the observation.
-func ObserveInterval(reg *obs.Registry, res Resource, s core.Setting, dur time.Duration) {
+// registry drops the observation. Extra labels (stream=<id> in multi-stream
+// runs) are appended to every series.
+func ObserveInterval(reg *obs.Registry, res Resource, s core.Setting, dur time.Duration, extra ...obs.Label) {
 	if reg == nil {
 		return
 	}
 	switch res {
 	case ResourceGPU:
-		reg.StageHistogram(obs.StageDetect, obs.L("setting", s.String()), obs.L("health", "healthy")).ObserveDuration(dur)
+		ls := append([]obs.Label{obs.L("setting", s.String()), obs.L("health", "healthy")}, extra...)
+		reg.StageHistogram(obs.StageDetect, ls...).ObserveDuration(dur)
 	case ResourceCPUTrack:
-		reg.StageHistogram(obs.StageTrack).ObserveDuration(dur)
+		reg.StageHistogram(obs.StageTrack, extra...).ObserveDuration(dur)
 	case ResourceCPUOverlay:
-		reg.StageHistogram(obs.StageOverlay).ObserveDuration(dur)
+		reg.StageHistogram(obs.StageOverlay, extra...).ObserveDuration(dur)
 	}
 }
 
@@ -56,18 +58,22 @@ func (r *Run) Hydrate(reg *obs.Registry) {
 // journal event per entry plus the matching injected/fault/action counters).
 // The simulator calls this once at the end of an instrumented run instead of
 // counting inline, so an inline-instrumented sim run and a hydrated trace of
-// the same run yield identical snapshots.
-func (r *Run) HydrateOutcome(reg *obs.Registry) {
+// the same run yield identical snapshots. Extra labels (stream=<id> in
+// multi-stream runs) are appended to every counter and gauge series.
+func (r *Run) HydrateOutcome(reg *obs.Registry, extra ...obs.Label) {
 	if reg == nil {
 		return
+	}
+	withExtra := func(ls ...obs.Label) []obs.Label {
+		return append(ls, extra...)
 	}
 	for _, out := range r.Outputs {
 		if out.Source == core.SourceNone {
 			continue
 		}
-		reg.Counter(obs.MetricFrames, obs.L("source", out.Source.String())).Inc()
+		reg.Counter(obs.MetricFrames, withExtra(obs.L("source", out.Source.String()))...).Inc()
 	}
-	reg.Counter(obs.MetricCycles).Add(int64(len(r.Cycles)))
+	reg.Counter(obs.MetricCycles, extra...).Add(int64(len(r.Cycles)))
 	last, ok := 0.0, false
 	for _, c := range r.Cycles {
 		if c.Velocity >= 0 {
@@ -75,17 +81,17 @@ func (r *Run) HydrateOutcome(reg *obs.Registry) {
 		}
 	}
 	if ok {
-		reg.Gauge(obs.MetricVelocity).Set(last)
+		reg.Gauge(obs.MetricVelocity, extra...).Set(last)
 	}
 	for _, ev := range r.Faults {
 		reg.Record(ev.At, ev.Component, ev.Kind, ev.Action)
 		switch ev.Action {
 		case "injected":
-			reg.Counter(obs.MetricFaultsInjected, obs.L("component", ev.Component), obs.L("kind", ev.Kind)).Inc()
+			reg.Counter(obs.MetricFaultsInjected, withExtra(obs.L("component", ev.Component), obs.L("kind", ev.Kind))...).Inc()
 		case "timeout", "panic", "empty-burst":
-			reg.Counter(obs.MetricGuardFaults, obs.L("component", ev.Component), obs.L("kind", ev.Action)).Inc()
+			reg.Counter(obs.MetricGuardFaults, withExtra(obs.L("component", ev.Component), obs.L("kind", ev.Action))...).Inc()
 		case "retry", "downgrade", "recovered":
-			reg.Counter(obs.MetricGuardActions, obs.L("action", ev.Action)).Inc()
+			reg.Counter(obs.MetricGuardActions, withExtra(obs.L("action", ev.Action))...).Inc()
 		}
 	}
 }
