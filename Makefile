@@ -8,9 +8,13 @@
 #                     hot-path allocations, band safety, goroutine leaks, pool pairing
 #   make cover        whole-tree coverage, failing below the COVER_FLOOR baseline
 #   make bench-json   run the pixel-pipeline benchmark harness, write BENCH_pixel.json
+#   make soak         bounded chaos soak under the race detector: same-seed sim
+#                     soak pair (byte parity) then a wall-clock live soak, both
+#                     ending in machine-checked invariant reports
 #   make check        everything CI runs: build + vet + lint + test + race + a
 #                     1-iteration bench-json smoke (catches harness rot without
-#                     paying bench time)
+#                     paying bench time); the test suite includes the
+#                     long-virtual-horizon chaos soak
 
 GO ?= go
 
@@ -19,7 +23,7 @@ GO ?= go
 # while a PR that lands a subsystem without tests fails the gate.
 COVER_FLOOR ?= 78.0
 
-.PHONY: build test race vet lint cover check bench-json bench-json-smoke clean
+.PHONY: build test race vet lint cover check bench-json bench-json-smoke soak clean
 
 build:
 	$(GO) build ./...
@@ -34,7 +38,8 @@ test:
 race:
 	$(GO) test -race ./internal/rt/ ./internal/fault/ ./internal/guard/ ./internal/sim/ \
 		./internal/par/ ./internal/imgproc/ ./internal/flow/ ./internal/video/ \
-		./internal/detect/ ./internal/track/ ./internal/obs/ ./internal/serve/
+		./internal/detect/ ./internal/track/ ./internal/obs/ ./internal/serve/ \
+		./internal/chaos/
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +69,15 @@ bench-json:
 bench-json-smoke:
 	$(GO) test -run TestPixelBenchJSON -benchjson-iters 1 \
 		-benchjson $(or $(TMPDIR),/tmp)/adavp_bench_smoke.json .
+
+# Hostile-scenario chaos soak (DESIGN.md §13), bounded to ~90s of live soak
+# on top of the deterministic sim pair, run under the race detector: 8 streams
+# over 2 detector slots with scenario churn, identity churn and the full
+# fault taxonomy at rate 0.08. Exits non-zero if any invariant report shows a
+# violation.
+soak:
+	$(GO) run -race ./cmd/adavp -soak -streams 8 -detector-slots 2 \
+		-churn-rate 0.25 -fault-rate 0.08 -fault-burst 2 -soak-minutes 1 -seed 1
 
 check: build vet lint test race bench-json-smoke
 

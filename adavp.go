@@ -348,6 +348,10 @@ type ServeOptions struct {
 	// streams of a live run, so a correlated fault burst cannot walk every
 	// stream down to the smallest model at once. 0 means unlimited.
 	DowngradeBudget int
+	// DowngradeRefill, when positive alongside DowngradeBudget, restores one
+	// downgrade grant per interval of pipeline time (saturating at the
+	// budget), so escalation headroom recovers once a fault burst ends.
+	DowngradeRefill time.Duration
 }
 
 // StreamRun is one stream's outcome in a multi-stream run.
@@ -478,6 +482,7 @@ func RunLiveMulti(ctx context.Context, videos []*Video, opts Options, timeScale 
 		QueueBound:      so.QueueBound,
 		MaxStreams:      so.MaxStreams,
 		DowngradeBudget: so.DowngradeBudget,
+		DowngradeRefill: so.DowngradeRefill,
 		Obs:             opts.Obs,
 	})
 	if err != nil {

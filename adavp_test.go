@@ -106,8 +106,8 @@ func TestRunExperimentSmoke(t *testing.T) {
 	if err := RunExperiment("nope", scale, &buf); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(ExperimentIDs()) != 12 {
-		t.Errorf("%d experiment ids, want 12", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 13 {
+		t.Errorf("%d experiment ids, want 13", len(ExperimentIDs()))
 	}
 }
 

@@ -13,6 +13,7 @@
 //	adavp -scenario highway -live -fault-rate 0.1 -fault-kinds hang,panic
 //	adavp -scenario city-street -streams 8 -detector-slots 2
 //	adavp -scenario highway -live -streams 4 -detector-slots 1
+//	adavp -soak -streams 8 -detector-slots 2 -fault-rate 0.08 -soak-minutes 1
 package main
 
 import (
@@ -30,7 +31,9 @@ import (
 	"time"
 
 	"adavp"
+	"adavp/internal/chaos"
 	"adavp/internal/core"
+	"adavp/internal/fault"
 	"adavp/internal/imgproc"
 	"adavp/internal/metrics"
 	"adavp/internal/overlay"
@@ -56,8 +59,11 @@ type cliOpts struct {
 	streams, detectorSlots int
 	faultRate              float64
 	faultBurst             int
-	faultKinds             string
+	faultKinds             []adavp.FaultKind
 	faultSeed              uint64
+	soak                   bool
+	soakMinutes            float64
+	churnRate              float64
 }
 
 // newFlagSet registers every flag on a fresh FlagSet writing into o. The
@@ -97,8 +103,18 @@ func newFlagSet(o *cliOpts, eh flag.ErrorHandling) *flag.FlagSet {
 	fs.IntVar(&o.detectorSlots, "detector-slots", 1, "detector slots shared by all streams (K < streams queues requests oldest-calibration-first)")
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "fault-injection rate (probability per burst block); 0 disables")
 	fs.IntVar(&o.faultBurst, "fault-burst", 1, "consecutive calls per injected fault")
-	fs.StringVar(&o.faultKinds, "fault-kinds", "", "comma-separated fault kinds to inject (default: all; see DESIGN.md fault model)")
+	fs.Func("fault-kinds", "comma-separated fault kinds to inject ("+fault.KindList()+"; default: all)", func(s string) error {
+		kinds, err := adavp.ParseFaultKinds(s)
+		if err != nil {
+			return err
+		}
+		o.faultKinds = kinds
+		return nil
+	})
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 0, "fault schedule seed (0: reuse -seed)")
+	fs.BoolVar(&o.soak, "soak", false, "run the chaos soak: a deterministic same-seed sim soak pair, then a wall-clock live soak, each ending in a machine-checked invariant report")
+	fs.Float64Var(&o.soakMinutes, "soak-minutes", 1, "wall-clock budget of the live soak, in minutes")
+	fs.Float64Var(&o.churnRate, "churn-rate", 0.25, "per-round probability that a soak stream reconnects under a new identity")
 	return fs
 }
 
@@ -148,18 +164,18 @@ func run(o cliOpts) error {
 		}()
 	}
 	if o.faultRate > 0 {
-		kinds, err := adavp.ParseFaultKinds(o.faultKinds)
-		if err != nil {
-			return err
-		}
 		fseed := o.faultSeed
 		if fseed == 0 {
 			fseed = o.seed
 		}
 		opts.Fault = &adavp.FaultProfile{
-			Rate: o.faultRate, Burst: o.faultBurst, Kinds: kinds, Seed: fseed,
+			Rate: o.faultRate, Burst: o.faultBurst, Kinds: o.faultKinds, Seed: fseed,
 		}
 		fmt.Printf("fault profile: %s\n", opts.Fault)
+	}
+
+	if o.soak {
+		return runSoak(opts, o)
 	}
 
 	if o.streams > 1 {
@@ -306,6 +322,49 @@ func runMulti(kind adavp.Scenario, opts adavp.Options, o cliOpts) error {
 	return nil
 }
 
+// runSoak runs the chaos soak: first a pair of same-seed virtual-clock soaks
+// (telemetry byte-parity, fairness-bound and per-scenario F1-floor
+// invariants), then a wall-clock live soak under the shared detector pool
+// (zero goroutine growth, bounded heap delta, fairness bound, escalation-
+// budget recovery). Any violated invariant fails the command.
+func runSoak(opts adavp.Options, o cliOpts) error {
+	streams := o.streams
+	if streams <= 1 {
+		streams = 8 // a soak without slot contention proves nothing
+	}
+	cfg := chaos.Config{
+		Streams:    streams,
+		Slots:      o.detectorSlots,
+		ChurnRate:  o.churnRate,
+		Fault:      opts.Fault,
+		Seed:       o.seed,
+		WallBudget: time.Duration(o.soakMinutes * float64(time.Minute)),
+		TimeScale:  o.timeScale,
+	}
+	fmt.Printf("chaos soak: %d streams x %d detector slot(s), churn rate %.2f, seed %d\n",
+		streams, o.detectorSlots, o.churnRate, o.seed)
+
+	simRep, err := chaos.SoakSimParity(cfg)
+	if err != nil {
+		return err
+	}
+	if err := simRep.Print(os.Stdout); err != nil {
+		return err
+	}
+	rtRep, err := chaos.SoakRT(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if err := rtRep.Print(os.Stdout); err != nil {
+		return err
+	}
+	if n := len(simRep.Violations) + len(rtRep.Violations); n > 0 {
+		return fmt.Errorf("chaos soak: %d invariant violation(s)", n)
+	}
+	fmt.Println("chaos soak: all invariants held")
+	return nil
+}
+
 // printFaults summarizes a run's fault/supervision event log by kind.
 func printFaults(events []adavp.FaultEvent) {
 	if len(events) == 0 {
@@ -332,7 +391,7 @@ func printFaults(events []adavp.FaultEvent) {
 }
 
 func parseScenario(name string) (adavp.Scenario, error) {
-	for _, k := range video.AllKinds() {
+	for _, k := range video.EveryKind() {
 		if k.String() == name {
 			return k, nil
 		}
@@ -341,8 +400,8 @@ func parseScenario(name string) (adavp.Scenario, error) {
 }
 
 func scenarioList() string {
-	names := make([]string, 0, video.NumKinds)
-	for _, k := range video.AllKinds() {
+	names := make([]string, 0, video.NumKinds+video.NumHostileKinds)
+	for _, k := range video.EveryKind() {
 		names = append(names, k.String())
 	}
 	return strings.Join(names, "|")

@@ -60,6 +60,52 @@ func TestSettingFlagDefault(t *testing.T) {
 	}
 }
 
+// TestFaultKindsFlagValidatesAtParseTime: an invalid -fault-kinds list must
+// fail the flag parse itself with an error naming the six valid kinds.
+func TestFaultKindsFlagValidatesAtParseTime(t *testing.T) {
+	for _, bad := range []string{"bogus", "hang,explode", "panic;hang", "HANG"} {
+		var o cliOpts
+		fs := newFlagSet(&o, flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		err := fs.Parse([]string{"-fault-kinds", bad})
+		if err == nil {
+			t.Errorf("-fault-kinds %s parsed without error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "empty|garbage|nan|latency|hang|panic") {
+			t.Errorf("-fault-kinds %s: error %q does not name the valid kinds", bad, err)
+		}
+	}
+}
+
+func TestFaultKindsFlagParsesList(t *testing.T) {
+	var o cliOpts
+	fs := newFlagSet(&o, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse([]string{"-fault-kinds", "hang, panic"}); err != nil {
+		t.Fatalf("valid kinds rejected: %v", err)
+	}
+	if len(o.faultKinds) != 2 || o.faultKinds[0] != adavp.FaultHang || o.faultKinds[1] != adavp.FaultPanic {
+		t.Errorf("parsed kinds = %v, want [hang panic]", o.faultKinds)
+	}
+	if kinds := defaultOpts(t).faultKinds; kinds != nil {
+		t.Errorf("default fault kinds = %v, want nil (full taxonomy)", kinds)
+	}
+}
+
+// TestScenarioFlagAcceptsHostileKinds: the hostile presets are reachable
+// from -scenario and listed in its usage text.
+func TestScenarioFlagAcceptsHostileKinds(t *testing.T) {
+	for _, name := range []string{"day-night", "rainstorm", "fog-bank", "occlusion-storm", "scene-cut", "strobe-drop", "frozen", "dead-sensor"} {
+		if _, err := parseScenario(name); err != nil {
+			t.Errorf("parseScenario(%q): %v", name, err)
+		}
+		if !strings.Contains(scenarioList(), name) {
+			t.Errorf("scenario usage list missing %q", name)
+		}
+	}
+}
+
 // defaultOpts parses an empty command line, yielding every flag default.
 func defaultOpts(t *testing.T) cliOpts {
 	t.Helper()

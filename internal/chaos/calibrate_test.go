@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"adavp/internal/video"
+)
+
+// TestCalibrateFloors is a measurement harness, not an invariant: run with
+// -run TestCalibrateFloors -v to print the minimum per-kind mean F1 across a
+// seed sweep of soak configurations.
+func TestCalibrateFloors(t *testing.T) {
+	if os.Getenv("CHAOS_CALIBRATE") == "" {
+		t.Skip("set CHAOS_CALIBRATE=1 to run the floor calibration sweep")
+	}
+	min := map[video.Kind]float64{}
+	obs := map[video.Kind]int{}
+	minFrames := map[video.Kind]int{}
+	for _, cfg := range []Config{
+		{Fault: testFault(), Seed: 1},
+		{Fault: testFault(), Seed: 2},
+		{Fault: testFault(), Seed: 3},
+		{Fault: testFault(), Seed: 4},
+		{Fault: testFault(), Seed: 42},
+		{Fault: testFault(), Seed: 99},
+		{Streams: 10, Slots: 2, Rounds: 4, Fault: testFault(), Seed: 17},
+		{Streams: 12, Slots: 3, Rounds: 5, Fault: testFault(), Seed: 23},
+	} {
+		rep, err := SoakSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range rep.Scenarios {
+			if n, ok := min[s.Kind]; !ok || s.MeanF1 < n {
+				min[s.Kind] = s.MeanF1
+			}
+			if n, ok := minFrames[s.Kind]; !ok || s.Frames < n {
+				minFrames[s.Kind] = s.Frames
+			}
+			obs[s.Kind]++
+		}
+	}
+	for _, k := range video.EveryKind() {
+		fmt.Fprintf(os.Stderr, "%-18s min mean F1 %.3f over %d soaks (min %d frames)\n", k, min[k], obs[k], minFrames[k])
+	}
+}

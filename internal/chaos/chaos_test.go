@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"adavp/internal/fault"
+	"adavp/internal/video"
+)
+
+// testFault is the default soak fault profile: the full taxonomy at a rate
+// high enough to exercise every guard path in a short run.
+func testFault() *fault.Profile {
+	return &fault.Profile{Rate: 0.08, Burst: 2, Seed: 9}
+}
+
+// TestSoakSimParity: the headline determinism invariant — two same-seed sim
+// soaks (scenario churn, identity churn, fault injection and all) produce
+// byte-identical telemetry snapshots, hold the fairness bound and clear
+// every per-scenario F1 floor.
+func TestSoakSimParity(t *testing.T) {
+	rep, err := SoakSimParity(Config{
+		Streams:       8,
+		Slots:         2,
+		Rounds:        2,
+		SegmentFrames: 40,
+		Fault:         testFault(),
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatalf("SoakSimParity: %v", err)
+	}
+	if testing.Verbose() {
+		rep.Print(os.Stderr)
+	}
+	if !rep.OK() {
+		t.Fatalf("sim soak violated invariants:\n%v", rep.Violations)
+	}
+	if rep.Frames == 0 || rep.Grants == 0 {
+		t.Fatalf("soak did no work: %+v", rep)
+	}
+	if rep.SnapshotSHA == "" {
+		t.Error("no snapshot digest")
+	}
+}
+
+// TestSoakSimLongHorizon: the long-virtual-horizon soak (full default
+// rounds) stays clean and covers every scenario kind — benign and hostile —
+// with evaluated frames.
+func TestSoakSimLongHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon soak skipped in -short mode")
+	}
+	rep, err := SoakSim(Config{Fault: testFault(), Seed: 3})
+	if err != nil {
+		t.Fatalf("SoakSim: %v", err)
+	}
+	if testing.Verbose() {
+		rep.Print(os.Stderr)
+	}
+	if !rep.OK() {
+		t.Fatalf("long-horizon soak violated invariants:\n%v", rep.Violations)
+	}
+	covered := make(map[video.Kind]bool, len(rep.Scenarios))
+	for _, s := range rep.Scenarios {
+		if s.Frames > 0 {
+			covered[s.Kind] = true
+		}
+	}
+	for _, k := range video.EveryKind() {
+		if !covered[k] {
+			t.Errorf("scenario kind %s never appeared in the soak", k)
+		}
+	}
+	if rep.Churned == 0 {
+		t.Error("no identity churn over the default horizon")
+	}
+}
+
+// TestSoakSimChurnVariesStreams: churn actually changes the stream
+// population round over round (identities retire, new ones arrive).
+func TestSoakSimChurnVariesStreams(t *testing.T) {
+	cfg := Config{Streams: 6, Slots: 2, Rounds: 3, SegmentFrames: 20, ChurnRate: 0.5, Seed: 7}.withDefaults()
+	root := rngRoot(cfg.Seed)
+	st := newChurnState(cfg.Streams)
+	ids := make(map[string]bool)
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, p := range planRound(root, cfg, round, st) {
+			ids[p.ID] = true
+		}
+	}
+	if len(ids) <= cfg.Streams {
+		t.Errorf("%d distinct stream identities over %d rounds at churn 0.5, want > %d", len(ids), cfg.Rounds, cfg.Streams)
+	}
+	if st.churned == 0 {
+		t.Error("churn counter stayed zero")
+	}
+}
+
+// TestSoakRTBounded: a short wall-clock live soak under the shared pool,
+// fault profile on: zero goroutine growth, bounded heap delta, fairness
+// held, escalation budget recovered. This is the test `make race` runs with
+// the race detector.
+func TestSoakRTBounded(t *testing.T) {
+	rep, err := SoakRT(context.Background(), Config{
+		Streams:       8,
+		Slots:         2,
+		SegmentFrames: 25,
+		WallBudget:    3 * time.Second,
+		Fault:         testFault(),
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatalf("SoakRT: %v", err)
+	}
+	if testing.Verbose() {
+		rep.Print(os.Stderr)
+	}
+	if !rep.OK() {
+		t.Fatalf("rt soak violated invariants:\n%v", rep.Violations)
+	}
+	if rep.Rounds == 0 || rep.Frames == 0 {
+		t.Fatalf("rt soak did no work: %+v", rep)
+	}
+	if rep.BudgetRecovered != rep.BudgetCapacity {
+		t.Errorf("budget recovered %d of %d", rep.BudgetRecovered, rep.BudgetCapacity)
+	}
+}
+
+// TestSoakRTCancel: cancelling the context stops the soak promptly without
+// reporting stream errors as invariant violations.
+func TestSoakRTCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+		close(done)
+	}()
+	rep, err := SoakRT(ctx, Config{
+		Streams:       4,
+		Slots:         2,
+		SegmentFrames: 200, // long enough that cancellation lands mid-round
+		WallBudget:    time.Minute,
+		Seed:          11,
+	})
+	<-done
+	if err != nil {
+		t.Fatalf("SoakRT: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("cancelled soak reported violation: %s", v)
+	}
+}

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"adavp/internal/video"
+)
+
+// ScenarioF1 is one scenario kind's accumulated quality over the soak.
+type ScenarioF1 struct {
+	Kind   video.Kind
+	Frames int
+	MeanF1 float64
+	// Floor is the experiments-package minimum; sim soaks enforce it, rt
+	// soaks report it (wall-clock cycle counts vary run to run).
+	Floor float64
+}
+
+// Report is the machine-checked invariant report a soak ends with. Every
+// violated invariant appends one line to Violations; OK() is the soak's
+// verdict.
+type Report struct {
+	// Mode is "sim" or "rt".
+	Mode string
+	// Seed is the soak's root seed.
+	Seed uint64
+	// Rounds is the number of churn rounds executed; Streams and Slots echo
+	// the configured N and K; Churned counts identity replacements.
+	Rounds, Streams, Slots, Churned int
+	// Frames is the number of evaluated frames across all streams.
+	Frames int
+	// Grants/Deferred are detector-slot grants and bounded-queue refusals;
+	// MaxQueueDepth is the deepest the wait queue got (sim only — the live
+	// pool publishes depth to the registry instead).
+	Grants, Deferred, MaxQueueDepth int
+	// MaxOccupancy is the longest single slot occupancy observed;
+	// MaxCalibAge the worst calibration staleness; FairnessBound the
+	// loosest bound that was enforced (max over rounds, plus slack in rt
+	// mode).
+	MaxOccupancy, MaxCalibAge, FairnessBound time.Duration
+	// Scenarios holds per-kind F1, kind order.
+	Scenarios []ScenarioF1
+	// SnapshotSHA is the hex SHA-256 of the final telemetry snapshot in the
+	// Prometheus text format (sim only): two same-seed sim soaks must
+	// produce equal values — the byte-parity invariant.
+	SnapshotSHA string
+	// JournalDropped is how many journal events the bounded ring evicted.
+	JournalDropped uint64
+
+	// rt-only survival accounting.
+
+	// GoroutinesBefore/After bracket the soak (after settling); heap
+	// figures are post-GC live bytes.
+	GoroutinesBefore, GoroutinesAfter int
+	HeapBefore, HeapAfter             uint64
+	// BudgetCapacity is the shared escalation budget's size,
+	// BudgetRemaining its level when the soak ended, and BudgetRecovered
+	// its level after the recovery advance — which must equal capacity.
+	BudgetCapacity, BudgetRemaining, BudgetRecovered int
+	// Wall is the soak's wall-clock duration.
+	Wall time.Duration
+
+	// Violations lists every invariant breach, empty for a clean soak.
+	Violations []string
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Print writes the human-readable invariant report.
+func (r *Report) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "chaos soak (%s, seed %d): %d rounds, %d streams x %d slots, %d identity churns\n",
+		r.Mode, r.Seed, r.Rounds, r.Streams, r.Slots, r.Churned); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  frames %d  grants %d  deferred %d  max queue depth %d\n",
+		r.Frames, r.Grants, r.Deferred, r.MaxQueueDepth)
+	fmt.Fprintf(w, "  occupancy max %v  calib age max %v  fairness bound %v\n",
+		r.MaxOccupancy, r.MaxCalibAge, r.FairnessBound)
+	if r.Mode == "sim" {
+		fmt.Fprintf(w, "  snapshot sha256 %s  journal dropped %d\n", r.SnapshotSHA, r.JournalDropped)
+	} else {
+		fmt.Fprintf(w, "  wall %v  journal dropped %d\n", r.Wall.Round(time.Millisecond), r.JournalDropped)
+		fmt.Fprintf(w, "  goroutines %d -> %d  heap %s -> %s\n",
+			r.GoroutinesBefore, r.GoroutinesAfter, fmtBytes(r.HeapBefore), fmtBytes(r.HeapAfter))
+		fmt.Fprintf(w, "  escalation budget: capacity %d, remaining %d, recovered %d\n",
+			r.BudgetCapacity, r.BudgetRemaining, r.BudgetRecovered)
+	}
+	fmt.Fprintf(w, "  per-scenario F1 (floor enforced in sim mode):\n")
+	for _, s := range r.Scenarios {
+		mark := "ok"
+		if s.MeanF1 < s.Floor {
+			mark = "BELOW FLOOR"
+		}
+		fmt.Fprintf(w, "    %-18s frames %6d  mean F1 %.3f  floor %.2f  %s\n",
+			s.Kind, s.Frames, s.MeanF1, s.Floor, mark)
+	}
+	if r.OK() {
+		_, err := fmt.Fprintf(w, "  invariants: all held\n")
+		return err
+	}
+	fmt.Fprintf(w, "  invariants VIOLATED (%d):\n", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "    - %s\n", v)
+	}
+	return nil
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"adavp/internal/adapt"
+	"adavp/internal/guard"
+	"adavp/internal/obs"
+	"adavp/internal/rt"
+	"adavp/internal/serve"
+)
+
+// SoakRT runs the chaos soak on the live goroutine pipeline: rounds of
+// serve.Run with the same churned, scenario-switching stream plans as the
+// sim soak, repeated until WallBudget expires. It is meant to run under the
+// race detector and checks the survival invariants a virtual clock cannot
+// observe:
+//
+//   - zero goroutine growth from soak start to settled soak end;
+//   - bounded live-heap delta (post-GC) despite identity churn growing the
+//     registry's label space;
+//   - calibration age within the fairness bound (plus FairnessSlack for
+//     wall-clock scheduling noise) in every round;
+//   - the shared escalation budget, drained by fault-burst downgrades,
+//     refills back to capacity once pipeline time passes — proving the
+//     system regains escalation headroom after the storm.
+//
+// Per-scenario F1 is accumulated and reported against the experiments
+// floors but not enforced: wall-clock scheduling varies cycle counts run to
+// run. Cancelling ctx stops the soak after the current round without
+// marking a violation.
+func SoakRT(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	root := rngRoot(cfg.Seed)
+	reg := obs.NewRegistry()
+	st := newChurnState(cfg.Streams)
+	acc := newF1Acc()
+	rep := &Report{Mode: "rt", Seed: cfg.Seed, Streams: cfg.Streams, Slots: cfg.Slots}
+	budget := guard.NewEscalationBudgetWithRefill(cfg.DowngradeBudget, cfg.DowngradeRefill)
+	rep.BudgetCapacity = cfg.DowngradeBudget
+
+	rep.GoroutinesBefore = settledGoroutines(0, 2*time.Second)
+	rep.HeapBefore = liveHeap()
+	start := time.Now()
+
+	for round := 0; ; round++ {
+		if round > 0 && (time.Since(start) >= cfg.WallBudget || ctx.Err() != nil || round >= 10000) {
+			break
+		}
+		plans := planRound(root, cfg, round, st)
+		specs := make([]serve.StreamSpec, len(plans))
+		for i, p := range plans {
+			specs[i] = serve.StreamSpec{
+				ID:    p.ID,
+				Video: p.Video,
+				Config: rt.Config{
+					Adaptation: adapt.DefaultModel(),
+					Seed:       p.Seed,
+					TimeScale:  cfg.TimeScale,
+					Fault:      p.Fault,
+				},
+			}
+		}
+		res, err := serve.Run(ctx, specs, serve.RunConfig{Slots: cfg.Slots, Budget: budget, Obs: reg})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: round %d: %w", round, err)
+		}
+		rep.Rounds++
+		// Refill credit accrues on soak time, which only moves forward, so
+		// concurrent rounds could share the budget safely too.
+		budget.Advance(time.Since(start))
+
+		var maxOcc time.Duration
+		for _, s := range res.Streams {
+			if s.Result != nil && s.Result.MaxSlotOccupancy > maxOcc {
+				maxOcc = s.Result.MaxSlotOccupancy
+			}
+		}
+		if maxOcc > rep.MaxOccupancy {
+			rep.MaxOccupancy = maxOcc
+		}
+		scaledInterval := time.Duration(float64(plans[0].Video.FrameInterval()) * cfg.TimeScale)
+		bound := serve.FairnessBound(len(plans), cfg.Slots, maxOcc, scaledInterval) + cfg.FairnessSlack
+		if bound > rep.FairnessBound {
+			rep.FairnessBound = bound
+		}
+		for i, s := range res.Streams {
+			if s.Err != nil {
+				if ctx.Err() == nil {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("round %d stream %s: %v", round, s.ID, s.Err))
+				}
+				continue
+			}
+			rep.Grants += s.Result.Cycles
+			rep.Deferred += s.Result.Deferred
+			rep.Frames += len(s.Result.Outputs)
+			if s.Result.MaxCalibAge > rep.MaxCalibAge {
+				rep.MaxCalibAge = s.Result.MaxCalibAge
+			}
+			if s.Result.MaxCalibAge > bound {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("round %d stream %s: calib age %v exceeds fairness bound %v", round, s.ID, s.Result.MaxCalibAge, bound))
+			}
+			acc.add(plans[i], s.Result.FrameF1)
+		}
+	}
+	rep.Wall = time.Since(start)
+	rep.Churned = st.churned
+	rep.Scenarios = acc.scenarios(false, &rep.Violations)
+	rep.JournalDropped = reg.JournalDropped()
+
+	// Escalation-budget recovery: advance pipeline time far enough to refill
+	// every possible spent grant; anything short of capacity means refill
+	// credit was lost.
+	rep.BudgetRemaining = budget.Remaining()
+	budget.Advance(rep.Wall + time.Duration(cfg.DowngradeBudget+1)*cfg.DowngradeRefill)
+	rep.BudgetRecovered = budget.Remaining()
+	if rep.BudgetRecovered != rep.BudgetCapacity {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("escalation budget recovered to %d of %d after refill horizon", rep.BudgetRecovered, rep.BudgetCapacity))
+	}
+
+	rep.GoroutinesAfter = settledGoroutines(rep.GoroutinesBefore, 3*time.Second)
+	if rep.GoroutinesAfter > rep.GoroutinesBefore {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("goroutines grew %d -> %d", rep.GoroutinesBefore, rep.GoroutinesAfter))
+	}
+	rep.HeapAfter = liveHeap()
+	if rep.HeapAfter > rep.HeapBefore && rep.HeapAfter-rep.HeapBefore > cfg.MaxHeapDelta {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("heap grew %s -> %s, over the %s bound",
+				fmtBytes(rep.HeapBefore), fmtBytes(rep.HeapAfter), fmtBytes(cfg.MaxHeapDelta)))
+	}
+	return rep, nil
+}
+
+// settledGoroutines samples the goroutine count until it stops falling (or
+// reaches target, when positive), giving exiting pipeline goroutines time to
+// unwind before the leak check.
+func settledGoroutines(target int, patience time.Duration) int {
+	deadline := time.Now().Add(patience)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		if target > 0 && n <= target {
+			return n
+		}
+		runtime.GC()
+		time.Sleep(25 * time.Millisecond)
+		next := runtime.NumGoroutine()
+		if target <= 0 && next >= n {
+			return next
+		}
+		n = next
+	}
+	return n
+}
+
+// liveHeap returns post-GC live bytes.
+func liveHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

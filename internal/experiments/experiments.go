@@ -87,6 +87,7 @@ var registry = map[string]Runner{
 	"fig11":     func(s Scale, w io.Writer) error { return printErr(Fig11(s))(w) },
 	"table3":    func(s Scale, w io.Writer) error { return printErr(Table3(s))(w) },
 	"ablations": func(s Scale, w io.Writer) error { return printErr(Ablations(s))(w) },
+	"hostile":   func(s Scale, w io.Writer) error { return printErr(Hostile(s))(w) },
 }
 
 // printer is implemented by every experiment result.

@@ -26,7 +26,7 @@ func TestScaleDefaults(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"ablations", "fig1", "fig10", "fig11", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3"}
+	want := []string{"ablations", "fig1", "fig10", "fig11", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "hostile", "table2", "table3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)

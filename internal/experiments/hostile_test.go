@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adavp/internal/video"
+)
+
+// TestF1FloorCoversEveryKind: every scenario kind — benign, hostile, and any
+// future addition — gets a positive floor strictly below 1.
+func TestF1FloorCoversEveryKind(t *testing.T) {
+	for _, k := range video.EveryKind() {
+		f := F1Floor(k)
+		if f <= 0 || f >= 1 {
+			t.Errorf("F1Floor(%s) = %v, want in (0,1)", k, f)
+		}
+	}
+	if f := F1Floor(video.Kind(9999)); f != defaultF1Floor {
+		t.Errorf("unknown kind floor = %v, want default %v", f, defaultF1Floor)
+	}
+}
+
+// TestHostileExperiment: the hostile study runs every hostile preset and
+// clean single-stream runs clear the contention-calibrated floors with
+// margin.
+func TestHostileExperiment(t *testing.T) {
+	r, err := Hostile(Scale{FramesPerVideo: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(video.HostileKinds()) {
+		t.Fatalf("%d rows for %d hostile kinds", len(r.Rows), len(video.HostileKinds()))
+	}
+	for _, row := range r.Rows {
+		if row.MeanF1 < row.Floor {
+			t.Errorf("clean run on %s: mean F1 %.3f below the soak floor %.2f — floor leaves no headroom",
+				row.Kind, row.MeanF1, row.Floor)
+		}
+	}
+	var b strings.Builder
+	if err := r.Print(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dead-sensor") {
+		t.Errorf("report missing dead-sensor row:\n%s", b.String())
+	}
+}

@@ -3,6 +3,7 @@ package guard
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"adavp/internal/obs"
 )
@@ -15,7 +16,7 @@ func TestEscalationBudgetSharedAcrossSupervisors(t *testing.T) {
 	s2 := New(Config{Budget: b, Stream: "s2"})
 	granted := 0
 	for _, s := range []*Supervisor{s1, s2, s1, s2} {
-		if s.AllowDowngrade() {
+		if s.AllowDowngrade(0) {
 			granted++
 		}
 	}
@@ -32,7 +33,7 @@ func TestEscalationBudgetSharedAcrossSupervisors(t *testing.T) {
 func TestEscalationBudgetNilUnlimited(t *testing.T) {
 	s := New(Config{})
 	for i := 0; i < 10; i++ {
-		if !s.AllowDowngrade() {
+		if !s.AllowDowngrade(0) {
 			t.Fatalf("downgrade %d denied without a budget", i)
 		}
 	}
@@ -67,6 +68,94 @@ func TestEscalationBudgetConcurrent(t *testing.T) {
 	}
 	if b.Remaining() != 0 {
 		t.Errorf("Remaining() = %d, want 0", b.Remaining())
+	}
+}
+
+// TestEscalationBudgetRefill: a refillable budget restores one grant per
+// interval of reported pipeline time, saturates at capacity, and treats
+// non-monotone time as a no-op.
+func TestEscalationBudgetRefill(t *testing.T) {
+	b := NewEscalationBudgetWithRefill(2, time.Second)
+	if !b.Take() || !b.Take() {
+		t.Fatal("initial capacity not grantable")
+	}
+	if b.Take() {
+		t.Fatal("over-granted past capacity")
+	}
+	b.Advance(500 * time.Millisecond) // under one interval: no credit
+	if got := b.Remaining(); got != 0 {
+		t.Errorf("Remaining after partial interval = %d, want 0", got)
+	}
+	b.Advance(2500 * time.Millisecond) // 2.5s elapsed: two grants back
+	if got := b.Remaining(); got != 2 {
+		t.Errorf("Remaining after 2.5 intervals = %d, want 2", got)
+	}
+	b.Advance(100 * time.Hour) // saturation: never exceeds capacity
+	if got := b.Remaining(); got != 2 {
+		t.Errorf("Remaining after huge advance = %d, want 2 (saturated)", got)
+	}
+	b.Advance(time.Second) // stale time: monotone guard makes it a no-op
+	if got := b.Remaining(); got != 2 {
+		t.Errorf("Remaining after stale advance = %d, want 2", got)
+	}
+	if !b.TakeAt(100*time.Hour + time.Second) {
+		t.Error("TakeAt denied with capacity available")
+	}
+	if got := b.Remaining(); got != 1 {
+		t.Errorf("Remaining after TakeAt = %d, want 1", got)
+	}
+}
+
+// TestEscalationBudgetRefillPartialCredit: fractional intervals carry over —
+// advancing twice by 0.6 intervals credits one grant, not zero.
+func TestEscalationBudgetRefillPartialCredit(t *testing.T) {
+	b := NewEscalationBudgetWithRefill(3, time.Second)
+	for i := 0; i < 3; i++ {
+		b.Take()
+	}
+	b.Advance(600 * time.Millisecond)
+	b.Advance(1200 * time.Millisecond)
+	if got := b.Remaining(); got != 1 {
+		t.Errorf("Remaining after 1.2s in two steps = %d, want 1", got)
+	}
+}
+
+// TestEscalationBudgetRefillConcurrent: concurrent TakeAt/Advance callers
+// never over-grant beyond capacity plus credited refill (run under -race by
+// make race).
+func TestEscalationBudgetRefillConcurrent(t *testing.T) {
+	const capacity, workers, tries = 8, 8, 200
+	// One grant refills per second of pipeline time; workers report times up
+	// to tries seconds, so at most capacity + tries - 1 grants can exist.
+	b := NewEscalationBudgetWithRefill(capacity, time.Second)
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 1; i <= tries; i++ {
+				if b.TakeAt(time.Duration(i) * time.Second) {
+					n++
+				}
+			}
+			mu.Lock()
+			total += int64(n)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	max := int64(capacity + tries - 1)
+	if total > max {
+		t.Errorf("%d grants across workers, want <= %d (capacity + refill)", total, max)
+	}
+	if total < capacity {
+		t.Errorf("%d grants, want >= %d (initial capacity)", total, capacity)
+	}
+	if rem := b.Remaining(); rem < 0 || rem > capacity {
+		t.Errorf("Remaining = %d, outside [0,%d]", rem, capacity)
 	}
 }
 

@@ -188,8 +188,20 @@ func (s Stats) Faults() int { return s.Timeouts + s.Panics + s.EmptyBursts }
 // accelerator times out for everyone at once) cannot stampede every stream
 // onto the smallest model — the first takers downgrade, the rest ride out
 // the burst on retries and held calibrations. A nil budget is unlimited.
+//
+// A budget built with NewEscalationBudgetWithRefill additionally recovers
+// capacity over time: one grant is restored per refill interval of elapsed
+// pipeline time, saturating at the initial capacity. Refill is clock-free —
+// time is passed in by the caller (Advance/TakeAt), wall time in rt, virtual
+// time in sim — so refillable budgets stay deterministic where the engine is.
 type EscalationBudget struct {
 	remaining atomic.Int64
+
+	// Refill state; every==0 means the legacy one-shot budget.
+	mu         sync.Mutex
+	capacity   int64
+	every      time.Duration
+	lastCredit time.Duration // pipeline time refill was last accounted to
 }
 
 // NewEscalationBudget returns a budget allowing n downgrades in total
@@ -200,6 +212,66 @@ func NewEscalationBudget(n int) *EscalationBudget {
 		b.remaining.Store(int64(n))
 	}
 	return b
+}
+
+// NewEscalationBudgetWithRefill returns a budget of n grants that restores
+// one grant per `every` of elapsed pipeline time (as reported to Advance or
+// TakeAt), saturating at n. every <= 0 yields a plain one-shot budget.
+func NewEscalationBudgetWithRefill(n int, every time.Duration) *EscalationBudget {
+	b := NewEscalationBudget(n)
+	if n > 0 && every > 0 {
+		b.capacity = int64(n)
+		b.every = every
+	}
+	return b
+}
+
+// Advance credits refill for pipeline time now: one grant per full refill
+// interval since the last credit, saturating at capacity. Time is monotone —
+// an earlier (or equal) now than previously seen is a no-op, which makes
+// concurrent callers with slightly skewed clocks safe. No-op on nil or
+// non-refillable budgets.
+func (b *EscalationBudget) Advance(now time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.every <= 0 || now <= b.lastCredit {
+		b.mu.Unlock()
+		return
+	}
+	units := int64((now - b.lastCredit) / b.every)
+	if units <= 0 {
+		b.mu.Unlock()
+		return
+	}
+	b.lastCredit += time.Duration(units) * b.every
+	capacity := b.capacity
+	b.mu.Unlock()
+	// Credit outside the refill lock: Take's CAS loop and this one never
+	// deadlock, and a concurrent Take between Load and CAS just retries.
+	for {
+		r := b.remaining.Load()
+		nr := r + units
+		if nr > capacity {
+			nr = capacity
+		}
+		if nr <= r {
+			return // already saturated
+		}
+		if b.remaining.CompareAndSwap(r, nr) {
+			return
+		}
+	}
+}
+
+// TakeAt credits refill up to pipeline time now, then takes one grant.
+func (b *EscalationBudget) TakeAt(now time.Duration) bool {
+	if b == nil {
+		return true
+	}
+	b.Advance(now)
+	return b.Take()
 }
 
 // Take consumes one downgrade if capacity remains, reporting whether it was
@@ -258,12 +330,14 @@ func New(cfg Config) *Supervisor {
 
 // AllowDowngrade reports whether a recommended model-setting downgrade may
 // actually be applied, consuming one unit of the shared escalation budget
-// when granted. Callers must check that a smaller setting exists *first*
-// (core.NextSmaller): a stream already at the smallest setting has nothing
-// to escalate to, and asking anyway would burn budget other streams need.
-// With no budget configured every downgrade is allowed.
-func (s *Supervisor) AllowDowngrade() bool {
-	return s.cfg.Budget.Take()
+// when granted. at is the pipeline time of the triggering fault; refillable
+// budgets credit recovery up to it first. Callers must check that a smaller
+// setting exists *first* (core.NextSmaller): a stream already at the
+// smallest setting has nothing to escalate to, and asking anyway would burn
+// budget other streams need. With no budget configured every downgrade is
+// allowed.
+func (s *Supervisor) AllowDowngrade(at time.Duration) bool {
+	return s.cfg.Budget.TakeAt(at)
 }
 
 // Config returns the resolved configuration.

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJournalOverflowCountsDrops: recording past the ring capacity retains
+// the newest DefJournalCap events and mirrors every eviction into the
+// MetricJournalDropped counter, which then flows through Snapshot and the
+// Prometheus rendering like any other series.
+func TestJournalOverflowCountsDrops(t *testing.T) {
+	const extra = 37
+	r := NewRegistry()
+	for i := 0; i < DefJournalCap+extra; i++ {
+		r.Record(time.Duration(i)*time.Millisecond, "chaos", "event", "tick")
+	}
+
+	if got := r.JournalDropped(); got != extra {
+		t.Errorf("JournalDropped() = %d, want %d", got, extra)
+	}
+	if got := r.Counter(MetricJournalDropped).Value(); got != extra {
+		t.Errorf("dropped counter = %d, want %d", got, extra)
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Events) != DefJournalCap {
+		t.Fatalf("journal kept %d events, want cap %d", len(snap.Events), DefJournalCap)
+	}
+	// Oldest retained event is the first survivor after `extra` evictions.
+	if got := snap.Events[0].Seq; got != extra+1 {
+		t.Errorf("oldest retained Seq = %d, want %d", got, extra+1)
+	}
+
+	var buf strings.Builder
+	if err := snap.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if !strings.Contains(buf.String(), MetricJournalDropped+" 37") {
+		t.Errorf("prometheus output missing %s series:\n%s", MetricJournalDropped, buf.String())
+	}
+}
+
+// TestJournalNoDropsNoSeries: a registry whose journal never wrapped exposes
+// no dropped-event series, so its snapshot shape (and the sim soak's
+// byte-parity check) is unchanged.
+func TestJournalNoDropsNoSeries(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < DefJournalCap; i++ {
+		r.Record(time.Duration(i), "chaos", "event", "tick")
+	}
+	if got := r.JournalDropped(); got != 0 {
+		t.Errorf("JournalDropped() = %d, want 0", got)
+	}
+	for _, c := range r.Snapshot().Counters {
+		if c.Name == MetricJournalDropped {
+			t.Errorf("dropped-event series present with zero drops: %+v", c)
+		}
+	}
+}

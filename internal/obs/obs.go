@@ -74,6 +74,10 @@ const (
 	MetricDetectDeferred = "adavp_detector_deferred_total"
 	// MetricStreams is the number of streams admitted to a serving run.
 	MetricStreams = "adavp_streams"
+	// MetricJournalDropped counts journal events evicted by the bounded ring
+	// once it wrapped — how much history /metrics scrapers lost. The series
+	// appears after the first drop; its absence means the journal is intact.
+	MetricJournalDropped = "adavp_journal_events_dropped_total"
 )
 
 // Stage label values of MetricStageLatency.
@@ -210,12 +214,26 @@ func (r *Registry) StageHistogram(stage string, labels ...Label) *Histogram {
 	return r.Histogram(MetricStageLatency, DefLatencyBuckets, ls...)
 }
 
-// Record appends one event to the journal. A nil registry drops it.
+// Record appends one event to the journal. A nil registry drops it. Once the
+// bounded ring wraps, every eviction is mirrored into the
+// MetricJournalDropped counter so Snapshot and /metrics expose how much
+// history was lost.
 func (r *Registry) Record(at time.Duration, component, kind, action string) {
 	if r == nil {
 		return
 	}
-	r.journal.record(at, component, kind, action)
+	if r.journal.record(at, component, kind, action) {
+		r.Counter(MetricJournalDropped).Inc()
+	}
+}
+
+// JournalDropped returns how many journal events the bounded ring has
+// evicted so far (0 on nil).
+func (r *Registry) JournalDropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.journal.dropped()
 }
 
 // Counter is a monotonically-increasing integer metric.
@@ -347,17 +365,27 @@ type Journal struct {
 	seq   uint64
 }
 
-func (j *Journal) record(at time.Duration, component, kind, action string) {
+// record appends one event, reporting whether an older event was evicted to
+// make room.
+func (j *Journal) record(at time.Duration, component, kind, action string) (dropped bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
 	ev := Event{Seq: j.seq, At: at, Component: component, Kind: kind, Action: action}
 	if len(j.buf) < j.cap {
 		j.buf = append(j.buf, ev)
-		return
+		return false
 	}
 	j.buf[j.start] = ev
 	j.start = (j.start + 1) % j.cap
+	return true
+}
+
+// dropped returns the total evictions: appends beyond the retained window.
+func (j *Journal) dropped() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq - uint64(len(j.buf))
 }
 
 // events returns the retained events oldest-first.

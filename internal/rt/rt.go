@@ -149,6 +149,15 @@ type Result struct {
 	// refused the request (bounded-queue backpressure). Always zero without
 	// Config.Slots.
 	Deferred int
+	// MaxCalibAge is the longest wall-clock gap between consecutive
+	// calibration completions (the first measured from run start) — the
+	// live counterpart of sim.StreamOutcome.MaxCalibAge, checked against
+	// serve.FairnessBound by the chaos soak.
+	MaxCalibAge time.Duration
+	// MaxSlotOccupancy is the longest this stream held a detector slot
+	// (supervision, retries and emulated inference included) — the
+	// maxOccupancy term of the fairness bound.
+	MaxSlotOccupancy time.Duration
 	// Health is the supervisor's final state; Faults its fault/recovery
 	// counters (all zero for a clean run).
 	Health guard.Health
@@ -306,6 +315,10 @@ type pipeline struct {
 	cycles   atomic.Int64
 	switches atomic.Int64
 	deferred atomic.Int64
+
+	// Written only by the detector goroutine, read by finish after wg.Wait.
+	maxCalibAge time.Duration
+	maxSlotOcc  time.Duration
 }
 
 // obsLabels appends stream=<id> to a series' labels in multi-stream runs.
@@ -444,7 +457,7 @@ func (p *pipeline) superviseDetect(ctx context.Context, frameIdx int, setting co
 			// at the smallest setting there is nothing to downgrade to, and a
 			// stream saturated at 320 must not burn grants other streams
 			// could still use (nor may the index ever walk below 320).
-			if smaller, ok := core.NextSmaller(setting); ok && p.sup.AllowDowngrade() {
+			if smaller, ok := core.NextSmaller(setting); ok && p.sup.AllowDowngrade(at) {
 				p.sup.NoteDowngrade(cycle, frameIdx, at, setting.String(), smaller.String())
 				setting = smaller
 			}
@@ -505,6 +518,10 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 		}
 		p.cfg.Obs.Histogram(obs.MetricSlotWait, obs.DefLatencyBuckets, p.obsLabels()...).
 			ObserveDuration(time.Since(slotStart))
+		// Occupancy runs from the grant to the release: setting-switch
+		// overhead plus supervised detection, same definition as sim's
+		// StreamOutcome.MaxOccupancy.
+		slotGranted := time.Now()
 		// Frames kept arriving while we queued for the slot: detect the
 		// newest one, not the one that triggered the request.
 		if newest, stillOpen := p.buffer.waitNewer(frameIdx - 1); stillOpen && newest > frameIdx {
@@ -547,8 +564,15 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 		dets, newSetting, detected := p.superviseDetect(ctx, frameIdx, setting)
 		setting = newSetting
 		p.sleep(p.latDet.Detect(setting))
+		if occ := time.Since(slotGranted); occ > p.maxSlotOcc {
+			p.maxSlotOcc = occ
+		}
 		release()
-		lastCalib = time.Since(p.start)
+		newCalib := time.Since(p.start)
+		if age := newCalib - lastCalib; age > p.maxCalibAge {
+			p.maxCalibAge = age
+		}
+		lastCalib = newCalib
 		// The detect observation spans supervision (including retries and
 		// backoff) plus the emulated inference itself, labeled with the
 		// setting that ended the cycle and the health it left behind.
@@ -664,14 +688,16 @@ func (p *pipeline) safeTrackStep(f core.Frame) (dets []core.Detection, vel float
 func (p *pipeline) finish() *Result {
 	n := p.v.NumFrames()
 	res := &Result{
-		Outputs:  p.outputs,
-		FrameF1:  make([]float64, n),
-		Cycles:   int(p.cycles.Load()),
-		Switches: int(p.switches.Load()),
-		Deferred: int(p.deferred.Load()),
-		Health:   p.sup.Health(),
-		Faults:   p.sup.Stats(),
-		Events:   p.sup.Events(),
+		Outputs:          p.outputs,
+		FrameF1:          make([]float64, n),
+		Cycles:           int(p.cycles.Load()),
+		Switches:         int(p.switches.Load()),
+		Deferred:         int(p.deferred.Load()),
+		MaxCalibAge:      p.maxCalibAge,
+		MaxSlotOccupancy: p.maxSlotOcc,
+		Health:           p.sup.Health(),
+		Faults:           p.sup.Stats(),
+		Events:           p.sup.Events(),
 	}
 	if p.fdet != nil {
 		res.Injected = make(map[string]int)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"adavp/internal/guard"
 	"adavp/internal/obs"
@@ -42,6 +43,16 @@ type RunConfig struct {
 	// across ALL streams, so a correlated fault burst cannot walk every
 	// stream down to the smallest model at once. 0 means unlimited.
 	DowngradeBudget int
+	// DowngradeRefill, when positive alongside DowngradeBudget, restores one
+	// downgrade grant per interval of pipeline time, saturating at the
+	// budget — so the system regains escalation headroom once a fault burst
+	// ends instead of staying one-shot for the rest of the run.
+	DowngradeRefill time.Duration
+	// Budget, when set, overrides the internally constructed escalation
+	// budget (DowngradeBudget/DowngradeRefill are then ignored). The chaos
+	// soak uses this to own one budget across many serving rounds and assert
+	// it recovers after fault bursts.
+	Budget *guard.EscalationBudget
 	// Obs, when set, receives every stream's telemetry (series labeled
 	// stream=<id>) plus the aggregate queue-depth gauge and stream count.
 	Obs *obs.Registry
@@ -93,9 +104,13 @@ func Run(ctx context.Context, streams []StreamSpec, cfg RunConfig) (*RunResult, 
 		}
 	}
 
-	var budget *guard.EscalationBudget
-	if cfg.DowngradeBudget > 0 {
-		budget = guard.NewEscalationBudget(cfg.DowngradeBudget)
+	budget := cfg.Budget
+	if budget == nil && cfg.DowngradeBudget > 0 {
+		if cfg.DowngradeRefill > 0 {
+			budget = guard.NewEscalationBudgetWithRefill(cfg.DowngradeBudget, cfg.DowngradeRefill)
+		} else {
+			budget = guard.NewEscalationBudget(cfg.DowngradeBudget)
+		}
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.Gauge(obs.MetricStreams).Set(float64(len(streams)))

@@ -1,5 +1,7 @@
 package video
 
+import "math"
+
 // Value noise: a deterministic, random-access 2-D texture function. The
 // renderer uses it for background and object surfaces so that frames carry
 // trackable gradient structure that moves rigidly with its owner — the
@@ -51,6 +53,41 @@ func valueNoise(seed uint64, x, y float64) float64 {
 	top := v00 + tx*(v10-v00)
 	bot := v01 + tx*(v11-v01)
 	return top + ty*(bot-top)
+}
+
+// Rain-streak geometry: streaks are lit cells of a slanted lattice that
+// falls across the frame. Tuned for the 320×180 default raster: 2-px wide
+// columns, 22-px long segments, falling 14 px/frame with a slight rightward
+// slant.
+const (
+	rainSlant   = 0.18 // horizontal drift per vertical pixel
+	rainColW    = 2.0  // streak width, px
+	rainSegLen  = 22.0 // streak length, px
+	rainFallPx  = 14.0 // fall speed, px/frame
+	rainBlendLo = 0.70 // darkest streak luminance
+	rainBlendHi = 0.95 // brightest streak luminance
+)
+
+// rainCell reports whether the rain overlay lights pixel (x, y) at the given
+// frame, and with what luminance. Pure in (seed, frame, pixel): the same
+// arguments always produce the same cell, so rain-streaked rendering keeps
+// the renderer's worker-count parity.
+//
+//adavp:hotpath
+func rainCell(seed uint64, x, y, frame int, density float64) (lit bool, luma float64) {
+	u := float64(x) + float64(y)*rainSlant
+	col := int64(math.Floor(u / rainColW))
+	// Per-column phase keeps adjacent streaks out of vertical lockstep.
+	phase := hash2(seed^0x9a17, col, 0) * rainSegLen
+	fall := float64(y) + float64(frame)*rainFallPx + phase
+	seg := int64(math.Floor(fall / rainSegLen))
+	h := hash2(seed, col, seg)
+	if h >= density {
+		return false, 0
+	}
+	// Reuse the sub-threshold hash bits for the streak's brightness.
+	frac := h / density
+	return true, rainBlendLo + frac*(rainBlendHi-rainBlendLo)
 }
 
 // fbmNoise layers octaves of value noise (fractional Brownian motion) for a

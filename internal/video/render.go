@@ -55,6 +55,20 @@ func (v *Video) Render(i int) *imgproc.Gray {
 	if i < 0 || i >= len(v.truth) {
 		return img
 	}
+	if len(v.parts) > 0 {
+		// Spliced video: the owning part's seed anchors its textures.
+		pi, local := v.PartIndex(i)
+		return v.parts[pi].Render(local)
+	}
+	if v.Params.DeadSensor {
+		// Sensor failure: all-black frames (NewGray zero-fills).
+		return img
+	}
+	if v.srcFrame != nil {
+		// A dropped frame repeats its source frame exactly: every seed below
+		// keys on the source index, so the rasters are identical.
+		i = v.srcFrame[i]
+	}
 	camX, camY := v.camX[i], v.camY[i]
 	bgSeed := v.seed ^ 0x5bd1e995
 
@@ -85,6 +99,10 @@ func (v *Video) Render(i int) *imgproc.Gray {
 		v.drawObject(img, o, i)
 	}
 
+	// Atmospheric/exposure stressors (hostile presets) act on the formed
+	// image before the sensor adds its read noise.
+	v.applyStressors(img, i)
+
 	// Sensor noise: independent per frame and pixel, deterministic in the
 	// (seed, frame, pixel) triple.
 	if amp := float32(v.Params.SensorNoise); amp > 0 {
@@ -99,6 +117,52 @@ func (v *Video) Render(i int) *imgproc.Gray {
 		})
 	}
 	return img
+}
+
+// fogGray is the uniform luminance fog pulls every pixel toward: between
+// the background and object bands, so fog crushes the contrast of both.
+const fogGray = 0.5
+
+// applyStressors applies the hostile compositional stressors to a formed
+// frame: fog contrast loss, rain-streak overlay, then the day/night gain
+// ramp with exposure flicker. Every term is a pure scalar function of
+// (seed, frame, pixel), evaluated per pixel inside independent row bands, so
+// stressed rendering remains byte-identical at any worker count.
+//
+//adavp:hotpath
+func (v *Video) applyStressors(img *imgproc.Gray, frame int) {
+	p := v.Params
+	fog := p.FogDensity
+	rain := p.RainDensity
+	gain := 1.0
+	if p.LumaRampDepth > 0 && p.LumaRampPeriodSec > 0 {
+		t := float64(frame) / float64(p.FPS)
+		gain *= 1 - p.LumaRampDepth*0.5*(1-math.Cos(2*math.Pi*t/p.LumaRampPeriodSec))
+	}
+	if p.FlickerAmp > 0 {
+		gain *= 1 + p.FlickerAmp*(2*hash2(v.seed^0xf11c4e6, int64(frame), 0)-1)
+	}
+	if fog <= 0 && rain <= 0 && gain == 1 {
+		return
+	}
+	rainSeed := v.seed ^ 0x4a11a5
+	par.Rows(img.H, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := img.Row(y)
+			for x := range row {
+				val := float64(row[x])
+				if fog > 0 {
+					val += (fogGray - val) * fog
+				}
+				if rain > 0 {
+					if lit, bright := rainCell(rainSeed, x, y, frame, rain); lit {
+						val += (bright - val) * 0.55
+					}
+				}
+				row[x] = float32(val * gain)
+			}
+		}
+	})
 }
 
 // drawObject rasterizes one object: a filled, textured shape with a dark rim

@@ -44,49 +44,93 @@ const (
 	KindRacetrack
 	KindMeetingRoom
 	KindSkatingRink
-	numKinds // sentinel; keep last
+	firstHostile // marker: benign kinds above, hostile kinds below
+	// Hostile kinds: long-tail conditions the chaos soak (internal/chaos)
+	// drives the pipeline through. They never enter the training or test
+	// datasets (AllKinds stays benign), so calibration and the paper's
+	// experiments are unchanged.
+	KindDayNight       // day/night luminance ramp + exposure flicker
+	KindRainstorm      // rain-streak overlay + camera shake
+	KindFogBank        // fog contrast loss
+	KindOcclusionStorm // dense crowd, 100+ overlapping objects
+	KindSceneCut       // hard scene cuts + camera shake
+	KindStrobeDrop     // variable/dropped frame rate (repeated frames)
+	KindFrozen         // hours-static scene: nothing moves
+	KindDeadSensor     // sensor failure: all-black frames, no objects
+	numKinds           // sentinel; keep last
 )
 
-// NumKinds is the number of scenario categories.
-const NumKinds = int(numKinds) - 1
+// NumKinds is the number of benign scenario categories (the paper's 14).
+const NumKinds = int(firstHostile) - 1
+
+// NumHostileKinds is the number of hostile long-tail presets.
+const NumHostileKinds = int(numKinds) - int(firstHostile) - 1
 
 var kindNames = [...]string{
-	KindInvalid:      "invalid",
-	KindHighway:      "highway",
-	KindIntersection: "intersection",
-	KindCityStreet:   "city-street",
-	KindTrainStation: "train-station",
-	KindBusStation:   "bus-station",
-	KindResidential:  "residential",
-	KindCarHighway:   "car-highway",
-	KindCarDowntown:  "car-downtown",
-	KindAirplanes:    "airplanes",
-	KindBoat:         "boat",
-	KindWildlife:     "wildlife",
-	KindRacetrack:    "racetrack",
-	KindMeetingRoom:  "meeting-room",
-	KindSkatingRink:  "skating-rink",
+	KindInvalid:        "invalid",
+	KindHighway:        "highway",
+	KindIntersection:   "intersection",
+	KindCityStreet:     "city-street",
+	KindTrainStation:   "train-station",
+	KindBusStation:     "bus-station",
+	KindResidential:    "residential",
+	KindCarHighway:     "car-highway",
+	KindCarDowntown:    "car-downtown",
+	KindAirplanes:      "airplanes",
+	KindBoat:           "boat",
+	KindWildlife:       "wildlife",
+	KindRacetrack:      "racetrack",
+	KindMeetingRoom:    "meeting-room",
+	KindSkatingRink:    "skating-rink",
+	firstHostile:       "invalid",
+	KindDayNight:       "day-night",
+	KindRainstorm:      "rainstorm",
+	KindFogBank:        "fog-bank",
+	KindOcclusionStorm: "occlusion-storm",
+	KindSceneCut:       "scene-cut",
+	KindStrobeDrop:     "strobe-drop",
+	KindFrozen:         "frozen",
+	KindDeadSensor:     "dead-sensor",
 }
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	if k <= KindInvalid || k >= numKinds {
+	if !k.Valid() {
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 	return kindNames[k]
 }
 
-// Valid reports whether k is a defined scenario kind.
-func (k Kind) Valid() bool { return k > KindInvalid && k < numKinds }
+// Valid reports whether k is a defined scenario kind (benign or hostile).
+func (k Kind) Valid() bool {
+	return k > KindInvalid && k < numKinds && k != firstHostile
+}
 
-// AllKinds returns the fourteen scenario kinds in declaration order.
+// Hostile reports whether k is one of the long-tail chaos presets.
+func (k Kind) Hostile() bool { return k > firstHostile && k < numKinds }
+
+// AllKinds returns the fourteen benign scenario kinds in declaration order.
+// The training and test datasets are built from these; hostile presets are
+// deliberately excluded (see HostileKinds).
 func AllKinds() []Kind {
 	out := make([]Kind, 0, NumKinds)
-	for k := KindInvalid + 1; k < numKinds; k++ {
+	for k := KindInvalid + 1; k < firstHostile; k++ {
 		out = append(out, k)
 	}
 	return out
 }
+
+// HostileKinds returns the hostile long-tail presets in declaration order.
+func HostileKinds() []Kind {
+	out := make([]Kind, 0, NumHostileKinds)
+	for k := firstHostile + 1; k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EveryKind returns all defined kinds, benign then hostile.
+func EveryKind() []Kind { return append(AllKinds(), HostileKinds()...) }
 
 // classWeight pairs a class with its relative spawn frequency.
 type classWeight struct {
@@ -153,6 +197,39 @@ type Params struct {
 	// optimal for a whole video and runtime adaptation pays off (§IV-D).
 	SpeedCycleAmp       float64
 	SpeedCyclePeriodSec float64
+
+	// Compositional stressors (hostile presets; zero values disable each).
+	// They model the long tail a production detector must survive; every one
+	// is a pure function of (seed, frame, pixel), so stressed videos keep the
+	// package's byte-determinism at any worker count.
+
+	// LumaRampDepth dims the whole raster along a day/night cycle: pixel gain
+	// runs 1 → 1-depth → 1 with period LumaRampPeriodSec.
+	LumaRampDepth     float64
+	LumaRampPeriodSec float64
+	// FlickerAmp is per-frame multiplicative exposure jitter (auto-exposure
+	// hunting): gain *= 1 ± amp, hashed from the frame index.
+	FlickerAmp float64
+	// RainDensity in [0,1] covers the raster with falling bright rain
+	// streaks; at 0.5 roughly half the streak cells are lit.
+	RainDensity float64
+	// FogDensity in [0,1] blends every pixel toward a uniform fog gray,
+	// destroying the contrast both the blob detector and tracker feed on.
+	FogDensity float64
+	// SceneCutPeriodSec re-seats the camera at a hash-derived world offset
+	// every period — a hard cut: every tracked feature and box is invalid
+	// across the boundary.
+	SceneCutPeriodSec float64
+	// ShakeAmp is per-frame camera jitter (fraction of frame width), hashed
+	// from the frame index: handheld shake or wind on a mast-mounted camera.
+	ShakeAmp float64
+	// FrameDropRate in [0,1) is the probability a frame is dropped by the
+	// capture path and the previous delivered frame repeats (both truth and
+	// raster), modelling a camera under load delivering a variable rate.
+	FrameDropRate float64
+	// DeadSensor marks total sensor failure: every frame is black and carries
+	// no ground-truth objects.
+	DeadSensor bool
 
 	// Deform is how fast an object's surface appearance slides across it
 	// (texture cells per frame). It models the rotation, articulation and
@@ -389,10 +466,81 @@ func ScenarioParams(k Kind) Params {
 		p.PanAmp = 0.08
 		p.PanPeriodSec = 6
 		p.Classes = []classWeight{{core.ClassSkater, 3}, {core.ClassPerson, 1}}
+	case KindDayNight, KindRainstorm, KindFogBank, KindOcclusionStorm,
+		KindSceneCut, KindStrobeDrop, KindFrozen, KindDeadSensor:
+		return hostileParams(k)
 	default:
 		// Unknown kinds get a benign generic street scene.
 		p.Kind = KindCityStreet
 		return ScenarioParams(KindCityStreet)
 	}
+	return p
+}
+
+// hostileParams builds the hostile long-tail presets: each takes a benign
+// scenario's dynamics and layers the compositional stressors on top. The
+// parameter values are documented in DESIGN.md §13.
+func hostileParams(k Kind) Params {
+	var p Params
+	switch k {
+	case KindDayNight:
+		// A city street through a full day/night cycle with auto-exposure
+		// hunting: the raster dims to 15% of its brightness and flickers.
+		p = ScenarioParams(KindCityStreet)
+		p.LumaRampDepth = 0.85
+		p.LumaRampPeriodSec = 40
+		p.FlickerAmp = 0.06
+	case KindRainstorm:
+		// Highway traffic in driving rain: bright streaks overlay the scene
+		// and wind shakes the camera.
+		p = ScenarioParams(KindHighway)
+		p.RainDensity = 0.30
+		p.ShakeAmp = 0.012
+		p.SensorNoise = 0.02
+	case KindFogBank:
+		// An intersection in rolling fog: most of every pixel's contrast is
+		// replaced by a uniform gray.
+		p = ScenarioParams(KindIntersection)
+		p.FogDensity = 0.65
+	case KindOcclusionStorm:
+		// A dense crowd: 100+ small overlapping pedestrians, constant mutual
+		// occlusion, the association-hostile case.
+		p = ScenarioParams(KindTrainStation)
+		p.InitialObjects = 110
+		p.MinObjects = 100
+		p.MaxObjects = 140
+		p.SpawnPerSec = 3
+		p.SizeMin, p.SizeMax = 0.02, 0.045
+		p.SpeedMin, p.SpeedMax = 0.01, 0.08
+	case KindSceneCut:
+		// A consumer feed that hard-cuts to a new view every few seconds,
+		// with handheld shake in between: every cut invalidates all tracks.
+		p = ScenarioParams(KindCityStreet)
+		p.SceneCutPeriodSec = 4
+		p.ShakeAmp = 0.008
+	case KindStrobeDrop:
+		// A camera under load: a third of the frames are dropped and the
+		// previous frame repeats, so apparent motion is bursty.
+		p = ScenarioParams(KindHighway)
+		p.FrameDropRate = 0.35
+	case KindFrozen:
+		// An hours-static scene: objects exist but nothing moves — the
+		// degenerate stream that tests empty-change-rate handling.
+		p = ScenarioParams(KindMeetingRoom)
+		p.SpawnPerSec = 0
+		p.SpeedMin, p.SpeedMax = 0, 0
+		p.WanderStd = 0
+		p.SpeedCycleAmp = 0
+		p.Deform = 0
+		p.Growth, p.GrowthStd = 0, 0
+	case KindDeadSensor:
+		// Total sensor failure: black frames, no objects, for as long as the
+		// stream runs. The pipeline must idle through it, not fault.
+		p = ScenarioParams(KindResidential)
+		p.DeadSensor = true
+	default:
+		return ScenarioParams(KindCityStreet)
+	}
+	p.Kind = k
 	return p
 }

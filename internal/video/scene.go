@@ -26,6 +26,7 @@ type sceneObject struct {
 type scene struct {
 	p      Params
 	rnd    *rng.Stream
+	fxSeed uint64 // camera-effects hash seed (scene cuts, shake)
 	nextID int
 	live   []sceneObject
 	frame  int
@@ -36,6 +37,10 @@ type scene struct {
 // the visible frame.
 func newScene(p Params, seed *rng.Stream) *scene {
 	s := &scene{p: p, rnd: seed.DeriveString("scene"), nextID: 1}
+	// Camera effects hash from a derived stream: Derive never consumes
+	// parent output, so benign videos are bit-for-bit what they were before
+	// hostile presets existed.
+	s.fxSeed = seed.DeriveString("camera-fx").Uint64()
 	s.phase = s.rnd.Range(0, 2*math.Pi)
 	for i := 0; i < p.InitialObjects; i++ {
 		o := s.spawn(true)
@@ -129,13 +134,30 @@ func (s *scene) pickClass() core.Class {
 }
 
 // cameraOffset returns the camera's world offset at a frame index: the sum
-// of the sinusoidal pan and the ego scroll.
+// of the sinusoidal pan, the ego scroll, and the hostile camera effects
+// (hard scene cuts, per-frame shake). Pure in (scene seed, frame).
 func (s *scene) cameraOffset(frame int) (x, y float64) {
 	t := float64(frame) / float64(s.p.FPS)
 	if s.p.PanAmp > 0 && s.p.PanPeriodSec > 0 {
 		x += s.p.PanAmp * float64(s.p.W) * math.Sin(2*math.Pi*t/s.p.PanPeriodSec)
 	}
 	x += s.p.ScrollSpeed * float64(s.p.W) * t
+	if s.p.SceneCutPeriodSec > 0 {
+		// Hard cut: every segment boundary advances the camera by at least
+		// 1.9 frame widths — strictly more than the 1.8-width keep rect — so
+		// the cut provably discards every live object and the scene restarts
+		// from scratch. The walk is cumulative (each step hashed from its
+		// segment index), keeping the offset a pure function of the frame.
+		seg := int64(t / s.p.SceneCutPeriodSec)
+		for j := int64(1); j <= seg; j++ {
+			x += (1.9 + 4.1*hash2(s.fxSeed, j, 1)) * float64(s.p.W)
+		}
+		y += (hash2(s.fxSeed, seg, 2) - 0.5) * 3 * float64(s.p.H)
+	}
+	if s.p.ShakeAmp > 0 {
+		x += (hash2(s.fxSeed^0x5aa5e, int64(frame), 1) - 0.5) * 2 * s.p.ShakeAmp * float64(s.p.W)
+		y += (hash2(s.fxSeed^0x5aa5e, int64(frame), 2) - 0.5) * 2 * s.p.ShakeAmp * float64(s.p.W)
+	}
 	return x, y
 }
 

@@ -23,6 +23,17 @@ type Video struct {
 	render [][]renderObject // unclipped boxes + velocities for rasterization
 	camX   []float64
 	camY   []float64
+
+	// srcFrame maps a delivered frame index to the scene frame it shows.
+	// Non-nil only under Params.FrameDropRate: a dropped frame repeats the
+	// previous delivered one, so its raster and truth must both come from
+	// the same source index. Nil means the identity mapping.
+	srcFrame []int
+
+	// parts/partStart are set on spliced videos (Splice): frame i renders
+	// through the part that owns it, since rendering is seeded per part.
+	parts     []*Video
+	partStart []int
 }
 
 // Generate builds a video of the given length from a scenario preset and a
@@ -48,8 +59,83 @@ func Generate(name string, p Params, seed uint64, frames int) *Video {
 	for i := 0; i < frames; i++ {
 		v.truth[i], v.render[i] = sc.step()
 		v.camX[i], v.camY[i] = sc.cameraOffset(sc.frame)
+		if p.DeadSensor {
+			// Sensor failure: the scene still exists, but the camera sees
+			// (and the dataset records) nothing.
+			v.truth[i] = nil
+		}
+	}
+	// Variable/dropped frame rate: a dropped frame repeats the previous
+	// delivered frame — truth and raster together, so the video stays
+	// self-consistent. The drop schedule draws from its own derived stream,
+	// leaving the scene stream untouched.
+	if p.FrameDropRate > 0 && frames > 1 {
+		drop := root.DeriveString("frame-drop")
+		v.srcFrame = make([]int, frames)
+		v.srcFrame[0] = 0
+		for i := 1; i < frames; i++ {
+			if drop.Bool(p.FrameDropRate) {
+				v.srcFrame[i] = v.srcFrame[i-1]
+				v.truth[i] = v.truth[v.srcFrame[i]]
+			} else {
+				v.srcFrame[i] = i
+			}
+		}
 	}
 	return v
+}
+
+// Splice concatenates parts into one video — the mid-stream scenario switch
+// the chaos soak drives streams through. Parts must share resolution and
+// frame rate; each boundary is a natural hard cut (new world, new camera).
+// Ground truth and camera tracks are copied so Truth/ChangeRate work
+// unchanged; rendering delegates to the owning part, whose seed anchors its
+// textures.
+func Splice(name string, parts ...*Video) *Video {
+	if len(parts) == 0 {
+		panic("video: Splice needs at least one part")
+	}
+	p0 := parts[0].Params
+	total := 0
+	for _, part := range parts {
+		if part.Params.W != p0.W || part.Params.H != p0.H || part.Params.FPS != p0.FPS {
+			panic(fmt.Sprintf("video: Splice part %q geometry %dx%d@%d differs from %dx%d@%d",
+				part.Name, part.Params.W, part.Params.H, part.Params.FPS, p0.W, p0.H, p0.FPS))
+		}
+		total += part.NumFrames()
+	}
+	v := &Video{
+		Name:      name,
+		Params:    p0,
+		seed:      parts[0].seed,
+		truth:     make([][]core.Object, 0, total),
+		camX:      make([]float64, 0, total),
+		camY:      make([]float64, 0, total),
+		parts:     parts,
+		partStart: make([]int, len(parts)),
+	}
+	for pi, part := range parts {
+		v.partStart[pi] = len(v.truth)
+		v.truth = append(v.truth, part.truth...)
+		v.camX = append(v.camX, part.camX...)
+		v.camY = append(v.camY, part.camY...)
+	}
+	return v
+}
+
+// PartIndex returns which spliced part owns frame i and the frame's index
+// within that part. Unspliced videos own all their frames (part 0).
+func (v *Video) PartIndex(i int) (part, frame int) {
+	if len(v.parts) == 0 {
+		return 0, i
+	}
+	part = 0
+	for pi, start := range v.partStart {
+		if i >= start {
+			part = pi
+		}
+	}
+	return part, i - v.partStart[part]
 }
 
 // GenerateKind builds a video from a scenario kind's default preset.
