@@ -32,9 +32,11 @@ test:
 	$(GO) test ./...
 
 # Packages with real concurrency: the live pipeline and its supervision
-# layer, the fault injectors, the observability registry (scraped while the
-# pipeline writes), plus everything that drives or implements the par.Rows
-# worker pool (kernels, detector, flow, renderer, tracker).
+# layer (including the staged cross-frame pipeline — prefetch/reorder under
+# concurrent cancellation), the fault injectors, the observability registry
+# (scraped while the pipeline writes), plus everything that drives or
+# implements the par.Rows/par.Tiles worker pool (kernels, detector, flow,
+# renderer, tracker).
 race:
 	$(GO) test -race ./internal/rt/ ./internal/fault/ ./internal/guard/ ./internal/sim/ \
 		./internal/par/ ./internal/imgproc/ ./internal/flow/ ./internal/video/ \
@@ -60,12 +62,14 @@ cover:
 		|| { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # Full measurement run; results land in BENCH_pixel.json (committed, so perf
-# regressions show up in review as a diff).
+# regressions show up in review as a diff). Covers per-kernel rows at
+# workers 1 and 4, the per-setting macro pipeline, and the staged pipelined
+# macro-bench (frames-in-flight throughput at depth 1 vs 2-3 on 608/704).
 bench-json:
 	$(GO) test -run TestPixelBenchJSON -benchjson BENCH_pixel.json .
 
-# One iteration per measurement, throwaway output: proves the harness still
-# runs end to end.
+# One iteration per measurement, throwaway output: proves the harness —
+# including the pipelined macro-bench — still runs end to end.
 bench-json-smoke:
 	$(GO) test -run TestPixelBenchJSON -benchjson-iters 1 \
 		-benchjson $(or $(TMPDIR),/tmp)/adavp_bench_smoke.json .

@@ -50,6 +50,10 @@ func convolve1DInto(dst, g *Gray, kernel []float32, horizontal bool) {
 	if w == 0 || h == 0 {
 		return
 	}
+	if useTiles(w, h) {
+		convolve1DTiledInto(dst, g, kernel, horizontal)
+		return
+	}
 	if horizontal {
 		// Interior columns [radius, w-radius) read a contiguous window of
 		// their own row.
@@ -212,6 +216,10 @@ func Downsample2(g *Gray) *Gray {
 //
 //adavp:hotpath
 func Downsample2Into(dst, g *Gray, s *Scratch) {
+	if useTiles(g.W, g.H) {
+		downsample2TiledInto(dst, g, s)
+		return
+	}
 	sm := s.Take(g.W, g.H)
 	tmp := s.Take(g.W, g.H)
 	convolve1DInto(tmp, g, burtAdelson, true)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"adavp/internal/par"
 )
@@ -149,7 +150,18 @@ func (t *resizeTaps) ensure(w int) {
 	t.fxs = t.fxs[:w]
 }
 
-var resizeTapPool = sync.Pool{New: func() any { return new(resizeTaps) }}
+// resizeTapPool hands out tap tables to overlapping resize calls. The
+// single-slot cache in front of it exists because sync.Pool contents are
+// dropped by the garbage collector: under allocation pressure every resize
+// paid a pool refill (new(resizeTaps) plus two table allocations — the
+// allocs_op regression BENCH_pixel.json caught), while the atomic cell
+// survives GC, so the serial steady state is allocation-free again.
+// Concurrent resizes — a watchdog-abandoned detection racing its retry —
+// overflow to the pool, which refills on demand.
+var (
+	resizeTapCache atomic.Pointer[resizeTaps]
+	resizeTapPool  = sync.Pool{New: func() any { return new(resizeTaps) }}
+)
 
 // ResizeInto scales the image into dst (whose W, H select the target size),
 // overwriting its pixels. Destination rows are computed in parallel bands;
@@ -175,7 +187,10 @@ func (g *Gray) ResizeInto(dst *Gray) {
 	// columns whose two x taps are both in bounds form one contiguous range
 	// [xLo, xHi) — the branch-free interior of the per-row loop below. The
 	// fraction stored here is bit-for-bit the one Bilinear would compute.
-	taps := resizeTapPool.Get().(*resizeTaps)
+	taps := resizeTapCache.Swap(nil)
+	if taps == nil {
+		taps = resizeTapPool.Get().(*resizeTaps)
+	}
 	taps.ensure(w)
 	x0s, fxs := taps.x0s, taps.fxs
 	xLo, xHi := w, 0
@@ -232,7 +247,9 @@ func (g *Gray) ResizeInto(dst *Gray) {
 			}
 		}
 	})
-	resizeTapPool.Put(taps)
+	if !resizeTapCache.CompareAndSwap(nil, taps) {
+		resizeTapPool.Put(taps)
+	}
 }
 
 // Mean returns the average pixel value, or 0 for an empty image.

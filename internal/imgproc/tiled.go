@@ -1,0 +1,254 @@
+package imgproc
+
+import "adavp/internal/par"
+
+// Tile-parallel kernel variants. Above tilesMinPixels the stencil kernels
+// switch from row bands (par.Rows) to a fixed tile grid (par.Tiles): tiles
+// bound the working set of both passes of a separable convolution to L2 and
+// let the second pass start on a region as soon as its halo exists in cache,
+// which is where the 608/704 frames lose time under row bands. Every tiled
+// variant preserves the package invariant — bitwise-identical output at any
+// worker count — by construction: the tile grid is a pure function of the
+// image size, tile interiors partition the output plane, and every output
+// element is produced by the same scalar arithmetic in the same tap order as
+// the banded path and the scalar reference.
+
+// tilesMinPixels is the dispatch threshold between the banded and tiled
+// kernel paths. 600·300 splits the DNN input ladder exactly where the tile
+// grid starts paying: 608×342 and 704×396 frames go tiled, 512×288 and
+// below keep the row-band path whose per-call overhead is lower.
+const tilesMinPixels = 600 * 300
+
+// useTiles reports whether a w×h plane is large enough for the tiled path.
+func useTiles(w, h int) bool { return w*h >= tilesMinPixels }
+
+// convolve1DTiledInto is the tiled counterpart of the banded interior of
+// convolve1DInto: same clamped-border taps, same interior fast paths, same
+// per-pixel accumulation order, different scheduling. Writes are confined to
+// the tile interior; reads stay inside the halo-expanded read window (halo =
+// kernel radius — clamped taps move toward the image interior, never out of
+// the window).
+//
+//adavp:hotpath
+func convolve1DTiledInto(dst, g *Gray, kernel []float32, horizontal bool) {
+	radius := len(kernel) / 2
+	w, h := g.W, g.H
+	if horizontal {
+		par.Tiles(w, h, radius, func(tl par.Tile) {
+			// Columns whose full support is in bounds, restricted to this tile.
+			xLo := max(tl.X0, radius)
+			xHi := max(xLo, min(tl.X1, w-radius))
+			for y := tl.Y0; y < tl.Y1; y++ {
+				row := g.Row(y)
+				out := dst.Row(y)
+				for x := tl.X0; x < xLo; x++ {
+					out[x] = convolveClampedH(g, kernel, radius, x, y)
+				}
+				for x := xLo; x < xHi; x++ {
+					var acc float32
+					win := row[x-radius:]
+					for i, kv := range kernel {
+						acc += kv * win[i]
+					}
+					out[x] = acc
+				}
+				for x := xHi; x < tl.X1; x++ {
+					out[x] = convolveClampedH(g, kernel, radius, x, y)
+				}
+			}
+		})
+		return
+	}
+	par.Tiles(w, h, radius, func(tl par.Tile) {
+		for y := tl.Y0; y < tl.Y1; y++ {
+			out := dst.Row(y)
+			if y >= radius && y+radius < h {
+				// Full vertical support: walk the taps by stride. Tap order is
+				// kernel index order, exactly the reference accumulation.
+				base := (y - radius) * w
+				for x := tl.X0; x < tl.X1; x++ {
+					var acc float32
+					idx := base + x
+					for _, kv := range kernel {
+						acc += kv * g.Pix[idx]
+						idx += w
+					}
+					out[x] = acc
+				}
+				continue
+			}
+			for x := tl.X0; x < tl.X1; x++ {
+				var acc float32
+				for i, kv := range kernel {
+					acc += kv * g.At(x, y+i-radius)
+				}
+				out[x] = acc
+			}
+		}
+	})
+}
+
+// downsample2TiledInto is the tiled pyramid reduction, fused with the
+// decimation: the horizontal Burt–Adelson pass is evaluated only at even
+// source columns (the only ones decimation keeps) into a half-width
+// intermediate, and the vertical pass only at even source rows — about 37%
+// of the arithmetic of the filter-everything-then-decimate path. Every
+// surviving value is computed with the identical taps in the identical
+// order, so the fusion is invisible bitwise. Both Tiles passes read from a
+// buffer written by a completed previous pass (g, then tmp), never from
+// their own write plane, so no halo is needed.
+//
+//adavp:hotpath
+func downsample2TiledInto(dst, g *Gray, s *Scratch) {
+	w, h := dst.W, dst.H // g.W/2 × g.H/2
+	tmp := s.Take(w, g.H)
+	par.Tiles(w, g.H, 0, func(tl par.Tile) {
+		for y := tl.Y0; y < tl.Y1; y++ {
+			row := g.Row(y)
+			out := tmp.Row(y)
+			for x := tl.X0; x < tl.X1; x++ {
+				sx := 2 * x
+				if sx >= 2 && sx < g.W-2 {
+					var acc float32
+					win := row[sx-2:]
+					for i, kv := range burtAdelson {
+						acc += kv * win[i]
+					}
+					out[x] = acc
+				} else {
+					out[x] = convolveClampedH(g, burtAdelson, 2, sx, y)
+				}
+			}
+		}
+	})
+	par.Tiles(w, h, 0, func(tl par.Tile) {
+		for y := tl.Y0; y < tl.Y1; y++ {
+			sy := 2 * y
+			out := dst.Row(y)
+			if sy >= 2 && sy < g.H-2 {
+				base := (sy - 2) * w
+				for x := tl.X0; x < tl.X1; x++ {
+					var acc float32
+					idx := base + x
+					for _, kv := range burtAdelson {
+						acc += kv * tmp.Pix[idx]
+						idx += w
+					}
+					out[x] = acc
+				}
+				continue
+			}
+			for x := tl.X0; x < tl.X1; x++ {
+				var acc float32
+				for i, kv := range burtAdelson {
+					acc += kv * tmp.At(x, sy+i-2)
+				}
+				out[x] = acc
+			}
+		}
+	})
+	s.Put(tmp)
+}
+
+// q40Scale is the fixed-point denominator of the integral fast path. A
+// float32 in [2^e, 2^(e+1)) is spaced 2^(e-23), so every float32 with e ≥
+// -17 — everything from ~7.6e-6 up through 1.0, i.e. essentially all pixel
+// data — is an exact multiple of 2^-40, as are 0 and any luckier small
+// values. Pixels off that grid (or negative, or above 1) fall back
+// seamlessly below.
+const q40Scale = 1 << 40
+
+// q40MaxW bounds the row width the fast path accepts: with pixels in [0, 1]
+// the integer partial sums stay below w·2^40 < 2^53, which is where the
+// exactness argument lives. No real frame is 8192 pixels wide; wider rows
+// just keep the plain float64 path.
+const q40MaxW = 1 << 13
+
+// integralRowInto writes the running prefix sums of src into dst[1:], with
+// dst[0] = 0 — the row pass of the tiled integral, plain float64
+// accumulation in serial order (one writer per row, so this is trivially
+// the reference recurrence).
+//
+//adavp:hotpath
+func integralRowInto(dst []float64, src []float32) {
+	dst[0] = 0
+	var rowSum float64
+	for x, v := range src {
+		rowSum += float64(v)
+		dst[x+1] = rowSum
+	}
+}
+
+// integralRowQ40Into is the fixed-point variant of integralRowInto, retained
+// as proven machinery rather than dispatched: while every pixel is an exact
+// multiple of 2^-40 in [0, 1], the prefix is accumulated in int64 and
+// converted back by an exact power-of-two scale. This is bitwise-identical
+// to the float64 recurrence: each float64 partial sum is then a multiple of
+// 2^-40 with magnitude below 2^13 — at most 13+40 = 53 significant bits,
+// hence exactly representable, hence IEEE addition is exact — so the
+// float64 prefix IS the integer prefix. The first pixel off the Q40 grid
+// switches to plain float64 accumulation seeded from the (exact) integer
+// prefix, so the remainder of the row matches the reference tap for tap.
+//
+// It is not on the hot path because it measures ~2.2× slower than the plain
+// prefix on the reference core: the int64 chain is shorter than the float64
+// add chain, but the per-pixel exactness round-trip (convert, compare,
+// branch, convert back) costs more uops than the chain win buys. The parity
+// test pins the bitwise-equality claim so the variant stays ready for cores
+// where the trade flips.
+func integralRowQ40Into(dst []float64, src []float32) {
+	dst[0] = 0
+	w := len(src)
+	var ksum int64
+	x := 0
+	if w < q40MaxW {
+		for ; x < w; x++ {
+			f := float64(src[x]) * q40Scale // power-of-two scale: always exact
+			k := int64(f)
+			if float64(k) != f || k < 0 || k > q40Scale {
+				break
+			}
+			ksum += k
+			dst[x+1] = float64(ksum) * (1.0 / q40Scale)
+		}
+		if x == w {
+			return
+		}
+	}
+	rowSum := float64(ksum) * (1.0 / q40Scale)
+	for ; x < w; x++ {
+		rowSum += float64(src[x])
+		dst[x+1] = rowSum
+	}
+}
+
+// rebuildTiled is the tiled Integral build: per-row prefix sums scheduled as
+// full-width row-strip tiles, then the same column accumulation pass the
+// banded path runs (worker-adaptive column bands — fixed-width column strips
+// measure markedly slower at low worker counts, because each narrow strip
+// re-walks the whole table height with a ~5.6 KB stride instead of streaming
+// complete rows). The floating-point additions that reach the table are the
+// exact additions of the serial reference in the exact order, so the table
+// is bitwise-identical at any worker count and either dispatch path.
+//
+//adavp:hotpath
+func (it *Integral) rebuildTiled(g *Gray) {
+	w, h := g.W, g.H
+	stride := w + 1
+	// Pass 1: row strips (tileW ≥ w ⇒ every tile spans the full width).
+	par.TilesOf(w, h, w, par.DefaultTileH, 0, func(tl par.Tile) {
+		for y := tl.Y0; y < tl.Y1; y++ {
+			integralRowInto(it.sum[(y+1)*stride:(y+2)*stride], g.Row(y))
+		}
+	})
+	// Pass 2: column-band accumulation down each column.
+	par.Rows(w, func(lo, hi int) {
+		for y := 1; y <= h; y++ {
+			above := it.sum[(y-1)*stride:]
+			row := it.sum[y*stride:]
+			for x := lo + 1; x <= hi; x++ {
+				row[x] = above[x] + row[x]
+			}
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package imgproc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"adavp/internal/par"
+)
+
+// The tiled counterpart of the golden parity suite: above tilesMinPixels
+// the kernels dispatch to par.Tiles variants, and those must be
+// bitwise-identical to the scalar references too. Every tiled kernel is run
+// twice per configuration (pooled scratch and tap state must not leak
+// between calls) at two worker counts, per the coverage contract.
+
+// tiledSizes all sit at or above the dispatch threshold; odd dimensions
+// force ragged edge tiles, and 600×300 pins the threshold boundary itself.
+var tiledSizes = [][2]int{
+	{608, 342}, {704, 396}, {613, 311}, {600, 300},
+}
+
+var tiledWorkers = []int{1, 4}
+
+func requireTiled(t *testing.T, w, h int) {
+	t.Helper()
+	if !useTiles(w, h) {
+		t.Fatalf("size %dx%d does not reach the tiled dispatch threshold", w, h)
+	}
+}
+
+// forEachTiledConfig runs fn twice for every tiled size and worker count.
+func forEachTiledConfig(t *testing.T, fn func(t *testing.T, g *Gray)) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	for _, size := range tiledSizes {
+		requireTiled(t, size[0], size[1])
+		g := testImage(size[0], size[1])
+		for _, workers := range tiledWorkers {
+			par.SetWorkers(workers)
+			for run := 0; run < 2; run++ {
+				t.Run(fmt.Sprintf("%dx%d/w%d/run%d", size[0], size[1], workers, run), func(t *testing.T) {
+					fn(t, g)
+				})
+			}
+		}
+	}
+}
+
+func TestTiledGaussianBlurParity(t *testing.T) {
+	var s Scratch
+	forEachTiledConfig(t, func(t *testing.T, g *Gray) {
+		want := GaussianBlurRef(g, 1.2)
+		got := NewGray(g.W, g.H)
+		GaussianBlurInto(got, g, 1.2, &s)
+		requireIdentical(t, "tiled blur", got, want)
+	})
+}
+
+func TestTiledGradientsParity(t *testing.T) {
+	var s Scratch
+	forEachTiledConfig(t, func(t *testing.T, g *Gray) {
+		wantX, wantY := GradientsRef(g)
+		gx := NewGray(g.W, g.H)
+		gy := NewGray(g.W, g.H)
+		GradientsInto(gx, gy, g, &s)
+		requireIdentical(t, "tiled gx", gx, wantX)
+		requireIdentical(t, "tiled gy", gy, wantY)
+	})
+}
+
+func TestTiledDownsample2Parity(t *testing.T) {
+	var s Scratch
+	forEachTiledConfig(t, func(t *testing.T, g *Gray) {
+		want := Downsample2Ref(g)
+		got := NewGray(g.W/2, g.H/2)
+		Downsample2Into(got, g, &s)
+		requireIdentical(t, "tiled downsample", got, want)
+	})
+}
+
+func TestTiledPyramidParity(t *testing.T) {
+	var s Scratch
+	forEachTiledConfig(t, func(t *testing.T, g *Gray) {
+		want := NewPyramidRef(g, 4)
+		var p Pyramid
+		p.Rebuild(g, 4, &s)
+		if len(p.Levels) != len(want.Levels) {
+			t.Fatalf("levels: %d vs %d", len(p.Levels), len(want.Levels))
+		}
+		for i := range p.Levels {
+			requireIdentical(t, fmt.Sprintf("tiled pyramid level %d", i), p.Levels[i], want.Levels[i])
+		}
+	})
+}
+
+func requireIntegralIdentical(t *testing.T, got, want *Integral) {
+	t.Helper()
+	if got.W != want.W || got.H != want.H {
+		t.Fatalf("integral size %dx%d vs %dx%d", got.W, got.H, want.W, want.H)
+	}
+	for i := range got.sum {
+		if math.Float64bits(got.sum[i]) != math.Float64bits(want.sum[i]) {
+			stride := got.W + 1
+			t.Fatalf("integral cell %d (x=%d y=%d): %v vs %v",
+				i, i%stride, i/stride, got.sum[i], want.sum[i])
+		}
+	}
+}
+
+func TestTiledIntegralParity(t *testing.T) {
+	forEachTiledConfig(t, func(t *testing.T, g *Gray) {
+		want := NewIntegralRef(g)
+		var it Integral
+		it.Rebuild(g)
+		requireIntegralIdentical(t, &it, want)
+	})
+}
+
+// TestIntegralQ40FastPath pins the retained fixed-point prefix variant
+// (integralRowQ40Into) bitwise against the float64 recurrence on inputs
+// chosen to drive each regime: all-Q40 rows (integer path end to end), a
+// row that leaves the grid midway (seamless fallback), and hostile values —
+// negative, above 1, subnormal-adjacent — that must never be accepted by
+// the integer path. The variant is not dispatched on the hot path (see the
+// comment on it), but the exactness proof it embodies must not rot.
+func TestIntegralQ40FastPath(t *testing.T) {
+	const w, h = 608, 342
+	build := func(name string, fill func(x, y int) float32) {
+		t.Run(name, func(t *testing.T) {
+			src := make([]float32, w)
+			want := make([]float64, w+1)
+			got := make([]float64, w+1)
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					src[x] = fill(x, y)
+				}
+				integralRowInto(want, src)
+				integralRowQ40Into(got, src)
+				for x := 0; x <= w; x++ {
+					if math.Float64bits(got[x]) != math.Float64bits(want[x]) {
+						t.Fatalf("row %d col %d: q40 prefix %v (bits %016x) != float64 prefix %v (bits %016x)",
+							y, x, got[x], math.Float64bits(got[x]), want[x], math.Float64bits(want[x]))
+					}
+				}
+			}
+		})
+	}
+	// Quantized camera-style pixels: v/255 rounded to float32 is on the Q40
+	// grid for every v (values ≥ 1/255 > 2^-17), so whole rows stay integer.
+	build("all-q40", func(x, y int) float32 {
+		return float32(uint8(x*7+y*13)) / 255
+	})
+	// Synthetic float values off the grid from mid-row on: the fallback must
+	// splice into the float64 prefix without perturbing a single bit.
+	build("mid-row-fallback", func(x, y int) float32 {
+		if x < w/2 {
+			return float32(uint8(x+y)) / 255
+		}
+		return float32(0.1 + 0.3*math.Sin(float64(x*y)))
+	})
+	// Hostile values the integer path must reject on sight.
+	build("hostile", func(x, y int) float32 {
+		switch (x + y) % 4 {
+		case 0:
+			return -0.25
+		case 1:
+			return 1.5
+		case 2:
+			return float32(3.0e-6) // below the guaranteed Q40 exponent range
+		default:
+			return 0.75
+		}
+	})
+}
+
+// TestTiledDispatchThreshold pins which ladder sizes go tiled: 608/704
+// frames must, 512 and below must not.
+func TestTiledDispatchThreshold(t *testing.T) {
+	tiled := [][2]int{{608, 342}, {704, 396}, {600, 300}}
+	banded := [][2]int{{320, 180}, {416, 234}, {512, 288}, {599, 300}}
+	for _, s := range tiled {
+		if !useTiles(s[0], s[1]) {
+			t.Errorf("%dx%d should dispatch to tiles", s[0], s[1])
+		}
+	}
+	for _, s := range banded {
+		if useTiles(s[0], s[1]) {
+			t.Errorf("%dx%d should stay on row bands", s[0], s[1])
+		}
+	}
+}

@@ -5,29 +5,37 @@ import (
 	"go/types"
 )
 
-// BandSafe guards the two ways to break internal/par's banding contract,
-// which is what makes every pixel kernel bitwise-deterministic at any
+// BandSafe guards the ways to break internal/par's partitioning contracts,
+// which are what make every pixel kernel bitwise-deterministic at any
 // worker count (and what the parity tests assert):
 //
-//  1. A band closure writing a captured scalar variable: bands run
-//     concurrently, so such writes race, and even "benign" races (max
-//     trackers, accumulators) make the result depend on the worker count.
-//     Writes must go through the band-index arguments into disjoint
-//     elements of shared slices. (Writes through captured slices/pointers
-//     cannot be checked for disjointness statically; the analyzer trusts
-//     indexed writes and flags only direct captured-identifier stores.)
+//  1. A band or tile closure writing a captured scalar variable: bands and
+//     tiles run concurrently, so such writes race, and even "benign" races
+//     (max trackers, accumulators) make the result depend on the worker
+//     count. Writes must go through the band-index arguments / the tile
+//     interior into disjoint elements of shared slices. (Writes through
+//     captured slices/pointers cannot be checked for disjointness
+//     statically; the analyzer trusts indexed writes and flags only direct
+//     captured-identifier stores.)
 //
-//  2. Calling par.Rows from inside a band closure: Rows joins its bands
-//     with a WaitGroup on the caller's goroutine, so reentrant fan-out
-//     multiplies goroutines quadratically and — with a bounded custom pool
-//     — can deadlock. Kernels compose sequentially, never nested.
+//  2. Calling a par fan-out (Rows, Tiles, TilesOf) from inside a band or
+//     tile closure: the pool joins its workers with a WaitGroup on the
+//     caller's goroutine, so reentrant fan-out multiplies goroutines
+//     quadratically and — with a bounded custom pool — can deadlock.
+//     Kernels compose sequentially, never nested.
 //
-// Named functions passed to par.Rows (rare; the code base always passes
-// literals) are not analyzed — keep band bodies as literals so the
+//  3. A tile closure storing through a read-window coordinate (RX0/RY0/
+//     RX1/RY1): the read window overlaps neighbouring tiles by the halo
+//     radius, so a store indexed by it lands in cells another tile owns.
+//     Writes must be indexed by the interior (X0/Y0/X1/Y1) only; the R
+//     fields exist for reads.
+//
+// Named functions passed to the fan-outs (rare; the code base always passes
+// literals) are not analyzed — keep band/tile bodies as literals so the
 // analyzer sees them.
 var BandSafe = &Analyzer{
 	Name: "bandsafe",
-	Doc:  "par.Rows closures may write only through band-indexed elements and must not call par.Rows reentrantly",
+	Doc:  "par.Rows/par.Tiles closures may write only band- or interior-indexed elements, never halo cells, and must not fan out reentrantly",
 	Run:  runBandSafe,
 }
 
@@ -35,39 +43,71 @@ func runBandSafe(pass *Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || !isParRows(pass, call) || len(call.Args) != 2 {
-				return true
-			}
-			lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
 			if !ok {
 				return true
 			}
-			checkBandClosure(pass, lit)
+			name, ok := parFanoutCall(pass, call)
+			if !ok {
+				return true
+			}
+			if lit, ok := parFanoutClosure(name, call); ok {
+				checkBandClosure(pass, name, lit)
+			}
 			return true
 		})
 	}
 	return nil
 }
 
-// isParRows reports whether the call resolves to internal/par's Rows.
-func isParRows(pass *Pass, call *ast.CallExpr) bool {
+// parFanoutCall reports whether the call resolves to one of internal/par's
+// fan-out entry points, returning its name.
+func parFanoutCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 	f := calleeFunc(pass.Info, call)
-	return f != nil && f.Name() == "Rows" && f.Pkg() != nil && pathHasSuffixPkg(f.Pkg().Path(), "par")
+	if f == nil || f.Pkg() == nil || !pathHasSuffixPkg(f.Pkg().Path(), "par") {
+		return "", false
+	}
+	switch f.Name() {
+	case "Rows", "Tiles", "TilesOf":
+		return f.Name(), true
+	}
+	return "", false
 }
 
-func checkBandClosure(pass *Pass, lit *ast.FuncLit) {
+// parFanoutClosure extracts the closure literal of a fan-out call: the last
+// argument of Rows(n, fn), Tiles(w, h, halo, fn), TilesOf(w, h, tw, th,
+// halo, fn).
+func parFanoutClosure(name string, call *ast.CallExpr) (*ast.FuncLit, bool) {
+	arity := map[string]int{"Rows": 2, "Tiles": 4, "TilesOf": 6}[name]
+	if len(call.Args) != arity {
+		return nil, false
+	}
+	lit, ok := ast.Unparen(call.Args[arity-1]).(*ast.FuncLit)
+	return lit, ok
+}
+
+// closureKind names the closure for diagnostics: Rows runs band closures,
+// Tiles/TilesOf run tile closures.
+func closureKind(fanout string) string {
+	if fanout == "Rows" {
+		return "band"
+	}
+	return "tile"
+}
+
+func checkBandClosure(pass *Pass, fanout string, lit *ast.FuncLit) {
+	kind := closureKind(fanout)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isParRows(pass, n) && !pass.Suppressed("bandsafe-ok", n.Pos()) {
-				pass.Reportf(n.Pos(), "reentrant par.Rows inside a band closure: bands must not fan out again (compose kernels sequentially)")
+			if inner, ok := parFanoutCall(pass, n); ok && !pass.Suppressed("bandsafe-ok", n.Pos()) {
+				pass.Reportf(n.Pos(), "reentrant par.%s inside a %s closure: %ss must not fan out again (compose kernels sequentially)", inner, kind, kind)
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				checkBandWrite(pass, lit, lhs, n.Tok.String())
+				checkBandWrite(pass, kind, lit, lhs, n.Tok.String())
 			}
 		case *ast.IncDecStmt:
-			checkBandWrite(pass, lit, n.X, n.Tok.String())
+			checkBandWrite(pass, kind, lit, n.X, n.Tok.String())
 		case *ast.UnaryExpr:
 			// &captured escaping the closure could alias a write; out of
 			// scope for a mechanical check.
@@ -77,9 +117,15 @@ func checkBandClosure(pass *Pass, lit *ast.FuncLit) {
 }
 
 // checkBandWrite flags a direct store to an identifier captured from the
-// enclosing function. Writes through index/star/selector expressions are
-// assumed band-disjoint (that is the contract the closure's author signs).
-func checkBandWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, tok string) {
+// enclosing function and, in tile closures, a store indexed by a
+// read-window coordinate. Other writes through index/star/selector
+// expressions are assumed band-disjoint (that is the contract the closure's
+// author signs).
+func checkBandWrite(pass *Pass, kind string, lit *ast.FuncLit, lhs ast.Expr, tok string) {
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && kind == "tile" {
+		checkHaloIndex(pass, idx.Index)
+		return
+	}
 	id, ok := ast.Unparen(lhs).(*ast.Ident)
 	if !ok || id.Name == "_" {
 		return
@@ -98,5 +144,31 @@ func checkBandWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, tok string) {
 	if pass.Suppressed("bandsafe-ok", id.Pos()) {
 		return
 	}
-	pass.Reportf(id.Pos(), "band closure writes captured variable %q (%s): concurrent bands race on it and the result depends on the worker count; write through band-indexed slice elements instead", id.Name, tok)
+	pass.Reportf(id.Pos(), "%s closure writes captured variable %q (%s): concurrent %ss race on it and the result depends on the worker count; write through %s-indexed slice elements instead", kind, id.Name, tok, kind, kind)
+}
+
+// readWindowFields are the par.Tile coordinates a tile closure may read
+// through but never store through.
+var readWindowFields = map[string]bool{"RX0": true, "RY0": true, "RX1": true, "RY1": true}
+
+// checkHaloIndex flags read-window field selections inside the index
+// expression of a store. The check is syntactic over the index expression —
+// a coordinate laundered through a local variable escapes it — but it
+// catches the direct shape, which is the one reviewers actually write.
+func checkHaloIndex(pass *Pass, index ast.Expr) {
+	ast.Inspect(index, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !readWindowFields[sel.Sel.Name] {
+			return true
+		}
+		obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !obj.IsField() || obj.Pkg() == nil || !pathHasSuffixPkg(obj.Pkg().Path(), "par") {
+			return true
+		}
+		if pass.Suppressed("bandsafe-ok", sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "tile closure writes through read-window coordinate %s: halo cells belong to neighbouring tiles; store through the interior (X0/Y0/X1/Y1) only", sel.Sel.Name)
+		return true
+	})
 }

@@ -78,6 +78,16 @@ const (
 	// once it wrapped — how much history /metrics scrapers lost. The series
 	// appears after the first drop; its absence means the journal is intact.
 	MetricJournalDropped = "adavp_journal_events_dropped_total"
+	// MetricFramesInFlight is the number of frames concurrently inside the
+	// staged pipeline — issued to the prefetch stage but not yet published.
+	// It tops out at the configured pipeline depth; a gauge stuck at 1 under
+	// depth>1 means the prefetcher is starved rather than overlapping.
+	MetricFramesInFlight = "adavp_frames_in_flight"
+	// MetricStageOverlap is a histogram of how long each frame's prefetch
+	// ran concurrently with the processing of the preceding frame, in
+	// seconds — the realized cross-frame overlap. Identically zero at
+	// pipeline depth 1; its sum is wall time the pipeline saved.
+	MetricStageOverlap = "adavp_stage_overlap_seconds"
 )
 
 // Stage label values of MetricStageLatency.
@@ -86,6 +96,10 @@ const (
 	StageTrack   = "track"
 	StageOverlay = "overlay"
 	StageAdapt   = "adapt-decision"
+	// StagePrefetch is the staged pipeline's render+pyramid precompute of a
+	// future frame; StagePublish is its in-order result hand-off.
+	StagePrefetch = "prefetch"
+	StagePublish  = "publish"
 )
 
 // DefLatencyBuckets are the default histogram bounds for stage latencies, in

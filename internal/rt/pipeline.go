@@ -1,0 +1,361 @@
+package rt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"adavp/internal/core"
+	"adavp/internal/detect"
+	"adavp/internal/imgproc"
+	"adavp/internal/metrics"
+	"adavp/internal/obs"
+	"adavp/internal/par"
+	"adavp/internal/rng"
+	"adavp/internal/trace"
+	"adavp/internal/track"
+	"adavp/internal/video"
+)
+
+// This file is the cross-frame staged pipeline: the per-frame loop of the
+// pixel pipeline (render → detect/track → publish) restructured into
+// overlapped stages with a hard determinism guarantee.
+//
+//	prefetch ──filled ring──▶ process (in frame order) ──▶ publish (in frame order)
+//
+// The prefetch stage computes everything about frame t+1..t+depth-1 that
+// depends only on the frame itself — the rendered raster and its image
+// pyramid — while the process stage runs the detector (whose emulated GPU
+// time is a scaled sleep, exactly as in the live pipeline) and the tracker
+// on frame t. The process stage consumes prefetched slots strictly in frame
+// index order and publishes each output before touching the next frame, so
+// per-stream result order is preserved by construction, and every
+// stateful computation (detector scratch reuse, tracker feature state,
+// pyramid double-buffering) happens in the same order, on the same values,
+// as a sequential run. Depth 1 *is* the sequential run: the prefetch work
+// executes inline between publishes, no goroutine, no reordering — which is
+// what the depth-parity tests pin the overlapped path against, byte for
+// byte.
+//
+// Frame pyramids circulate between the stages as values with exactly one
+// owner: the prefetcher takes a free pyramid, rebuilds it for frame i, and
+// parks it in the slot ring; the tracker takes ownership at Init/Step and
+// releases the pyramid it no longer needs back to the free pool. The pool
+// size (depth+1) bounds memory: depth frames in flight plus the tracker's
+// reference pyramid.
+
+// PipelineConfig parameterizes a staged deterministic run.
+type PipelineConfig struct {
+	// Setting is the fixed DNN setting. Default: Setting512.
+	Setting core.Setting
+	// Depth is the number of frames in flight: 1 runs the sequential
+	// reference path, 2-3 overlap prefetch with detect/track. Default: 1.
+	Depth int
+	// DetectEvery runs the detector on every k-th frame (the calibration
+	// cadence); other frames are tracked. Default: 8.
+	DetectEvery int
+	// TimeScale scales the emulated detector latency, exactly as in the
+	// live Config. Default: 0.02.
+	TimeScale float64
+	// Seed derives detector latency jitter. Latencies never affect outputs.
+	Seed uint64
+	// Detector overrides the default pixel blob detector.
+	Detector interface {
+		Detect(f core.Frame, s core.Setting) []core.Detection
+	}
+	// Obs, when set, receives the frames-in-flight gauge, the prefetch/
+	// detect/track/publish stage histograms and the cross-frame overlap
+	// histogram. Nil disables publishing.
+	Obs *obs.Registry
+	// StreamID labels published series with stream=<id>.
+	StreamID string
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Setting == core.SettingInvalid {
+		c.Setting = core.Setting512
+	}
+	if c.Depth < 1 {
+		c.Depth = 1
+	}
+	if c.DetectEvery < 1 {
+		c.DetectEvery = 8
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 0.02
+	}
+	return c
+}
+
+// PipelineResult is the outcome of a staged run.
+type PipelineResult struct {
+	// Outputs holds one entry per frame, in frame order — bitwise
+	// independent of Depth and of the kernel worker count.
+	Outputs []core.FrameOutput
+	// FrameF1 and the aggregates are the standard evaluation.
+	FrameF1  []float64
+	Accuracy float64
+	MeanF1   float64
+	// Published counts frames that completed before a cancellation;
+	// Partial marks a run cut short (Outputs beyond Published are zero).
+	Published int
+	Partial   bool
+	// Elapsed is the wall-clock processing time (throughput denominator).
+	Elapsed time.Duration
+}
+
+// pipeSlot is one in-flight frame parked between prefetch and process.
+type pipeSlot struct {
+	frame  core.Frame
+	pyr    *imgproc.Pyramid
+	t0, t1 time.Time // prefetch interval, for the overlap histogram
+}
+
+// RunPipelined executes the staged pipeline over every frame of v. The
+// returned outputs are bitwise-identical at any Depth and worker count; only
+// wall time changes. On ctx cancellation it returns the partial result
+// alongside the error.
+func RunPipelined(ctx context.Context, v *video.Video, cfg PipelineConfig) (*PipelineResult, error) {
+	cfg = cfg.withDefaults()
+	if v == nil || v.NumFrames() == 0 {
+		return nil, fmt.Errorf("rt: empty video")
+	}
+	n := v.NumFrames()
+	det := cfg.Detector
+	if det == nil {
+		det = detect.NewBlobDetector()
+	}
+	tr := track.NewPixelTracker()
+	lat := core.NewLatencyModel(rng.New(cfg.Seed).DeriveString("rt-pipeline-detector"))
+	labels := func(ls ...obs.Label) []obs.Label {
+		if cfg.StreamID == "" {
+			return ls
+		}
+		return append(ls, obs.L("stream", cfg.StreamID))
+	}
+
+	res := &PipelineResult{
+		Outputs: make([]core.FrameOutput, n),
+		FrameF1: make([]float64, n),
+	}
+	start := time.Now()
+
+	// The slot ring and the pyramid free pool. At depth 1 everything below
+	// runs inline on this goroutine; at depth>1 a single prefetcher walks
+	// the frames in order, bounded by pyramid availability (depth+1 pyramids
+	// total, one of which the tracker holds once initialized).
+	depth := cfg.Depth
+	ring := make([]pipeSlot, depth)
+	var filled chan int
+	var free chan *imgproc.Pyramid
+	var slots chan struct{}
+	inflight := cfg.Obs.Gauge(obs.MetricFramesInFlight, labels()...)
+	prefetchHist := cfg.Obs.StageHistogram(obs.StagePrefetch, labels()...)
+	var scratch imgproc.Scratch
+	prefetch := func(i int, pyr *imgproc.Pyramid, slot *pipeSlot) {
+		t0 := time.Now()
+		f := v.FrameWithPixels(i)
+		pyr.Rebuild(f.Pixels, tr.PyramidLevels, &scratch)
+		slot.frame = f
+		slot.pyr = pyr
+		slot.t0, slot.t1 = t0, time.Now()
+		prefetchHist.ObserveDuration(slot.t1.Sub(t0))
+	}
+	prefetchDone := make(chan struct{})
+	if depth > 1 {
+		filled = make(chan int, depth)
+		// Pyramids bound memory (depth in flight + the tracker's reference);
+		// slot tokens bound ring reuse: the prefetcher may overwrite ring
+		// slot i%depth only after the processor finished reading the slot's
+		// previous occupant. The token return is what sequences that, not
+		// the pyramid pool — on the first frames the tracker holds nothing,
+		// so pyramid availability alone would let the prefetcher lap the ring.
+		free = make(chan *imgproc.Pyramid, depth+1)
+		for i := 0; i < depth+1; i++ {
+			free <- &imgproc.Pyramid{}
+		}
+		slots = make(chan struct{}, depth)
+		for i := 0; i < depth; i++ {
+			slots <- struct{}{}
+		}
+		go func() {
+			defer close(prefetchDone)
+			defer close(filled)
+			for i := 0; i < n; i++ {
+				var pyr *imgproc.Pyramid
+				select {
+				case pyr = <-free:
+				case <-ctx.Done():
+					return
+				}
+				select {
+				case <-slots:
+				case <-ctx.Done():
+					return
+				}
+				prefetch(i, pyr, &ring[i%depth])
+				select {
+				case filled <- i:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	} else {
+		close(prefetchDone)
+	}
+
+	// Process + publish, strictly in frame order. The previous frame's
+	// processing interval is what the next slot's prefetch can have
+	// overlapped with.
+	detectHist := cfg.Obs.StageHistogram(obs.StageDetect, labels(obs.L("setting", cfg.Setting.String()))...)
+	trackHist := cfg.Obs.StageHistogram(obs.StageTrack, labels()...)
+	publishHist := cfg.Obs.StageHistogram(obs.StagePublish, labels()...)
+	overlapHist := cfg.Obs.Histogram(obs.MetricStageOverlap, obs.DefLatencyBuckets, labels()...)
+	var prevProc0, prevProc1 time.Time
+	seqPyr := &imgproc.Pyramid{} // depth-1: the single circulating pyramid
+	cancelled := false
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		var slot *pipeSlot
+		if depth > 1 {
+			idx, ok := <-filled
+			if !ok {
+				cancelled = true
+				break
+			}
+			if idx != i {
+				// The prefetcher walks i in order and the ring is sized to
+				// depth, so this cannot happen; a reorder bug must fail loudly
+				// rather than publish out of order.
+				panic(fmt.Sprintf("rt: pipeline reorder violation: got frame %d, want %d", idx, i))
+			}
+			slot = &ring[idx%depth]
+		} else {
+			slot = &ring[0]
+			prefetch(i, seqPyr, slot)
+		}
+		proc0 := time.Now()
+		var out core.FrameOutput
+		var released *imgproc.Pyramid
+		if i%cfg.DetectEvery == 0 {
+			dets := detect.Sanitize(det.Detect(slot.frame, cfg.Setting))
+			// The emulated GPU phase: the CPU is parked here, which is
+			// exactly the slack the prefetch stage fills.
+			sleepScaled(lat.Detect(cfg.Setting), cfg.TimeScale)
+			_, released = tr.InitWithPyramid(slot.frame, dets, slot.pyr)
+			out = core.FrameOutput{FrameIndex: i, Source: core.SourceDetector, Setting: cfg.Setting, Detections: dets}
+			detectHist.ObserveDuration(time.Since(proc0))
+		} else {
+			var dets []core.Detection
+			dets, _, released = tr.StepWithPyramid(slot.frame, slot.pyr)
+			dets = detect.Sanitize(dets)
+			out = core.FrameOutput{FrameIndex: i, Source: core.SourceTracker, Setting: cfg.Setting, Detections: dets}
+			trackHist.ObserveDuration(time.Since(proc0))
+		}
+		slotT0, slotT1 := slot.t0, slot.t1
+		if depth > 1 {
+			// The slot is consumed: the token lets the prefetcher reuse it,
+			// the pyramid (or a fresh stand-in on the very first init, when
+			// the tracker keeps the prefetched one and has nothing to trade)
+			// lets it build another frame.
+			slots <- struct{}{}
+			if released == nil {
+				released = &imgproc.Pyramid{}
+			}
+			select {
+			case free <- released:
+			case <-ctx.Done():
+			}
+		} else if released != nil {
+			seqPyr = released
+		} else {
+			// First init: the tracker kept the prefetched pyramid and had
+			// nothing to trade back, and seqPyr still aliases what it kept —
+			// rebuilding that in place would corrupt the reference frame.
+			seqPyr = &imgproc.Pyramid{}
+		}
+		pub0 := time.Now()
+		res.Outputs[i] = out
+		res.Published = i + 1
+		inflight.Set(float64(issuedFloor(depth, i, n) - res.Published))
+		publishHist.ObserveDuration(time.Since(pub0))
+		// Realized overlap: the part of this slot's prefetch that ran while
+		// the previous frame was being processed. Zero by construction at
+		// depth 1.
+		if !prevProc0.IsZero() {
+			overlapHist.Observe(intervalOverlap(slotT0, slotT1, prevProc0, prevProc1).Seconds())
+		}
+		prevProc0, prevProc1 = proc0, time.Now()
+	}
+	<-prefetchDone
+	res.Elapsed = time.Since(start)
+	inflight.Set(0)
+
+	for i := 0; i < res.Published; i++ {
+		res.FrameF1[i] = metrics.FrameF1(res.Outputs[i].Detections, v.Truth(i), metrics.DefaultIoU)
+	}
+	res.Accuracy = metrics.VideoAccuracy(res.FrameF1, metrics.DefaultAlpha)
+	res.MeanF1 = metrics.Mean(res.FrameF1)
+	if cancelled || ctx.Err() != nil {
+		res.Partial = true
+		return res, fmt.Errorf("rt: pipelined run cancelled: %w", ctx.Err())
+	}
+	return res, nil
+}
+
+// TraceRun converts a completed pipelined result into the trace schema, the
+// byte-stable serialization the depth-parity tests compare. Wall-clock
+// fields are deliberately absent: the record is a pure function of the
+// outputs.
+func (r *PipelineResult) TraceRun(videoName, policy string) *trace.Run {
+	return &trace.Run{
+		Video:   videoName,
+		Policy:  policy,
+		Outputs: r.Outputs,
+		FrameF1: r.FrameF1,
+	}
+}
+
+// issuedFloor is the number of frames certainly issued to prefetch by the
+// time frame i publishes: everything up to i plus the slots ahead.
+func issuedFloor(depth, i, n int) int {
+	issued := i + depth
+	if issued > n {
+		issued = n
+	}
+	return issued
+}
+
+// intervalOverlap returns the length of the intersection of [a0,a1] and
+// [b0,b1], floored at zero.
+func intervalOverlap(a0, a1, b0, b1 time.Time) time.Duration {
+	lo := a0
+	if b0.After(lo) {
+		lo = b0
+	}
+	hi := a1
+	if b1.Before(hi) {
+		hi = b1
+	}
+	if hi.Before(lo) {
+		return 0
+	}
+	return hi.Sub(lo)
+}
+
+// sleepScaled sleeps d scaled by the configured time scale.
+func sleepScaled(d time.Duration, scale float64) {
+	scaled := time.Duration(float64(d) * scale)
+	if scaled > 0 {
+		time.Sleep(scaled)
+	}
+}
+
+// PipelineWorkers reports the kernel worker count the pipelined bench
+// records alongside throughput (re-exported so the root-package bench does
+// not import internal/par directly for it).
+func PipelineWorkers() int { return par.Workers() }

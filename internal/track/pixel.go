@@ -85,6 +85,43 @@ func (t *PixelTracker) Init(ref core.Frame, dets []core.Detection) int {
 		return 0
 	}
 	t.bounds = geom.Rect{W: float64(ref.Pixels.W), H: float64(ref.Pixels.H)}
+	total := t.initFeatures(ref, dets)
+	t.prevPyr = t.takeSpare()
+	t.prevPyr.Rebuild(ref.Pixels, t.PyramidLevels, &t.scratch)
+	t.prevIndex = ref.Index
+	return total
+}
+
+// InitWithPyramid is Init for pipelined callers that already built the
+// reference frame's pyramid in a prefetch stage: the tracker takes ownership
+// of pyr and returns the pyramid it no longer needs (nil on the first call),
+// so a fixed pool of pyramids can circulate between prefetcher and tracker.
+// Feature extraction is identical to Init — the prefetched pyramid holds the
+// same pixel data Rebuild would have produced, so results are bitwise-equal.
+func (t *PixelTracker) InitWithPyramid(ref core.Frame, dets []core.Detection, pyr *imgproc.Pyramid) (n int, released *imgproc.Pyramid) {
+	t.objs = t.objs[:0]
+	released = t.prevPyr
+	t.prevPyr = nil
+	if ref.Pixels == nil {
+		// Cleared: pyr was not consumed — keep it as the spare so the
+		// one-in-one-out pyramid accounting still balances.
+		if released == nil {
+			released = pyr
+		} else if t.sparePyr == nil {
+			t.sparePyr = pyr
+		}
+		return 0, released
+	}
+	t.bounds = geom.Rect{W: float64(ref.Pixels.W), H: float64(ref.Pixels.H)}
+	n = t.initFeatures(ref, dets)
+	t.prevPyr = pyr
+	t.prevIndex = ref.Index
+	return n, released
+}
+
+// initFeatures extracts good features inside the detection boxes and builds
+// the tracked-object list — the shared middle of Init and InitWithPyramid.
+func (t *PixelTracker) initFeatures(ref core.Frame, dets []core.Detection) int {
 	masks := make([]geom.Rect, 0, len(dets))
 	for _, d := range dets {
 		masks = append(masks, d.Box)
@@ -101,9 +138,6 @@ func (t *PixelTracker) Init(ref core.Frame, dets []core.Detection) int {
 		total += len(obj.pts)
 		t.objs = append(t.objs, obj)
 	}
-	t.prevPyr = t.takeSpare()
-	t.prevPyr.Rebuild(ref.Pixels, t.PyramidLevels, &t.scratch)
-	t.prevIndex = ref.Index
 	return total
 }
 
@@ -120,15 +154,50 @@ func (t *PixelTracker) takeSpare() *imgproc.Pyramid {
 // Step implements Tracker. Objects whose features are all lost keep their
 // last box (the paper's tracker cannot re-acquire without a new detection).
 func (t *PixelTracker) Step(next core.Frame) ([]core.Detection, float64) {
-	out := make([]core.Detection, 0, len(t.objs))
 	if next.Pixels == nil || t.prevPyr == nil {
-		for _, o := range t.objs {
-			out = append(out, o.det)
-		}
-		return out, 0
+		return t.heldBoxes(), 0
 	}
 	nextPyr := t.takeSpare()
 	nextPyr.Rebuild(next.Pixels, t.PyramidLevels, &t.scratch)
+	out, velocity := t.stepFlow(next, nextPyr)
+	t.sparePyr = t.prevPyr
+	t.prevPyr = nextPyr
+	t.prevIndex = next.Index
+	return out, velocity
+}
+
+// StepWithPyramid is Step for pipelined callers that already built the next
+// frame's pyramid in a prefetch stage. The tracker takes ownership of pyr
+// and returns the pyramid it no longer needs; when the step degenerates
+// (no pixels, or no reference yet) pyr itself comes straight back. A
+// prefetched pyramid holds exactly the pixels Rebuild would have produced,
+// so the flow results are bitwise-identical to Step's.
+func (t *PixelTracker) StepWithPyramid(next core.Frame, pyr *imgproc.Pyramid) (dets []core.Detection, velocity float64, released *imgproc.Pyramid) {
+	if next.Pixels == nil || t.prevPyr == nil {
+		return t.heldBoxes(), 0, pyr
+	}
+	dets, velocity = t.stepFlow(next, pyr)
+	released = t.prevPyr
+	t.prevPyr = pyr
+	t.prevIndex = next.Index
+	return dets, velocity, released
+}
+
+// heldBoxes returns every object's current box unchanged — the degenerate
+// step when there is nothing to track against.
+func (t *PixelTracker) heldBoxes() []core.Detection {
+	out := make([]core.Detection, 0, len(t.objs))
+	for _, o := range t.objs {
+		out = append(out, o.det)
+	}
+	return out
+}
+
+// stepFlow is the shared middle of Step and StepWithPyramid: track the live
+// features from prevPyr into nextPyr and shift each box by its median flow.
+// The caller owns the pyramid swap.
+func (t *PixelTracker) stepFlow(next core.Frame, nextPyr *imgproc.Pyramid) ([]core.Detection, float64) {
+	out := make([]core.Detection, 0, len(t.objs))
 
 	// Gather all live feature points into one flow batch.
 	var batch []geom.Point
@@ -198,10 +267,6 @@ func (t *PixelTracker) Step(next core.Frame) ([]core.Detection, float64) {
 		o.pts = kept[oi]
 		out = append(out, o.det)
 	}
-	t.sparePyr = t.prevPyr
-	t.prevPyr = nextPyr
-	t.prevIndex = next.Index
-
 	var velocity float64
 	if velocityN > 0 {
 		velocity = velocitySum / float64(velocityN) / float64(gap)

@@ -16,6 +16,7 @@ package adavp
 // additionally record the worker count so multi-core runs are comparable.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"adavp/internal/detect"
 	"adavp/internal/imgproc"
 	"adavp/internal/par"
+	"adavp/internal/rt"
 	"adavp/internal/track"
 	"adavp/internal/video"
 )
@@ -90,25 +92,31 @@ func BenchmarkPixelFrame(b *testing.B) {
 // --- JSON harness -----------------------------------------------------------
 
 type pixelBenchReport struct {
-	Schema      string           `json:"schema"`
-	GeneratedAt string           `json:"generated_at"`
-	GoVersion   string           `json:"go_version"`
-	NumCPU      int              `json:"num_cpu"`
-	GoMaxProcs  int              `json:"gomaxprocs"`
-	Workers     int              `json:"workers"`
-	Iters       int              `json:"iters"` // 0 = auto-calibrated per measurement
-	Kernels     []pixelKernelRow `json:"kernels"`
-	Macro       []pixelMacroRow  `json:"macro"`
+	Schema      string             `json:"schema"`
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	ItersFlag   int                `json:"iters_flag"` // -benchjson-iters: 0 = auto-calibrated per measurement
+	Kernels     []pixelKernelRow   `json:"kernels"`
+	Macro       []pixelMacroRow    `json:"macro"`
+	Pipeline    []pixelPipelineRow `json:"pipeline"`
 }
 
 // pixelKernelRow compares an optimized kernel against its retained scalar
-// reference at one input size.
+// reference at one input size and worker count. Each kernel is measured at
+// workers ∈ {1, 4} so the report shows both the serial-path cost and the
+// fan-out win, and each row records the iteration counts actually run —
+// auto-calibration makes them vary per measurement.
 type pixelKernelRow struct {
 	Name        string  `json:"name"`
 	Size        string  `json:"size"`
+	Workers     int     `json:"workers"`
 	RefNsOp     float64 `json:"ref_ns_op"`
 	NsOp        float64 `json:"ns_op"`
 	Speedup     float64 `json:"speedup"`
+	RefIters    int     `json:"ref_iters"`
+	Iters       int     `json:"iters"`
 	RefAllocsOp float64 `json:"ref_allocs_op"`
 	AllocsOp    float64 `json:"allocs_op"`
 }
@@ -117,9 +125,27 @@ type pixelKernelRow struct {
 type pixelMacroRow struct {
 	Setting     int     `json:"setting"`
 	Frame       string  `json:"frame"`
+	Workers     int     `json:"workers"`
 	NsFrame     float64 `json:"ns_frame"`
 	FPS         float64 `json:"fps_equivalent"`
+	Iters       int     `json:"iters"`
 	AllocsFrame float64 `json:"allocs_frame"`
+}
+
+// pixelPipelineRow is one staged-pipeline throughput measurement: the whole
+// video pushed through rt.RunPipelined at a given frames-in-flight depth.
+// Depth 1 is the sequential reference; SpeedupVsDepth1 on the deeper rows is
+// the realized cross-frame overlap win (outputs are bitwise-identical across
+// depths, so the comparison is pure throughput).
+type pixelPipelineRow struct {
+	Setting         int     `json:"setting"`
+	Frame           string  `json:"frame"`
+	Depth           int     `json:"depth"`
+	DetectEvery     int     `json:"detect_every"`
+	Frames          int     `json:"frames"`
+	NsFrame         float64 `json:"ns_frame"`
+	FPS             float64 `json:"fps_equivalent"`
+	SpeedupVsDepth1 float64 `json:"speedup_vs_depth1"`
 }
 
 // measureNs times fn over iters runs (after one warm-up call) and returns
@@ -150,6 +176,24 @@ func measureNs(fn func()) (nsOp float64, iters int) {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters), iters
 }
 
+// measureNsBest takes the fastest of three measureNs samples (one in smoke
+// mode): on a busy or few-core host a single 150ms window regularly
+// photographs a GC cycle or scheduler hiccup into the committed report, and
+// the minimum is the standard noise-robust estimator of the true cost.
+func measureNsBest(fn func()) (nsOp float64, iters int) {
+	reps := 3
+	if *benchJSONIters == 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		ns, it := measureNs(fn)
+		if r == 0 || ns < nsOp {
+			nsOp, iters = ns, it
+		}
+	}
+	return nsOp, iters
+}
+
 func measureAllocs(fn func()) float64 {
 	runs := 5
 	if *benchJSONIters == 1 {
@@ -159,13 +203,16 @@ func measureAllocs(fn func()) float64 {
 }
 
 func kernelRow(name, size string, ref, opt func()) pixelKernelRow {
-	refNs, _ := measureNs(ref)
-	optNs, _ := measureNs(opt)
+	refNs, refIters := measureNsBest(ref)
+	optNs, optIters := measureNsBest(opt)
 	row := pixelKernelRow{
 		Name:        name,
 		Size:        size,
+		Workers:     par.Workers(),
 		RefNsOp:     refNs,
 		NsOp:        optNs,
+		RefIters:    refIters,
+		Iters:       optIters,
 		RefAllocsOp: measureAllocs(ref),
 		AllocsOp:    measureAllocs(opt),
 	}
@@ -224,17 +271,21 @@ func TestPixelBenchJSON(t *testing.T) {
 		t.Skip("pass -benchjson <path> (see make bench-json) to run the pixel benchmark harness")
 	}
 	report := pixelBenchReport{
-		Schema:      "adavp-pixel-bench/1",
+		Schema:      "adavp-pixel-bench/2",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Workers:     par.Workers(),
-		Iters:       *benchJSONIters,
+		ItersFlag:   *benchJSONIters,
 	}
-	for _, size := range [][2]int{{320, 180}, {704, 396}} {
-		report.Kernels = append(report.Kernels, kernelRows(size[0], size[1])...)
+	defer par.SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		par.SetWorkers(workers)
+		for _, size := range [][2]int{{320, 180}, {704, 396}} {
+			report.Kernels = append(report.Kernels, kernelRows(size[0], size[1])...)
+		}
 	}
+	par.SetWorkers(0)
 
 	frames := 60
 	if *benchJSONIters == 1 {
@@ -243,14 +294,72 @@ func TestPixelBenchJSON(t *testing.T) {
 	v := benchPixelVideo(frames)
 	for _, s := range benchSettings {
 		op := pixelFrameOp(v, s)
-		ns, _ := measureNs(op)
+		ns, iters := measureNs(op)
 		report.Macro = append(report.Macro, pixelMacroRow{
 			Setting:     s.InputSize(),
 			Frame:       fmt.Sprintf("%dx%d", v.Params.W, v.Params.H),
+			Workers:     par.Workers(),
 			NsFrame:     ns,
 			FPS:         1e9 / ns,
+			Iters:       iters,
 			AllocsFrame: measureAllocs(op),
 		})
+	}
+
+	// Staged-pipeline throughput: the same video end to end at frames-in-
+	// flight depths 1 (sequential reference), 2 and 3, at the two settings
+	// whose rasters take the tiled kernel path. Two cadences: detect_every 1
+	// is continuous detection (the paper's baseline mode — the emulated DNN
+	// latency lands on every frame, the slack the depth>1 prefetch stage
+	// reclaims), detect_every 2 keeps the tracker in the loop, at half the
+	// reclaimable slack.
+	pipeFrames := frames
+	pipeReps := 3
+	if *benchJSONIters == 1 {
+		pipeFrames = 6
+		pipeReps = 1
+	}
+	pv := benchPixelVideo(pipeFrames)
+	for _, s := range []core.Setting{core.Setting608, core.Setting704} {
+		for _, de := range []int{1, 2} {
+			var base float64
+			for _, depth := range []int{1, 2, 3} {
+				// Best of pipeReps, each behind a forced GC: on few cores a
+				// collection triggered by the preceding sections' garbage lands
+				// inside a single rep and swamps the overlap signal; the minimum
+				// over GC-quiesced reps estimates the noise-free frame time.
+				best := time.Duration(0)
+				for rep := 0; rep < pipeReps; rep++ {
+					runtime.GC()
+					res, err := rt.RunPipelined(context.Background(), pv, rt.PipelineConfig{
+						Setting: s, Depth: depth, DetectEvery: de, Seed: 7,
+					})
+					if err != nil {
+						t.Fatalf("pipelined bench setting=%d depth=%d: %v", s.InputSize(), depth, err)
+					}
+					if best == 0 || res.Elapsed < best {
+						best = res.Elapsed
+					}
+				}
+				ns := float64(best.Nanoseconds()) / float64(pv.NumFrames())
+				row := pixelPipelineRow{
+					Setting:     s.InputSize(),
+					Frame:       fmt.Sprintf("%dx%d", pv.Params.W, pv.Params.H),
+					Depth:       depth,
+					DetectEvery: de,
+					Frames:      pv.NumFrames(),
+					NsFrame:     ns,
+					FPS:         1e9 / ns,
+				}
+				if depth == 1 {
+					base = ns
+				}
+				if base > 0 {
+					row.SpeedupVsDepth1 = base / ns
+				}
+				report.Pipeline = append(report.Pipeline, row)
+			}
+		}
 	}
 
 	buf, err := json.MarshalIndent(&report, "", "  ")
@@ -271,14 +380,39 @@ func TestPixelBenchJSON(t *testing.T) {
 	// size-independent words, never scaling with the image. The budget
 	// below covers those headers at the current worker count; a buffer
 	// alloc sneaking back into a kernel blows straight through it.
-	allocBudget := float64(8 * (par.Workers() + 1))
 	for _, k := range report.Kernels {
+		// The per-op residue is one goroutine-closure header per par fan-out
+		// launch; the busiest kernel (pyramid: blur + downsample per level)
+		// issues ~15 launches. A buffer allocation sneaking back in adds
+		// image-sized allocations on top and still blows through this.
+		allocBudget := float64(16 * (k.Workers + 1))
 		if k.AllocsOp > allocBudget {
-			t.Errorf("kernel %s %s allocates %.1f allocs/op in steady state (budget %.0f)",
-				k.Name, k.Size, k.AllocsOp, allocBudget)
+			t.Errorf("kernel %s %s workers=%d allocates %.1f allocs/op in steady state (budget %.0f)",
+				k.Name, k.Size, k.Workers, k.AllocsOp, allocBudget)
 		}
 		if *benchJSONIters == 0 && k.Speedup < 0.9 {
-			t.Errorf("kernel %s %s regressed: %.2fx vs scalar reference", k.Name, k.Size, k.Speedup)
+			t.Errorf("kernel %s %s workers=%d regressed: %.2fx vs scalar reference",
+				k.Name, k.Size, k.Workers, k.Speedup)
+		}
+	}
+	// The pipelined rows must show real cross-frame overlap: at each setting,
+	// in continuous-detection mode (detect_every 1, where every frame carries
+	// the emulated DNN latency the prefetch stage can fill), the best depth≥2
+	// run has to clear 1.2x over the depth-1 reference. The cadence-2 rows
+	// are informative — their overlap ceiling (the sleep fraction of frame
+	// time) sits near 1.2x itself, too close to gate on. Skipped in smoke
+	// mode, where single-iteration timings are noise.
+	if *benchJSONIters == 0 {
+		best := map[int]float64{}
+		for _, p := range report.Pipeline {
+			if p.DetectEvery == 1 && p.Depth >= 2 && p.SpeedupVsDepth1 > best[p.Setting] {
+				best[p.Setting] = p.SpeedupVsDepth1
+			}
+		}
+		for setting, sp := range best {
+			if sp < 1.2 {
+				t.Errorf("pipelined throughput at setting %d: best depth>=2 speedup %.2fx < 1.2x", setting, sp)
+			}
 		}
 	}
 }
