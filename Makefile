@@ -6,15 +6,18 @@
 #   make vet          static analysis (go vet)
 #   make lint         project-specific analyzers (cmd/adavplint): determinism,
 #                     hot-path allocations, band safety, goroutine leaks, pool pairing
+#   make escapecheck  compiler escape-analysis gate: fail if any
+#                     //adavp:hotpath function gains a heap escape not in
+#                     the committed ESCAPES.baseline
 #   make cover        whole-tree coverage, failing below the COVER_FLOOR baseline
 #   make bench-json   run the pixel-pipeline benchmark harness, write BENCH_pixel.json
 #   make soak         bounded chaos soak under the race detector: same-seed sim
 #                     soak pair (byte parity) then a wall-clock live soak, both
 #                     ending in machine-checked invariant reports
-#   make check        everything CI runs: build + vet + lint + test + race + a
-#                     1-iteration bench-json smoke (catches harness rot without
-#                     paying bench time); the test suite includes the
-#                     long-virtual-horizon chaos soak
+#   make check        everything CI runs: build + vet + lint + escapecheck +
+#                     test + race + a 1-iteration bench-json smoke (catches
+#                     harness rot without paying bench time); the test suite
+#                     includes the long-virtual-horizon chaos soak
 
 GO ?= go
 
@@ -23,7 +26,7 @@ GO ?= go
 # while a PR that lands a subsystem without tests fails the gate.
 COVER_FLOOR ?= 78.0
 
-.PHONY: build test race vet lint cover check bench-json bench-json-smoke soak clean
+.PHONY: build test race vet lint escapecheck cover check bench-json bench-json-smoke soak clean
 
 build:
 	$(GO) build ./...
@@ -46,10 +49,20 @@ race:
 vet:
 	$(GO) vet ./...
 
-# The five invariants DESIGN.md §9 documents: detrand, hotalloc, bandsafe,
-# leakygo, poolpair. Exits non-zero on any finding.
+# The eight invariants DESIGN.md §9/§15 document: detrand, hotalloc,
+# bandsafe, leakygo, poolpair, lockorder, atomichygiene, stagepure — the
+# interprocedural ones run over the module-wide call graph. Exits non-zero
+# on any finding.
 lint:
 	$(GO) run ./cmd/adavplint
+
+# Compiler escape-analysis gate (DESIGN.md §15): parses `go build
+# -gcflags=-m` diagnostics, attributes each heap escape to the
+# //adavp:hotpath function containing it, and fails on any escape the
+# committed ESCAPES.baseline does not acknowledge. Refresh the baseline
+# after a justified change with `go run ./cmd/escapecheck -update`.
+escapecheck:
+	$(GO) run ./cmd/escapecheck
 
 # Whole-tree statement coverage with a recorded floor: fails when total
 # coverage drops below COVER_FLOOR (see the variable above for the policy).
@@ -83,7 +96,7 @@ soak:
 	$(GO) run -race ./cmd/adavp -soak -streams 8 -detector-slots 2 \
 		-churn-rate 0.25 -fault-rate 0.08 -fault-burst 2 -soak-minutes 1 -seed 1
 
-check: build vet lint test race bench-json-smoke
+check: build vet lint escapecheck test race bench-json-smoke
 
 clean:
 	$(GO) clean ./...

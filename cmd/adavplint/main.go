@@ -1,21 +1,31 @@
 // Command adavplint runs the repository's static-invariant suite
 // (internal/lint) over the module: detrand, hotalloc, bandsafe, leakygo,
-// poolpair. It is the multichecker behind `make lint`.
+// poolpair, lockorder, atomichygiene, stagepure. It is the multichecker
+// behind `make lint`.
 //
 // Usage:
 //
-//	adavplint [-only name[,name]] [dir ...]
+//	adavplint [-only name[,name]] [-json] [dir ...]
 //
-// With no directories it checks every package in the module. Exit status is
-// 1 when any diagnostic is reported, 2 on usage or load errors. Output is
+// With no directories it checks every package in the module. All requested
+// packages are loaded first and a single module-wide call graph is built
+// over them, so the interprocedural analyzers see every caller and callee
+// regardless of which package is being reported on. Exit status is 1 when
+// any diagnostic is reported, 2 on usage or load errors. Default output is
 // one line per finding:
 //
 //	path:line:col: [analyzer] message
+//
+// With -json, findings are emitted as a single JSON array of objects with
+// "file", "line", "col", "analyzer" and "message" fields — stable input for
+// editor integrations and CI annotators.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,24 +34,43 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json wire format of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adavplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of plain lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *only != "" {
 		analyzers = analyzers[:0]
 		for _, name := range strings.Split(*only, ",") {
 			a := lint.ByName(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "adavplint: unknown analyzer %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "adavplint: unknown analyzer %q (valid: %s)\n",
+					name, strings.Join(lint.Names(), ", "))
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -49,30 +78,38 @@ func main() {
 
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	dirs := flag.Args()
+	dirs := fs.Args()
 	if len(dirs) == 0 {
 		dirs, err = loader.PackageDirs()
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 	}
 
-	cwd, _ := os.Getwd()
-	found := 0
+	// Load everything first: the call graph must span every requested
+	// package (plus its module imports) before any analyzer runs.
+	pkgs := make([]*lint.Package, 0, len(dirs))
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		pkgs = append(pkgs, pkg)
+	}
+	graph := lint.BuildCallGraph(loader.Loaded())
+
+	cwd, _ := os.Getwd()
+	var findings []jsonFinding
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers, graph)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
@@ -80,17 +117,35 @@ func main() {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
 				name = rel
 			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
-			found++
+			findings = append(findings, jsonFinding{
+				File: name, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "adavplint: %d finding(s)\n", found)
-		os.Exit(1)
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []jsonFinding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
 	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "adavplint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "adavplint:", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "adavplint:", err)
+	return 2
 }

@@ -1,0 +1,96 @@
+// Command escapecheck is the compiler escape-analysis gate behind
+// `make escapecheck`: it compiles the module with -gcflags=-m, attributes
+// every "escapes to heap" / "moved to heap" diagnostic to the
+// //adavp:hotpath function containing it, and fails (exit 1) when any hot
+// function carries an escape the committed baseline does not acknowledge.
+//
+// Usage:
+//
+//	escapecheck [-baseline file] [-update] [-v]
+//
+// The baseline (default ESCAPES.baseline at the module root) keys entries
+// by (file, function, diagnostic) — no line numbers — so unrelated edits do
+// not churn it. -update rewrites the baseline to the current state; stale
+// entries are reported but never fatal. Exit status 2 on build or usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"adavp/internal/lint"
+)
+
+func main() {
+	baselineFlag := flag.String("baseline", "", "baseline file (default <module root>/ESCAPES.baseline)")
+	update := flag.Bool("update", false, "rewrite the baseline to the current hotpath escapes")
+	verbose := flag.Bool("v", false, "list every hotpath escape, acknowledged or not")
+	flag.Parse()
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	baselinePath := *baselineFlag
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, "ESCAPES.baseline")
+	}
+
+	// -gcflags=-m applies to the packages named on the command line, i.e.
+	// the whole module; the build cache replays the diagnostics on
+	// unchanged packages, so warm runs cost almost nothing.
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escapecheck: go build failed:\n%s", out)
+		os.Exit(2)
+	}
+
+	ranges, err := lint.HotpathFuncs(root)
+	if err != nil {
+		fatal(err)
+	}
+	hot := lint.AttributeEscapes(lint.ParseEscapes(string(out)), ranges)
+
+	if *update {
+		if err := os.WriteFile(baselinePath, []byte(lint.FormatEscapeBaseline(hot)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("escapecheck: baseline updated (%d entries) at %s\n", len(hot), baselinePath)
+		return
+	}
+
+	baseline, err := lint.ReadEscapeBaseline(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, stale := lint.DiffEscapes(hot, baseline)
+
+	if *verbose {
+		for _, h := range hot {
+			fmt.Printf("escapecheck: hotpath escape: %s (line %d)\n", h.Key(), h.Line)
+		}
+	}
+	for _, key := range stale {
+		fmt.Printf("escapecheck: baseline entry no longer occurs (safe to delete): %s\n", key)
+	}
+	if len(fresh) > 0 {
+		for _, h := range fresh {
+			fmt.Fprintf(os.Stderr, "escapecheck: NEW heap escape in //adavp:hotpath function %s: %s:%d:%d: %s\n",
+				h.Func, h.File, h.Line, h.Col, h.What)
+		}
+		fmt.Fprintf(os.Stderr, "escapecheck: %d new escape(s); fix them or acknowledge with `go run ./cmd/escapecheck -update`\n", len(fresh))
+		os.Exit(1)
+	}
+	fmt.Printf("escapecheck: ok (%d hotpath functions, %d acknowledged escapes)\n", len(ranges), len(hot))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "escapecheck:", err)
+	os.Exit(2)
+}

@@ -1,8 +1,11 @@
 package fault
 
 import (
+	"context"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -260,5 +263,58 @@ func TestProfileString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("Profile.String() = %q, missing %q", s, want)
 		}
+	}
+}
+
+// overlapDetector detects concurrent entry: the wrapper's innerMu contract
+// says inner detectors need not be concurrency-safe, so any overlap is a
+// bug regardless of whether the racing accesses happen to collide.
+type overlapDetector struct {
+	inFlight   atomic.Int32
+	overlapped atomic.Bool
+	calls      atomic.Int64
+}
+
+func (d *overlapDetector) Detect(core.Frame, core.Setting) []core.Detection {
+	if d.inFlight.Add(1) > 1 {
+		d.overlapped.Store(true)
+	}
+	defer d.inFlight.Add(-1)
+	d.calls.Add(1)
+	return nil
+}
+
+// TestDetectorSerializesInnerUnderConcurrency is the -race regression test
+// behind the lockorder suppressions in DetectCtx: the analyzer's
+// flow-insensitive model sees the clean branch's innerMu.Lock and the
+// latency branch's as a potential self-deadlock, and the suppressions argue
+// the branches are mutually exclusive. This pins the property the mutex
+// exists for — inner calls stay serialized while clean and latency-faulted
+// calls overlap from many goroutines — so a refactor that breaks the
+// branch exclusivity (or drops one Lock) fails here, under -race, instead
+// of corrupting a wrapped detector's pooled state in production.
+func TestDetectorSerializesInnerUnderConcurrency(t *testing.T) {
+	inner := &overlapDetector{}
+	// Rate 0.5 with only latency faults: roughly half the calls take the
+	// clean branch's lock, half the latency branch's (virtual mode, so no
+	// real sleeps), interleaved across goroutines.
+	p := Profile{Rate: 0.5, Kinds: []Kind{KindLatency}, Spike: time.Hour, Seed: 7}
+	d := NewDetector(inner, p, Virtual)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.DetectCtx(context.Background(), core.Frame{}, core.Setting512)
+			}
+		}()
+	}
+	wg.Wait()
+	if inner.overlapped.Load() {
+		t.Fatal("inner detector observed overlapping calls; innerMu failed to serialize")
+	}
+	if inner.calls.Load() == 0 {
+		t.Fatal("inner detector was never called")
 	}
 }

@@ -171,6 +171,8 @@ func (s *Scratch) Track(prev, next *imgproc.Pyramid, pts []geom.Point, p Params)
 
 // ensureSize returns g resized to w×h, reusing its backing array when
 // possible.
+//
+//adavp:amortized allocates only on first use or when the pyramid level grows; steady-state frames reuse the array
 func ensureSize(g *imgproc.Gray, w, h int) *imgproc.Gray {
 	if g == nil {
 		return imgproc.NewGray(w, h)

@@ -1,8 +1,11 @@
 package lint
 
-// All returns the full adavplint suite in reporting order.
+// All returns the full adavplint suite in reporting order: the five
+// per-package analyzers from the original suite, then the three
+// interprocedural concurrency-discipline checks that need the module call
+// graph.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, HotAlloc, BandSafe, LeakyGo, PoolPair}
+	return []*Analyzer{DetRand, HotAlloc, BandSafe, LeakyGo, PoolPair, LockOrder, AtomicHygiene, StagePure}
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -13,4 +16,15 @@ func ByName(name string) *Analyzer {
 		}
 	}
 	return nil
+}
+
+// Names returns every analyzer name in reporting order — the valid values
+// for a -only flag.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
 }

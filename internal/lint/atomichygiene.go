@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicHygiene enforces the two rules that make sync/atomic usage sound:
+//
+//  1. A variable accessed through the legacy atomic functions
+//     (atomic.AddInt64(&x.n, 1), atomic.LoadUint32(&x.flag), ...) must be
+//     accessed through sync/atomic *everywhere*. One plain read or write
+//     anywhere in the module is a data race: the compiler and the hardware
+//     may tear, cache, or reorder it regardless of how disciplined every
+//     other access is. The check is module-wide — the atomic op may live in
+//     one package and the plain access in another.
+//
+//  2. 64-bit legacy atomics (AddInt64, LoadUint64, ...) require their
+//     operand to be 8-byte aligned. On 32-bit targets (GOARCH=386, arm,
+//     mips) struct fields are only 4-byte aligned by default, so a 64-bit
+//     atomic field must sit at an 8-byte offset — the analyzer computes
+//     field offsets under 32-bit sizes and flags violations at the field
+//     declaration.
+//
+// The wrapper types (atomic.Int64, atomic.Uint64, atomic.Bool, ...) satisfy
+// both rules by construction — they are opaque and carry alignment hints —
+// which is why the real tree uses them exclusively and this analyzer exists
+// to keep it that way. Composite-literal keys (Foo{n: 0}) are exempt:
+// construction precedes publication. Suppress deliberate exceptions with
+// "//adavp:atomic-ok <why>".
+var AtomicHygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc:  "variables accessed via sync/atomic must never be accessed plainly anywhere in the module, and 64-bit atomics must be alignment-safe on 32-bit targets",
+	Run:  runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *Pass) error {
+	if pass.Graph == nil {
+		return nil // module-wide by nature: needs every package's accesses
+	}
+	st := pass.Graph.atomicAnalysis()
+	for _, v := range st.ordered {
+		facts := st.fields[v]
+		for _, use := range facts.plainUses {
+			if use.pkgPath != pass.PkgPath {
+				continue
+			}
+			if pass.Suppressed("atomic-ok", use.pos) {
+				continue
+			}
+			pass.Reportf(use.pos, "%s is accessed via sync/atomic (e.g. %s at %s) but read/written plainly here: a data race regardless of timing; use atomic ops for every access or migrate to atomic.%s",
+				facts.display, facts.firstOp, pass.Graph.basePos(facts.firstAtomicPos), suggestedWrapper(v))
+		}
+		if facts.alignBad && v.Pkg() != nil && v.Pkg().Path() == pass.PkgPath {
+			if !pass.Suppressed("atomic-ok", v.Pos()) {
+				pass.Reportf(v.Pos(), "64-bit atomic field %s sits at offset %d of %s on 32-bit targets (GOARCH=386): 64-bit atomic ops require 8-byte alignment — move it to the front of the struct, pad, or use atomic.%s",
+					facts.display, facts.alignOffset, facts.structName, suggestedWrapper(v))
+			}
+		}
+	}
+	return nil
+}
+
+// suggestedWrapper names the sync/atomic wrapper type matching v's type.
+func suggestedWrapper(v *types.Var) string {
+	if b, ok := v.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Value"
+}
+
+type atomicVarFacts struct {
+	display        string // "obs.Registry.hits" or "pkg.counter"
+	firstAtomicPos token.Pos
+	firstOp        string
+	is64           bool
+	// atomicIdents are the operand identifiers inside &v arguments of
+	// atomic calls — excluded from the plain-use scan.
+	atomicIdents map[*ast.Ident]bool
+	plainUses    []atomicUse
+	alignBad     bool
+	alignOffset  int64
+	structName   string
+}
+
+type atomicUse struct {
+	pos     token.Pos
+	pkgPath string
+}
+
+type atomicState struct {
+	fields  map[*types.Var]*atomicVarFacts
+	ordered []*types.Var
+}
+
+// atomicAnalysis computes (once) the module-wide atomic-access facts: first
+// every legacy atomic operand, then every other mention of those variables.
+func (g *CallGraph) atomicAnalysis() *atomicState {
+	if g.atomics != nil {
+		return g.atomics
+	}
+	st := &atomicState{fields: make(map[*types.Var]*atomicVarFacts)}
+	g.atomics = st
+
+	// Phase 1: collect atomically accessed variables.
+	for _, pkg := range g.pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				opName, is64 := legacyAtomicOp(info, call)
+				if opName == "" || len(call.Args) == 0 {
+					return true
+				}
+				un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				v, id := addressedVar(info, un.X)
+				if v == nil {
+					return true
+				}
+				facts := st.fields[v]
+				if facts == nil {
+					facts = &atomicVarFacts{
+						display:        displayName(v),
+						firstAtomicPos: call.Pos(),
+						firstOp:        "atomic." + opName,
+						atomicIdents:   make(map[*ast.Ident]bool),
+					}
+					st.fields[v] = facts
+					st.ordered = append(st.ordered, v)
+				}
+				if is64 {
+					facts.is64 = true
+				}
+				facts.atomicIdents[id] = true
+				return true
+			})
+		}
+	}
+	if len(st.fields) == 0 {
+		return st
+	}
+
+	// Phase 2: every other mention is a plain access (composite-literal
+	// keys exempt — construction precedes publication).
+	for _, pkg := range g.pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			compositeKeys := collectCompositeKeys(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				facts := st.fields[v]
+				if facts == nil || facts.atomicIdents[id] || compositeKeys[id] {
+					return true
+				}
+				facts.plainUses = append(facts.plainUses, atomicUse{pos: id.Pos(), pkgPath: pkg.PkgPath})
+				return true
+			})
+		}
+	}
+
+	// Alignment of 64-bit atomic struct fields under 32-bit sizes.
+	sizes := types.SizesFor("gc", "386")
+	for _, v := range st.ordered {
+		facts := st.fields[v]
+		if !facts.is64 || !v.IsField() {
+			continue
+		}
+		if b, ok := v.Type().Underlying().(*types.Basic); !ok || (b.Kind() != types.Int64 && b.Kind() != types.Uint64) {
+			continue
+		}
+		for _, named := range g.named {
+			strct, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			fields := make([]*types.Var, strct.NumFields())
+			idx := -1
+			for i := 0; i < strct.NumFields(); i++ {
+				fields[i] = strct.Field(i)
+				if fields[i] == v {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			offs := sizes.Offsetsof(fields)
+			if offs[idx]%8 != 0 {
+				facts.alignBad = true
+				facts.alignOffset = offs[idx]
+				facts.structName = named.Obj().Name()
+			}
+			break
+		}
+	}
+	return st
+}
+
+// legacyAtomicOp matches the package-level sync/atomic functions taking a
+// pointer operand, returning the name and whether it is a 64-bit op.
+func legacyAtomicOp(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false // wrapper-type methods are sound by construction
+	}
+	name := f.Name()
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return name, strings.HasSuffix(name, "64")
+		}
+	}
+	return "", false
+}
+
+// addressedVar resolves the operand of &expr to a variable worth tracking
+// (struct field or package-level var) plus the identifier naming it.
+func addressedVar(info *types.Info, e ast.Expr) (*types.Var, *ast.Ident) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v, e
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v, e.Sel
+		}
+	case *ast.IndexExpr:
+		// &xs[i] — element atomics have no stable per-element identity to
+		// track; skipped.
+	}
+	return nil, nil
+}
+
+// displayName renders a tracked variable for diagnostics.
+func displayName(v *types.Var) string {
+	if v.IsField() {
+		if v.Pkg() != nil {
+			return v.Pkg().Name() + ".(field " + v.Name() + ")"
+		}
+		return "field " + v.Name()
+	}
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// collectCompositeKeys returns the identifiers used as keys of composite
+// literals in the file.
+func collectCompositeKeys(f *ast.File) map[*ast.Ident]bool {
+	keys := make(map[*ast.Ident]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}

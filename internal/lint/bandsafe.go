@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -30,28 +31,54 @@ import (
 //     Writes must be indexed by the interior (X0/Y0/X1/Y1) only; the R
 //     fields exist for reads.
 //
-// Named functions passed to the fan-outs (rare; the code base always passes
-// literals) are not analyzed — keep band/tile bodies as literals so the
-// analyzer sees them.
+// Named functions and method values passed to the fan-outs are resolved
+// through the call graph and their declarations checked under the same
+// rules; for them the "captured variable" rule degenerates to package-level
+// variables, the only state a declared function can write directly without
+// a closure environment. Without a call graph (isolated package runs) named
+// arguments are skipped, the PR 3 behaviour.
 var BandSafe = &Analyzer{
 	Name: "bandsafe",
-	Doc:  "par.Rows/par.Tiles closures may write only band- or interior-indexed elements, never halo cells, and must not fan out reentrantly",
+	Doc:  "par.Rows/par.Tiles bodies (literals or named functions) may write only band- or interior-indexed elements, never halo cells, and must not fan out reentrantly",
 	Run:  runBandSafe,
 }
 
 func runBandSafe(pass *Pass) error {
+	// One named function may be passed to fan-outs at several sites; its
+	// declaration is checked once per (function, closure kind).
+	checkedNamed := make(map[*ast.FuncDecl]map[string]bool)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			name, ok := parFanoutCall(pass, call)
+			name, ok := parFanoutCall(pass.Info, call)
 			if !ok {
 				return true
 			}
-			if lit, ok := parFanoutClosure(name, call); ok {
+			arg, ok := parFanoutBodyArg(name, call)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
 				checkBandClosure(pass, name, lit)
+				return true
+			}
+			if pass.Graph == nil {
+				return true
+			}
+			if f := funcValueOf(pass.Info, arg); f != nil {
+				if node := pass.Graph.NodeOf(f); node != nil {
+					kind := closureKind(name)
+					if checkedNamed[node.Decl] == nil {
+						checkedNamed[node.Decl] = make(map[string]bool)
+					}
+					if !checkedNamed[node.Decl][kind] {
+						checkedNamed[node.Decl][kind] = true
+						checkBandNamed(pass, name, node)
+					}
+				}
 			}
 			return true
 		})
@@ -61,8 +88,8 @@ func runBandSafe(pass *Pass) error {
 
 // parFanoutCall reports whether the call resolves to one of internal/par's
 // fan-out entry points, returning its name.
-func parFanoutCall(pass *Pass, call *ast.CallExpr) (string, bool) {
-	f := calleeFunc(pass.Info, call)
+func parFanoutCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
 	if f == nil || f.Pkg() == nil || !pathHasSuffixPkg(f.Pkg().Path(), "par") {
 		return "", false
 	}
@@ -73,16 +100,15 @@ func parFanoutCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-// parFanoutClosure extracts the closure literal of a fan-out call: the last
+// parFanoutBodyArg extracts the body argument of a fan-out call: the last
 // argument of Rows(n, fn), Tiles(w, h, halo, fn), TilesOf(w, h, tw, th,
-// halo, fn).
-func parFanoutClosure(name string, call *ast.CallExpr) (*ast.FuncLit, bool) {
+// halo, fn) — a function literal or a named function value.
+func parFanoutBodyArg(name string, call *ast.CallExpr) (ast.Expr, bool) {
 	arity := map[string]int{"Rows": 2, "Tiles": 4, "TilesOf": 6}[name]
 	if len(call.Args) != arity {
 		return nil, false
 	}
-	lit, ok := ast.Unparen(call.Args[arity-1]).(*ast.FuncLit)
-	return lit, ok
+	return call.Args[arity-1], true
 }
 
 // closureKind names the closure for diagnostics: Rows runs band closures,
@@ -95,19 +121,35 @@ func closureKind(fanout string) string {
 }
 
 func checkBandClosure(pass *Pass, fanout string, lit *ast.FuncLit) {
+	supp := pass.suppOf()
+	checkBandBody(pass, pass.Info, supp, fanout, lit.Body, lit.Pos(), lit.End(), "closure")
+}
+
+// checkBandNamed applies the band/tile rules to a named function's
+// declaration, using the declaring package's type info and suppression
+// index (the function may live in another package than the fan-out call).
+func checkBandNamed(pass *Pass, fanout string, node *CallNode) {
+	checkBandBody(pass, node.Pkg.Info, node.Pkg.suppIdx(), fanout, node.Decl.Body,
+		node.Decl.Pos(), node.Decl.End(), "function "+shortFuncName(node.Func))
+}
+
+// checkBandBody walks one band/tile body. [lo, hi] is the source range of
+// the band function itself: objects declared inside it are band-local and
+// free; anything outside is shared across concurrent bands.
+func checkBandBody(pass *Pass, info *types.Info, supp *suppIndex, fanout string, body *ast.BlockStmt, lo, hi token.Pos, what string) {
 	kind := closureKind(fanout)
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if inner, ok := parFanoutCall(pass, n); ok && !pass.Suppressed("bandsafe-ok", n.Pos()) {
-				pass.Reportf(n.Pos(), "reentrant par.%s inside a %s closure: %ss must not fan out again (compose kernels sequentially)", inner, kind, kind)
+			if inner, ok := parFanoutCall(info, n); ok && !supp.has("bandsafe-ok", n.Pos()) {
+				pass.Reportf(n.Pos(), "reentrant par.%s inside a %s %s: %ss must not fan out again (compose kernels sequentially)", inner, kind, what, kind)
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				checkBandWrite(pass, kind, lit, lhs, n.Tok.String())
+				checkBandWrite(pass, info, supp, kind, lo, hi, lhs, n.Tok.String(), what)
 			}
 		case *ast.IncDecStmt:
-			checkBandWrite(pass, kind, lit, n.X, n.Tok.String())
+			checkBandWrite(pass, info, supp, kind, lo, hi, n.X, n.Tok.String(), what)
 		case *ast.UnaryExpr:
 			// &captured escaping the closure could alias a write; out of
 			// scope for a mechanical check.
@@ -116,35 +158,35 @@ func checkBandClosure(pass *Pass, fanout string, lit *ast.FuncLit) {
 	})
 }
 
-// checkBandWrite flags a direct store to an identifier captured from the
-// enclosing function and, in tile closures, a store indexed by a
+// checkBandWrite flags a direct store to an identifier declared outside the
+// band function's source range and, in tile closures, a store indexed by a
 // read-window coordinate. Other writes through index/star/selector
 // expressions are assumed band-disjoint (that is the contract the closure's
 // author signs).
-func checkBandWrite(pass *Pass, kind string, lit *ast.FuncLit, lhs ast.Expr, tok string) {
+func checkBandWrite(pass *Pass, info *types.Info, supp *suppIndex, kind string, lo, hi token.Pos, lhs ast.Expr, tok, what string) {
 	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && kind == "tile" {
-		checkHaloIndex(pass, idx.Index)
+		checkHaloIndex(pass, info, supp, idx.Index)
 		return
 	}
 	id, ok := ast.Unparen(lhs).(*ast.Ident)
 	if !ok || id.Name == "_" {
 		return
 	}
-	obj := objOf(pass, id)
+	obj := objOf(info, id)
 	if obj == nil {
 		return
 	}
 	if _, isVar := obj.(*types.Var); !isVar {
 		return
 	}
-	// Declared inside the closure (including its parameters) — fine.
-	if lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End() {
+	// Declared inside the band function (including its parameters) — fine.
+	if lo <= obj.Pos() && obj.Pos() <= hi {
 		return
 	}
-	if pass.Suppressed("bandsafe-ok", id.Pos()) {
+	if supp.has("bandsafe-ok", id.Pos()) {
 		return
 	}
-	pass.Reportf(id.Pos(), "%s closure writes captured variable %q (%s): concurrent %ss race on it and the result depends on the worker count; write through %s-indexed slice elements instead", kind, id.Name, tok, kind, kind)
+	pass.Reportf(id.Pos(), "%s %s writes captured variable %q (%s): concurrent %ss race on it and the result depends on the worker count; write through %s-indexed slice elements instead", kind, what, id.Name, tok, kind, kind)
 }
 
 // readWindowFields are the par.Tile coordinates a tile closure may read
@@ -155,17 +197,17 @@ var readWindowFields = map[string]bool{"RX0": true, "RY0": true, "RX1": true, "R
 // expression of a store. The check is syntactic over the index expression —
 // a coordinate laundered through a local variable escapes it — but it
 // catches the direct shape, which is the one reviewers actually write.
-func checkHaloIndex(pass *Pass, index ast.Expr) {
+func checkHaloIndex(pass *Pass, info *types.Info, supp *suppIndex, index ast.Expr) {
 	ast.Inspect(index, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok || !readWindowFields[sel.Sel.Name] {
 			return true
 		}
-		obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		obj, ok := info.Uses[sel.Sel].(*types.Var)
 		if !ok || !obj.IsField() || obj.Pkg() == nil || !pathHasSuffixPkg(obj.Pkg().Path(), "par") {
 			return true
 		}
-		if pass.Suppressed("bandsafe-ok", sel.Pos()) {
+		if supp.has("bandsafe-ok", sel.Pos()) {
 			return true
 		}
 		pass.Reportf(sel.Pos(), "tile closure writes through read-window coordinate %s: halo cells belong to neighbouring tiles; store through the interior (X0/Y0/X1/Y1) only", sel.Sel.Name)

@@ -48,10 +48,20 @@ func detrandWallClockExempt(path string) bool {
 // run). Map ranges are allowed when the loop only collects keys that are
 // sorted afterwards in the same function, the canonical deterministic
 // idiom; anything subtler needs an "//adavp:detrand-ok <why>" suppression.
+//
+// With a call graph the check is interprocedural: every call, function
+// reference, or interface dispatch leaving a deterministic package is
+// followed through non-deterministic module packages, and an unsuppressed
+// wall-clock or math/rand sink any number of hops away is reported at the
+// deterministic caller with the chain that reaches it. Taint stops at
+// deterministic-package boundaries (each det package is verified by its own
+// run) and at //adavp:detrand-ok suppressions on the sink, so one justified
+// helper does not require every caller to re-justify it.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc: "forbid wall-clock, math/rand and ordered map iteration in deterministic packages " +
-		"(sim, detect, adapt, core, imgproc, flow, track, video, features, metrics, experiments, obs, serve)",
+		"(sim, detect, adapt, core, imgproc, flow, track, video, features, metrics, experiments, obs, serve), " +
+		"including through transitive calls into non-deterministic packages",
 	Run: runDetRand,
 }
 
@@ -60,6 +70,9 @@ func runDetRand(pass *Pass) error {
 		return nil
 	}
 	clockExempt := detrandWallClockExempt(pass.PkgPath)
+	if pass.Graph != nil {
+		checkDetTaintedCalls(pass, clockExempt)
+	}
 	for _, file := range pass.Files {
 		for _, imp := range file.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -102,6 +115,39 @@ func runDetRand(pass *Pass) error {
 		ast.Inspect(file, walk)
 	}
 	return nil
+}
+
+// checkDetTaintedCalls flags call-graph edges leaving the deterministic
+// package whose target transitively reaches a nondeterminism sink. One
+// suppression on an edge covers later edges to the same callee within the
+// same function — the justification is about the callee, not the call site.
+func checkDetTaintedCalls(pass *Pass, clockExempt bool) {
+	for _, n := range pass.Graph.NodesIn(pass.PkgPath) {
+		handled := make(map[*types.Func]bool)
+		for _, e := range n.Callees {
+			if handled[e.Callee] {
+				continue
+			}
+			cn := pass.Graph.NodeOf(e.Callee)
+			if cn == nil || detrandPackage(cn.Pkg.PkgPath) {
+				continue
+			}
+			t := pass.Graph.TaintOf(e.Callee)
+			if t == nil || (t.Kind == "wall-clock" && clockExempt) {
+				continue
+			}
+			handled[e.Callee] = true
+			if pass.Suppressed("detrand-ok", e.Pos) {
+				continue
+			}
+			via := ""
+			if e.Kind != EdgeCall {
+				via = " (" + e.Kind.String() + ")"
+			}
+			pass.Reportf(e.Pos, "deterministic package reaches a %s sink%s: %s — %s at %s; pass the value in from outside the deterministic core or justify with //adavp:detrand-ok",
+				t.Kind, via, chainString(t.Chain), t.SinkName, pass.Graph.basePos(t.SinkPos))
+		}
+	}
 }
 
 // funcBody returns the body of a FuncDecl or FuncLit (possibly nil).

@@ -58,7 +58,11 @@ func RunFixture(t reporter, a *Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	// The graph spans the fixture package and everything it transitively
+	// imports from the module (including sibling fixture packages), so the
+	// interprocedural checks see exactly what a real `make lint` run sees.
+	graph := BuildCallGraph(loader.Loaded())
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a}, graph)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}

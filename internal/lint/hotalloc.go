@@ -21,11 +21,16 @@ import (
 // Anything else needs "//adavp:alloc-ok <why>". The fix the analyzer points
 // to is imgproc.Scratch (or a sync.Pool when call lifetimes overlap).
 //
-// The check is per function body: an annotated kernel calling an
-// unannotated allocating helper is not flagged — annotate the helper too.
+// With a call graph the check is transitive: every call edge leaving an
+// annotated root is followed through unannotated module callees (direct
+// calls, function-value references, interface dispatch), and the first
+// unamortized allocation on any path is reported at the root's call site
+// with the chain that reaches it. Traversal stops at callees that are
+// themselves //adavp:hotpath — they are roots of their own check — so
+// annotating a helper both asserts and verifies its cleanliness.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "forbid steady-state allocation (make/new/growing append) in //adavp:hotpath functions; direct to imgproc.Scratch",
+	Doc:  "forbid steady-state allocation (make/new/growing append) in //adavp:hotpath functions and their transitive callees; direct to imgproc.Scratch",
 	Run:  runHotAlloc,
 }
 
@@ -39,10 +44,63 @@ func runHotAlloc(pass *Pass) error {
 			checkHotFunc(pass, fd)
 		}
 	}
+	if pass.Graph != nil {
+		checkHotFuncTransitive(pass)
+	}
 	return nil
 }
 
 func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	supp := newSuppIndex(pass.Fset, pass.Files)
+	if pass.pkg != nil {
+		supp = pass.pkg.suppIdx()
+	}
+	for _, site := range localAllocSites(pass.Info, supp, fd) {
+		if site.what == "growing append" {
+			pass.Reportf(site.pos, "growing append in //adavp:hotpath function; back the slice with scratch state (see blobScratch) or justify with //adavp:alloc-ok")
+		} else {
+			pass.Reportf(site.pos, "allocation in //adavp:hotpath function; reuse a buffer (imgproc.Scratch / sync.Pool) or guard the grow with a cap() check")
+		}
+	}
+}
+
+// checkHotFuncTransitive walks every hotpath root of the package and follows
+// its call-graph edges into unannotated callees, reporting the first
+// allocation trail per callee at the root's call/reference site.
+func checkHotFuncTransitive(pass *Pass) {
+	for _, n := range pass.Graph.NodesIn(pass.PkgPath) {
+		if !n.HotPath {
+			continue
+		}
+		seen := make(map[*types.Func]bool)
+		for _, e := range n.Callees {
+			if seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			trail := pass.Graph.AllocTrailOf(e.Callee)
+			if trail == nil {
+				continue
+			}
+			if pass.Suppressed("alloc-ok", e.Pos) {
+				continue
+			}
+			via := ""
+			if e.Kind != EdgeCall {
+				via = " (" + e.Kind.String() + ")"
+			}
+			pass.Reportf(e.Pos, "//adavp:hotpath function %s calls%s into an allocating path: %s — %s at %s; annotate the helper //adavp:hotpath (and amortize it) or hoist the allocation",
+				shortFuncName(n.Func), via, chainString(trail.Chain), trail.SiteWhat, pass.Graph.basePos(trail.SitePos))
+		}
+	}
+}
+
+// localAllocSites returns the unamortized allocation sites of one function
+// body — the per-function half of hotalloc, shared with the call-graph
+// builder so transitive trails apply the exact same amortization tests and
+// //adavp:alloc-ok suppressions as direct reports.
+func localAllocSites(info *types.Info, supp *suppIndex, fd *ast.FuncDecl) []allocSite {
+	var sites []allocSite
 	// Ancestor stack for the cap-guard test.
 	var stack []ast.Node
 	var walk func(n ast.Node) bool
@@ -57,27 +115,32 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		switch {
-		case isBuiltin(pass.Info, call, "make") || isBuiltin(pass.Info, call, "new"):
-			if underCapGuard(pass, stack) || pass.Suppressed("alloc-ok", call.Pos()) {
+		case isBuiltin(info, call, "make") || isBuiltin(info, call, "new"):
+			if underCapGuard(info, stack) || supp.has("alloc-ok", call.Pos()) {
 				return true
 			}
-			pass.Reportf(call.Pos(), "allocation in //adavp:hotpath function; reuse a buffer (imgproc.Scratch / sync.Pool) or guard the grow with a cap() check")
-		case isBuiltin(pass.Info, call, "append"):
-			if appendAmortized(pass, fd, call) || underCapGuard(pass, stack) || pass.Suppressed("alloc-ok", call.Pos()) {
+			what := "make"
+			if isBuiltin(info, call, "new") {
+				what = "new"
+			}
+			sites = append(sites, allocSite{pos: call.Pos(), what: what})
+		case isBuiltin(info, call, "append"):
+			if appendAmortized(info, fd, call) || underCapGuard(info, stack) || supp.has("alloc-ok", call.Pos()) {
 				return true
 			}
-			pass.Reportf(call.Pos(), "growing append in //adavp:hotpath function; back the slice with scratch state (see blobScratch) or justify with //adavp:alloc-ok")
+			sites = append(sites, allocSite{pos: call.Pos(), what: "growing append"})
 		}
 		return true
 	}
 	ast.Inspect(fd.Body, walk)
+	return sites
 }
 
 // underCapGuard reports whether any enclosing if-statement's condition
 // reads cap(...): the amortized guarded-grow idiom
 //
 //	if cap(buf) < need { buf = make(...) }
-func underCapGuard(pass *Pass, stack []ast.Node) bool {
+func underCapGuard(info *types.Info, stack []ast.Node) bool {
 	for _, n := range stack {
 		ifs, ok := n.(*ast.IfStmt)
 		if !ok {
@@ -85,7 +148,7 @@ func underCapGuard(pass *Pass, stack []ast.Node) bool {
 		}
 		found := false
 		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
-			if call, ok := c.(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "cap") {
+			if call, ok := c.(*ast.CallExpr); ok && isBuiltin(info, call, "cap") {
 				found = true
 			}
 			return !found
@@ -105,7 +168,7 @@ func underCapGuard(pass *Pass, stack []ast.Node) bool {
 //   - base is a local initialized from a struct field, or assigned back to
 //     one somewhere in the same function (the `stack := bs.stack; ...;
 //     bs.stack = stack` idiom of the blob detector).
-func appendAmortized(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+func appendAmortized(info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr) bool {
 	if len(call.Args) == 0 {
 		return false
 	}
@@ -123,14 +186,11 @@ func appendAmortized(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
 	case *ast.SelectorExpr:
 		return true // struct-field slice: persistent, amortized
 	case *ast.Ident:
-		obj := pass.Info.Uses[b]
-		if obj == nil {
-			obj = pass.Info.Defs[b]
-		}
+		obj := objOf(info, b)
 		if obj == nil {
 			return false
 		}
-		return scratchBacked(pass, fd, obj)
+		return scratchBacked(info, fd, obj)
 	default:
 		_ = b
 	}
@@ -145,7 +205,7 @@ func isZeroLiteral(e ast.Expr) bool {
 // scratchBacked reports whether obj (a slice variable) is connected to
 // struct state inside fd: defined from a field selector, or stored into a
 // field selector.
-func scratchBacked(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+func scratchBacked(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
 	backed := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if backed {
@@ -161,7 +221,7 @@ func scratchBacked(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
 			}
 			lhs, rhs := ast.Unparen(asg.Lhs[i]), ast.Unparen(asg.Rhs[i])
 			// stack := bs.stack  (or stack := bs.stack[:0])
-			if id, ok := lhs.(*ast.Ident); ok && objOf(pass, id) == obj {
+			if id, ok := lhs.(*ast.Ident); ok && objOf(info, id) == obj {
 				if isFieldRooted(rhs) {
 					backed = true
 					return false
@@ -169,7 +229,7 @@ func scratchBacked(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
 			}
 			// bs.stack = stack
 			if _, ok := lhs.(*ast.SelectorExpr); ok {
-				if id, ok := rhs.(*ast.Ident); ok && objOf(pass, id) == obj {
+				if id, ok := rhs.(*ast.Ident); ok && objOf(info, id) == obj {
 					backed = true
 					return false
 				}
@@ -180,11 +240,11 @@ func scratchBacked(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
 	return backed
 }
 
-func objOf(pass *Pass, id *ast.Ident) types.Object {
-	if o := pass.Info.Uses[id]; o != nil {
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
 		return o
 	}
-	return pass.Info.Defs[id]
+	return info.Defs[id]
 }
 
 // isFieldRooted reports whether e is a selector expression, possibly

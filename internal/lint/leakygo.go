@@ -20,7 +20,9 @@ import (
 //     (rt's detector/tracker loop goroutines).
 //
 // `go` on a named function or method is accepted when the call forwards a
-// context argument; otherwise wrap it in a literal that does. Package
+// context argument; with a call graph the named function's declaration is
+// resolved and its body searched for the same shutdown shapes a literal
+// would show (without a graph, wrap it in a literal that does). Package
 // internal/guard is exempt wholesale: it is the sanctioned launcher — its
 // supervised-call goroutine is bounded by the supervised function itself,
 // which this analyzer checks at the caller. Anything else needs
@@ -52,51 +54,67 @@ func runLeakyGo(pass *Pass) error {
 }
 
 func goCancellable(pass *Pass, gs *ast.GoStmt) bool {
-	if forwardsContext(pass, gs.Call) {
+	if forwardsContext(pass.Info, gs.Call) {
 		return true
 	}
-	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
-	if !ok {
-		return false
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return bodyCancellable(pass.Info, lit.Body)
 	}
-	ok = false
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if ok {
+	// go on a named function or method: resolve its declaration through the
+	// call graph and search that body — with its own package's type info —
+	// for the same shutdown shapes.
+	if pass.Graph != nil {
+		if f := calleeFunc(pass.Info, gs.Call); f != nil {
+			if node := pass.Graph.NodeOf(f); node != nil && node.Decl.Body != nil {
+				return bodyCancellable(node.Pkg.Info, node.Decl.Body)
+			}
+		}
+	}
+	return false
+}
+
+// bodyCancellable searches one function body for an accepted shutdown
+// shape: a channel receive, a range over a channel, a WaitGroup.Done, or a
+// call forwarding a context.
+func bodyCancellable(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
 			return false
 		}
 		switch n := n.(type) {
 		case *ast.UnaryExpr:
 			// <-ch anywhere (including select cases, which contain these).
 			if n.Op.String() == "<-" {
-				ok = true
+				found = true
 			}
 		case *ast.RangeStmt:
-			if tv, found := pass.Info.Types[n.X]; found {
+			if tv, ok := info.Types[n.X]; ok {
 				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-					ok = true
+					found = true
 				}
 			}
 		case *ast.CallExpr:
-			if isWaitGroupDone(pass, n) || forwardsContext(pass, n) {
-				ok = true
+			if isWaitGroupDone(info, n) || forwardsContext(info, n) {
+				found = true
 			}
 		}
-		return !ok
+		return !found
 	})
-	return ok
+	return found
 }
 
 // isWaitGroupDone matches wg.Done() for a sync.WaitGroup receiver.
-func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
-	f := calleeFunc(pass.Info, call)
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
 	return f != nil && f.FullName() == "(*sync.WaitGroup).Done"
 }
 
 // forwardsContext reports whether any argument of the call has type
 // context.Context.
-func forwardsContext(pass *Pass, call *ast.CallExpr) bool {
+func forwardsContext(info *types.Info, call *ast.CallExpr) bool {
 	for _, arg := range call.Args {
-		tv, ok := pass.Info.Types[arg]
+		tv, ok := info.Types[arg]
 		if !ok || tv.Type == nil {
 			continue
 		}

@@ -1,24 +1,38 @@
 // Package lint is adavplint: a static-analysis suite that turns this
-// repository's prose invariants into build-failing checks. Five analyzers
-// enforce the contracts the reproduction rests on:
+// repository's prose invariants into build-failing checks. Eight analyzers
+// enforce the contracts the reproduction rests on, sharing a module-wide
+// static call graph (callgraph.go) so violations are caught
+// interprocedurally:
 //
-//   - detrand: deterministic packages must not read the wall clock, use
-//     math/rand, or iterate maps in output-affecting order (ISSUE: the
-//     Fig. 9 / Table 2 numbers depend on seeded internal/rng).
+//   - detrand: deterministic packages must not — directly or through any
+//     chain of module calls — read the wall clock, use math/rand, or
+//     iterate maps in output-affecting order (ISSUE: the Fig. 9 / Table 2
+//     numbers depend on seeded internal/rng).
 //   - hotalloc: functions annotated //adavp:hotpath — the per-frame pixel
-//     kernels — must not allocate in steady state.
-//   - bandsafe: closures passed to par.Rows may only write through their
-//     band indices and must not call par.Rows reentrantly.
-//   - leakygo: every goroutine in non-test code must be cancellable or
-//     join-bounded.
+//     kernels — and their transitive callees must not allocate in steady
+//     state; //adavp:amortized marks cold-path-only allocators traversal
+//     may stop at.
+//   - bandsafe: closures or named functions passed to par.Rows/par.Tiles
+//     may only write through their band indices and must not fan out
+//     reentrantly.
+//   - leakygo: every goroutine in non-test code — go func(){...} or
+//     go namedFunc() — must be cancellable or join-bounded.
 //   - poolpair: a sync.Pool.Get must be paired with a Put in the same
 //     function, or carry an explicit //adavp:pool-drop justification.
+//   - lockorder: module mutexes are acquired in one consistent order;
+//     inversions, cycles and self-deadlocks are reported with witnesses.
+//   - atomichygiene: a variable accessed via sync/atomic is never also
+//     accessed plainly, and 64-bit atomics stay 8-aligned on 32-bit.
+//   - stagepure: //adavp:stage-annotated pipeline stages touch only their
+//     own state and communicate through channels.
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Diagnostic) but is built on the standard library only:
 // this module has no third-party dependencies, and the linter must not be
 // the first. The loader in loader.go plays the role of go/packages for the
-// single-module, stdlib-only world this repository lives in.
+// single-module, stdlib-only world this repository lives in. escape.go
+// adds the compiler escape-analysis gate behind `make escapecheck` (see
+// cmd/escapecheck).
 //
 // Suppressions are comments of the form
 //
@@ -66,15 +80,26 @@ type Pass struct {
 	Pkg     *types.Package
 	PkgPath string
 	Info    *types.Info
+	// Graph is the module-wide call graph, shared by every pass of one lint
+	// run. Nil when the caller analyzes a package in isolation — the
+	// analyzers then degrade to their per-function PR 3 behaviour, which is
+	// exactly what the "two-hop violations are invisible locally" tests pin.
+	Graph *CallGraph
 
+	pkg   *Package
 	diags *[]Diagnostic
-	// lineComments caches per-file line → comment text for suppression
-	// lookup; built lazily.
-	lineComments map[*token.File]map[int]string
+	supp  *suppIndex
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos. Findings positioned inside generated
+// files are dropped: the fix belongs in the generator.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.pkg != nil && p.pkg.IsGenerated(pos) {
+		return
+	}
+	if p.Graph != nil && p.Graph.IsGenerated(pos) {
+		return
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
@@ -86,36 +111,74 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // above it, carries an "//adavp:<directive> <why>" comment with a non-empty
 // justification.
 func (p *Pass) Suppressed(directive string, pos token.Pos) bool {
-	tf := p.Fset.File(pos)
-	if tf == nil {
-		return false
+	return p.suppOf().has(directive, pos)
+}
+
+// suppOf returns the pass's suppression index, building it on first use.
+func (p *Pass) suppOf() *suppIndex {
+	if p.supp == nil {
+		if p.pkg != nil {
+			p.supp = p.pkg.suppIdx()
+		} else {
+			p.supp = newSuppIndex(p.Fset, p.Files)
+		}
 	}
-	if p.lineComments == nil {
-		p.lineComments = make(map[*token.File]map[int]string)
-	}
-	lines, ok := p.lineComments[tf]
-	if !ok {
-		lines = make(map[int]string)
-		for _, f := range p.Files {
-			if p.Fset.File(f.Pos()) != tf {
-				continue
-			}
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					ln := tf.Line(c.Pos())
-					lines[ln] += " " + c.Text
-				}
+	return p.supp
+}
+
+// suppIndex is the per-package suppression-comment lookup: file line →
+// accumulated comment text. One index serves every analyzer of a package,
+// and the call-graph builder uses the same machinery so interprocedural
+// facts honour the same //adavp: directives as direct reports.
+type suppIndex struct {
+	fset  *token.FileSet
+	lines map[*token.File]map[int][]string
+}
+
+func newSuppIndex(fset *token.FileSet, files []*ast.File) *suppIndex {
+	s := &suppIndex{fset: fset, lines: make(map[*token.File]map[int][]string)}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		m := s.lines[tf]
+		if m == nil {
+			m = make(map[int][]string)
+			s.lines[tf] = m
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ln := tf.Line(c.Pos())
+				m[ln] = append(m[ln], c.Text)
 			}
 		}
-		p.lineComments[tf] = lines
 	}
-	line := tf.Line(pos)
-	for _, ln := range []int{line, line - 1} {
-		if hasDirective(lines[ln], directive) {
+	return s
+}
+
+// has reports whether the line holding pos or the one above carries
+// "//adavp:<directive> <why>" with a non-empty justification.
+func (s *suppIndex) has(directive string, pos token.Pos) bool {
+	for _, c := range s.commentsAt(pos) {
+		if hasDirective(c, directive) {
 			return true
 		}
 	}
 	return false
+}
+
+// commentsAt returns the comments on the line above pos followed by those on
+// pos's own line — the two places a suppression or a //adavp:stage
+// annotation may sit for a statement or function literal.
+func (s *suppIndex) commentsAt(pos token.Pos) []string {
+	tf := s.fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	lines := s.lines[tf]
+	line := tf.Line(pos)
+	return append(append([]string(nil), lines[line-1]...), lines[line]...)
 }
 
 // hasDirective reports whether text contains "//adavp:<directive>" followed
@@ -132,6 +195,24 @@ func hasDirective(text, directive string) bool {
 		rest = rest[:nl]
 	}
 	return strings.TrimSpace(rest) != ""
+}
+
+// funcDocDirective reports whether the declaration's doc comment carries a
+// comment line starting with "//adavp:<name> <why>" — an annotation that,
+// like a suppression, demands a justification (//adavp:amortized is the
+// user).
+func funcDocDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	marker := "//adavp:" + name
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if strings.HasPrefix(text, marker) && hasDirective(text, name) {
+			return true
+		}
+	}
+	return false
 }
 
 // funcHasAnnotation reports whether the declaration's doc comment carries
@@ -179,6 +260,21 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
+// funcValueOf resolves an expression used as a function value (a named
+// function or method value passed as an argument) to its *types.Func, or
+// nil.
+func funcValueOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
 // pathHasSuffixPkg reports whether import path `path` denotes package
 // internal/<name> — either exactly or as a path suffix. Fixture packages
 // under testdata keep their long testdata path, so suffix matching lets the
@@ -202,8 +298,11 @@ func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 	})
 }
 
-// RunAnalyzers executes every analyzer over one loaded package.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunAnalyzers executes every analyzer over one loaded package. graph is the
+// module-wide call graph shared across packages (BuildCallGraph over
+// Loader.Loaded()); pass nil to run the analyzers in per-package isolation,
+// losing every interprocedural check.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, graph *CallGraph) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -213,6 +312,8 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:      pkg.Types,
 			PkgPath:  pkg.PkgPath,
 			Info:     pkg.Info,
+			Graph:    graph,
+			pkg:      pkg,
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {

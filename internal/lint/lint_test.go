@@ -29,3 +29,27 @@ func TestLeakyGoFixture(t *testing.T) {
 func TestPoolPairFixture(t *testing.T) {
 	RunFixture(t, PoolPair, "testdata/src/poolpair")
 }
+
+func TestDetRandInterprocFixture(t *testing.T) {
+	RunFixture(t, DetRand, "testdata/src/interproc/internal/sim")
+}
+
+func TestHotAllocInterprocFixture(t *testing.T) {
+	RunFixture(t, HotAlloc, "testdata/src/interproc/hot")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	RunFixture(t, LockOrder, "testdata/src/lockorder")
+}
+
+func TestLockOrderCycleFixture(t *testing.T) {
+	RunFixture(t, LockOrder, "testdata/src/lockorder3")
+}
+
+func TestAtomicHygieneFixture(t *testing.T) {
+	RunFixture(t, AtomicHygiene, "testdata/src/atomichygiene")
+}
+
+func TestStagePureFixture(t *testing.T) {
+	RunFixture(t, StagePure, "testdata/src/stagepure")
+}

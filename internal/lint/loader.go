@@ -28,6 +28,36 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// generated marks files carrying the standard "Code generated ... DO NOT
+	// EDIT." header. They are loaded and type-checked (cross-file types must
+	// resolve) but diagnostics inside them are dropped: a generator's output
+	// is fixed at the generator, not at the generated line.
+	generated map[*ast.File]bool
+
+	supp *suppIndex
+}
+
+// IsGenerated reports whether the file at pos belongs to a generated source
+// file of this package.
+func (p *Package) IsGenerated(pos token.Pos) bool {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	for f, gen := range p.generated {
+		if gen && p.Fset.File(f.Pos()) == tf {
+			return true
+		}
+	}
+	return false
+}
+
+// suppIdx returns the package's lazily built suppression-comment index.
+func (p *Package) suppIdx() *suppIndex {
+	if p.supp == nil {
+		p.supp = newSuppIndex(p.Fset, p.Files)
+	}
+	return p.supp
 }
 
 // Loader parses and type-checks packages of a single Go module with no
@@ -175,15 +205,35 @@ func (l *Loader) load(path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
 	pkg := &Package{
-		PkgPath: path,
-		Dir:     dir,
-		Fset:    l.fset,
-		Files:   files,
-		Types:   tpkg,
-		Info:    info,
+		PkgPath:   path,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		generated: make(map[*ast.File]bool),
+	}
+	for _, f := range files {
+		if ast.IsGenerated(f) {
+			pkg.generated[f] = true
+		}
 	}
 	l.loaded[path] = pkg
 	return pkg, nil
+}
+
+// Loaded returns every module-internal package type-checked so far (the ones
+// carrying analysis info), sorted by import path — the input BuildCallGraph
+// wants after the target packages have been loaded.
+func (l *Loader) Loaded() []*Package {
+	var pkgs []*Package
+	for _, pkg := range l.loaded {
+		if pkg.Info != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs
 }
 
 // parseDir parses the build-selected non-test Go files of dir.

@@ -1,0 +1,512 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder checks that the module's mutexes are always acquired in one
+// consistent global order — the discipline that makes the serve/obs/guard
+// triangle (Pool.mu → Registry.mu, Supervisor.mu → Journal.mu, ...)
+// deadlock-free by construction rather than by luck.
+//
+// Model: a lock is identified statically by (named struct type, field name)
+// — any instance of serve.Pool.mu is "the" Pool lock — or by a package-level
+// variable. Anonymous local mutexes are skipped: they cannot participate in
+// a cross-function order. RLock counts as Lock (a reader–writer inversion
+// still wedges once a writer queues between the two readers), and TryLock
+// is ignored (non-blocking acquisitions cannot complete a deadlock cycle).
+//
+// For every function body the analyzer tracks the held set in source order:
+// Lock pushes, Unlock pops, `defer mu.Unlock()` holds to the end of the
+// body. Acquiring B with A held records the order edge A→B; calling a
+// function with A held records A→X for every lock X the callee transitively
+// acquires (through direct calls and interface dispatch, fixpointed over
+// the call graph). Function literals are analyzed as standalone bodies with
+// an empty held set — a closure does not inherit its creator's locks — but
+// their acquisitions count toward the declaring function's transitive set,
+// which over-approximates for closures that only run asynchronously.
+//
+// A cycle among the edges (A→B and B→A, or longer) is reported at every
+// package containing a witness; acquiring a lock that is already held is
+// reported as a self-deadlock. The tracking is flow-insensitive within a
+// body (branches are read as straight-line code), which errs toward extra
+// edges — the safe direction for a deadlock check. Suppress a deliberate
+// exception with "//adavp:lockorder-ok <why>" at the witness.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisition must follow one consistent global order; flags order inversions and re-acquisition self-deadlocks across the module",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	if pass.Graph == nil {
+		return nil // inherently module-wide: needs the call graph
+	}
+	st := pass.Graph.lockAnalysis()
+
+	seenSelf := make(map[lockWitness]bool)
+	for _, w := range st.selfs {
+		if w.pkgPath != pass.PkgPath || seenSelf[w] || pass.Suppressed("lockorder-ok", w.pos) {
+			continue
+		}
+		seenSelf[w] = true
+		pass.Reportf(w.pos, "%s acquired while already held%s: self-deadlock for a plain Mutex", w.to, w.via)
+	}
+
+	// Report one witness per cyclic ordered pair per package.
+	pairs := make([]lockPair, 0, len(st.edges))
+	for p := range st.edges {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	for _, p := range pairs {
+		// Only edges inside one strongly connected component participate in
+		// a potential deadlock cycle.
+		cf, okF := st.sccID[p.from]
+		ct, okT := st.sccID[p.to]
+		if !okF || !okT || cf != ct || !st.cyclic[p.from] {
+			continue
+		}
+		rev := st.edges[lockPair{p.to, p.from}]
+		for _, w := range st.edges[p] {
+			if w.pkgPath != pass.PkgPath {
+				continue
+			}
+			if pass.Suppressed("lockorder-ok", w.pos) {
+				continue
+			}
+			if len(rev) > 0 {
+				pass.Reportf(w.pos, "lock order inversion: %s acquired while holding %s%s, but the opposite order exists at %s; establish one global order (DESIGN §15)",
+					p.to, p.from, w.via, pass.Graph.basePos(rev[0].pos))
+			} else {
+				pass.Reportf(w.pos, "lock order cycle: acquiring %s while holding %s%s closes a cycle through %s; establish one global order (DESIGN §15)",
+					p.to, p.from, w.via, sccDescription(st, cf))
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// sccDescription lists the locks of one strongly connected component.
+func sccDescription(st *lockState, comp int) string {
+	ids := make(map[string]bool)
+	for id, c := range st.sccID {
+		if c == comp {
+			ids[id] = true
+		}
+	}
+	keys := sortedKeys(ids)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += k
+	}
+	return out
+}
+
+// lockPair is an ordered (held, acquired) pair of lock IDs.
+type lockPair struct{ from, to string }
+
+// lockWitness locates one occurrence of an order edge.
+type lockWitness struct {
+	pos     token.Pos
+	pkgPath string
+	from    string
+	to      string
+	via     string // "" for a direct Lock, " via call to f" for call edges
+}
+
+// lockSummary is the per-function result of the body walk.
+type lockSummary struct {
+	acquires  map[string]bool
+	heldCalls []heldCall
+}
+
+type heldCall struct {
+	held   []string
+	callee *types.Func
+	pos    token.Pos
+}
+
+type lockState struct {
+	summaries map[*types.Func]*lockSummary
+	trans     map[*types.Func]map[string]bool
+	edges     map[lockPair][]lockWitness
+	selfs     []lockWitness
+	// cyclic marks lock IDs inside a multi-node strongly connected
+	// component of the order graph; sccID maps every lock to its component.
+	cyclic map[string]bool
+	sccID  map[string]int
+}
+
+// lockAnalysis computes (once) the module-wide lock-order state.
+func (g *CallGraph) lockAnalysis() *lockState {
+	if g.locks != nil {
+		return g.locks
+	}
+	st := &lockState{
+		summaries: make(map[*types.Func]*lockSummary),
+		trans:     make(map[*types.Func]map[string]bool),
+		edges:     make(map[lockPair][]lockWitness),
+		cyclic:    make(map[string]bool),
+		sccID:     make(map[string]int),
+	}
+	g.locks = st
+
+	for _, pkg := range g.pkgs {
+		for _, n := range g.NodesIn(pkg.PkgPath) {
+			sum := &lockSummary{acquires: make(map[string]bool)}
+			st.summaries[n.Func] = sum
+			st.walkBody(g, pkg, n.Decl.Body, sum)
+		}
+	}
+
+	// Resolve held calls against transitive acquire sets.
+	for _, pkg := range g.pkgs {
+		for _, n := range g.NodesIn(pkg.PkgPath) {
+			for _, hc := range st.summaries[n.Func].heldCalls {
+				acq := st.transAcquires(g, hc.callee, make(map[*types.Func]bool))
+				for _, id := range sortedKeys(acq) {
+					via := " via call to " + shortFuncName(hc.callee)
+					for _, h := range hc.held {
+						if h == id {
+							st.selfs = append(st.selfs, lockWitness{pos: hc.pos, pkgPath: pkg.PkgPath, from: h, to: id, via: via})
+						} else {
+							st.addEdge(h, id, hc.pos, pkg.PkgPath, via)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Deterministic witness choice regardless of map iteration above.
+	for p := range st.edges {
+		ws := st.edges[p]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].pos < ws[j].pos })
+	}
+	sort.Slice(st.selfs, func(i, j int) bool { return st.selfs[i].pos < st.selfs[j].pos })
+
+	st.markCycles()
+	return st
+}
+
+func (st *lockState) addEdge(from, to string, pos token.Pos, pkgPath, via string) {
+	p := lockPair{from, to}
+	if len(st.edges[p]) >= 16 {
+		return
+	}
+	st.edges[p] = append(st.edges[p], lockWitness{pos: pos, pkgPath: pkgPath, from: from, to: to, via: via})
+}
+
+// walkBody tracks the held set through one body in source order. Function
+// literals are queued and walked standalone (empty held set) against the
+// same summary.
+func (st *lockState) walkBody(g *CallGraph, pkg *Package, body *ast.BlockStmt, sum *lockSummary) {
+	if body == nil {
+		return
+	}
+	info := pkg.Info
+
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	var lits []*ast.FuncLit
+	var held []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.CallExpr:
+			switch mutexOp(info, n) {
+			case lockOpAcquire:
+				id := lockIDForCall(info, n)
+				if id == "" {
+					return true
+				}
+				for _, h := range held {
+					if h == id {
+						st.selfs = append(st.selfs, lockWitness{pos: n.Pos(), pkgPath: pkg.PkgPath, from: h, to: id})
+					} else {
+						st.addEdge(h, id, n.Pos(), pkg.PkgPath, "")
+					}
+				}
+				held = append(held, id)
+				sum.acquires[id] = true
+				return true
+			case lockOpRelease:
+				if !deferred[n] {
+					held = removeLastLock(held, lockIDForCall(info, n))
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			for _, tf := range g.callTargets(info, n) {
+				if g.nodes[tf] == nil {
+					continue
+				}
+				sum.heldCalls = append(sum.heldCalls, heldCall{
+					held:   append([]string(nil), held...),
+					callee: tf,
+					pos:    n.Pos(),
+				})
+			}
+		}
+		return true
+	})
+
+	for _, lit := range lits {
+		st.walkBody(g, pkg, lit.Body, sum)
+	}
+}
+
+// transAcquires returns every lock f transitively acquires, fixpointed over
+// the call graph (cycles cut by the visiting set — an under-approximation
+// only inside recursive clusters).
+func (st *lockState) transAcquires(g *CallGraph, f *types.Func, visiting map[*types.Func]bool) map[string]bool {
+	if acq, ok := st.trans[f]; ok {
+		return acq
+	}
+	if visiting[f] {
+		return nil
+	}
+	n := g.nodes[f]
+	if n == nil {
+		return nil
+	}
+	visiting[f] = true
+	defer delete(visiting, f)
+
+	out := make(map[string]bool)
+	if sum := st.summaries[f]; sum != nil {
+		for id := range sum.acquires {
+			out[id] = true
+		}
+	}
+	for _, e := range n.Callees {
+		for id := range st.transAcquires(g, e.Callee, visiting) {
+			out[id] = true
+		}
+	}
+	st.trans[f] = out
+	return out
+}
+
+// markCycles finds every lock ID inside a strongly connected component of
+// the order graph (or with a self-loop): the locks whose edges constitute a
+// potential deadlock.
+func (st *lockState) markCycles() {
+	adj := make(map[string][]string)
+	for p := range st.edges {
+		adj[p.from] = append(adj[p.from], p.to)
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	// Tarjan SCC, iterative enough for the handful of lock IDs a module has.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	compCount := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			compCount++
+			for _, w := range comp {
+				st.sccID[w] = compCount
+			}
+			if len(comp) > 1 {
+				for _, w := range comp {
+					st.cyclic[w] = true
+				}
+			}
+		}
+	}
+	for _, v := range sortedKeys(adjKeys(adj)) {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+}
+
+func adjKeys(adj map[string][]string) map[string]bool {
+	out := make(map[string]bool, len(adj))
+	for k := range adj {
+		out[k] = true
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type lockOp int
+
+const (
+	lockOpNone lockOp = iota
+	lockOpAcquire
+	lockOpRelease
+)
+
+// mutexOp classifies a call as a mutex acquire/release. RLock unifies with
+// Lock; TryLock is ignored.
+func mutexOp(info *types.Info, call *ast.CallExpr) lockOp {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return lockOpNone
+	}
+	switch f.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		return lockOpAcquire
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return lockOpRelease
+	}
+	return lockOpNone
+}
+
+// lockIDForCall extracts the receiver expression of mu.Lock() and resolves
+// its static lock identity.
+func lockIDForCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return lockIDOf(info, sel.X)
+}
+
+// lockIDOf names a mutex statically: "pkg.Type.field" for a struct-field
+// mutex (every instance of the type shares the identity — the partial order
+// is a property of the type), "pkg.var" for a package-level mutex, and ""
+// for anonymous locals, which are skipped.
+func lockIDOf(info *types.Info, recv ast.Expr) string {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+		// A local/parameter of a named struct type embedding the mutex:
+		// identify by the type. Bare sync.Mutex locals stay anonymous.
+		return lockTypeName(v.Type())
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if !v.IsField() {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			return lockTypeName(v.Type())
+		}
+		if sel := info.Selections[e]; sel != nil {
+			if tn := lockTypeName(sel.Recv()); tn != "" {
+				return tn + "." + v.Name()
+			}
+		}
+		return ""
+	case *ast.StarExpr:
+		return lockIDOf(info, e.X)
+	}
+	return ""
+}
+
+// lockTypeName names a (possibly pointer-to) named non-sync type, or "".
+func lockTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() == "sync" {
+		return ""
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// removeLastLock removes the most recent occurrence of id from the held
+// stack (unlocks release the innermost matching acquisition).
+func removeLastLock(held []string, id string) []string {
+	if id == "" {
+		return held
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == id {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// callTargets resolves a call to its possible targets: the static callee,
+// or every module implementation for an interface method call.
+func (g *CallGraph) callTargets(info *types.Info, call *ast.CallExpr) []*types.Func {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return nil
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			return g.implementations(iface, f.Name())
+		}
+	}
+	return []*types.Func{f}
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StagePure keeps pipeline stages isolated. The cross-frame pipeline
+// (rt.RunPipelined) and the serve slot path run their stages — camera,
+// detector, tracker, merge — concurrently; the design contract is that a
+// stage owns its state and hands results to the next stage through a
+// channel. A stage that writes a variable another stage also touches has
+// created exactly the cross-stage coupling the channels exist to prevent:
+// at best a -race report, at worst a silently stale detection overlaid on
+// the wrong frame.
+//
+// Stages are declared, not inferred: annotate a stage function's doc
+// comment, or the line above a stage closure, with "//adavp:stage <name>".
+// The analyzer then enforces, module-wide:
+//
+//   - a stage must not write a captured module variable (directly, through
+//     a selector/index path rooted at it, or by taking its address) when a
+//     *different* stage also reads or writes that variable. Shared reads
+//     are fine (configs); shared channels are fine (sends and receives are
+//     not writes to the channel variable); the coordinator that owns the
+//     stages may do anything — it is not a stage.
+//   - a stage must not call a function annotated with a different stage
+//     name: running another stage's code inline defeats the pipeline's
+//     overlap and its single-writer discipline.
+//
+// Receiver/parameter state of the stage function itself is stage-local.
+// Suppress deliberate sharing (an atomic frame counter, a sanctioned
+// handoff slot) with "//adavp:stage-ok <why>".
+var StagePure = &Analyzer{
+	Name: "stagepure",
+	Doc:  "//adavp:stage functions and closures may share state across stages only through channels; cross-stage writes and cross-stage calls are flagged",
+	Run:  runStagePure,
+}
+
+func runStagePure(pass *Pass) error {
+	if pass.Graph == nil {
+		return nil // stage bodies and their conflicts span packages
+	}
+	st := pass.Graph.stageAnalysis()
+	reported := make(map[stageVarKey]bool)
+	for _, sv := range st.vars {
+		for _, a := range sv.accesses {
+			if !a.write || a.pkgPath != pass.PkgPath {
+				continue
+			}
+			other := sv.firstOtherStage(a.stage)
+			if other == nil {
+				continue
+			}
+			key := stageVarKey{sv.v, a.stage}
+			if reported[key] {
+				continue
+			}
+			if pass.Suppressed("stage-ok", a.pos) {
+				reported[key] = true
+				continue
+			}
+			reported[key] = true
+			pass.Reportf(a.pos, "stage %q writes %s, which stage %q also touches (%s): pipeline stages may share state only through channels — move the variable into the stage or pass it along the pipeline",
+				a.stage, sv.display, other.stage, pass.Graph.basePos(other.pos))
+		}
+	}
+	for _, c := range st.calls {
+		if c.pkgPath != pass.PkgPath || pass.Suppressed("stage-ok", c.pos) {
+			continue
+		}
+		pass.Reportf(c.pos, "stage %q calls %s, which is annotated //adavp:stage %s: a stage must not run another stage's code inline — hand the work over through the pipeline channel",
+			c.fromStage, shortFuncName(c.callee), c.toStage)
+	}
+	return nil
+}
+
+type stageVarKey struct {
+	v     *types.Var
+	stage string
+}
+
+// stageAccess is one touch of a shared variable from inside a stage body.
+type stageAccess struct {
+	stage   string
+	pos     token.Pos
+	pkgPath string
+	write   bool
+}
+
+// stageVar accumulates every stage's accesses to one captured variable.
+type stageVar struct {
+	v        *types.Var
+	display  string
+	accesses []stageAccess
+}
+
+// firstOtherStage returns the first recorded access from a stage other than
+// the given one, or nil.
+func (sv *stageVar) firstOtherStage(stage string) *stageAccess {
+	for i := range sv.accesses {
+		if sv.accesses[i].stage != stage {
+			return &sv.accesses[i]
+		}
+	}
+	return nil
+}
+
+// stageCall is a call from one stage into a function owned by another.
+type stageCall struct {
+	fromStage string
+	toStage   string
+	callee    *types.Func
+	pos       token.Pos
+	pkgPath   string
+}
+
+type stageState struct {
+	vars  []*stageVar
+	byVar map[*types.Var]*stageVar
+	calls []stageCall
+	// modulePkg limits tracked variables to ones declared in this module —
+	// std package-level vars (os.Stdout, ...) are not stage state.
+	modulePkg map[*types.Package]bool
+}
+
+// stageAnalysis discovers every annotated stage body in the module and
+// records its captured-variable accesses and cross-stage calls (once per
+// graph).
+func (g *CallGraph) stageAnalysis() *stageState {
+	if g.stages != nil {
+		return g.stages
+	}
+	st := &stageState{
+		byVar:     make(map[*types.Var]*stageVar),
+		modulePkg: make(map[*types.Package]bool),
+	}
+	g.stages = st
+	for _, pkg := range g.pkgs {
+		st.modulePkg[pkg.Types] = true
+	}
+	for _, pkg := range g.pkgs {
+		supp := pkg.suppIdx()
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if stage := stageAnnotationOf(fd); stage != "" {
+					g.scanStage(st, stage, fd, fd.Body, pkg, supp)
+				}
+				// Stage closures: a FuncLit whose line (or the line above)
+				// carries //adavp:stage <name>.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					lit, ok := n.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					if stage := stageMarkerNear(supp, lit.Pos()); stage != "" {
+						g.scanStage(st, stage, lit, lit.Body, pkg, supp)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return st
+}
+
+// scanStage records one stage body's accesses. root spans the whole
+// function (parameters included) so parameters and receiver are
+// stage-local; body is walked with nested annotated closures skipped —
+// they are their own stages.
+func (g *CallGraph) scanStage(st *stageState, stage string, root ast.Node, body *ast.BlockStmt, pkg *Package, supp *suppIndex) {
+	info := pkg.Info
+	lo, hi := root.Pos(), root.End()
+
+	// Pass 1 over the body: base identifiers in write position.
+	writes := make(map[*ast.Ident]bool)
+	inStage := func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && ast.Node(lit) != root {
+			if stageMarkerNear(supp, lit.Pos()) != "" {
+				return false // nested stage: its own scan covers it
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !inStage(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id := baseIdent(lhs); id != nil {
+					writes[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := baseIdent(n.X); id != nil {
+				writes[id] = true
+			}
+		case *ast.UnaryExpr:
+			// &x hands out a mutable alias; treat as a write.
+			if n.Op == token.AND {
+				if id := baseIdent(n.X); id != nil {
+					writes[id] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: record captured-variable touches and cross-stage calls.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !inStage(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[n].(*types.Var)
+			if !ok || v.IsField() || v.Pkg() == nil || !st.modulePkg[v.Pkg()] {
+				return true
+			}
+			if v.Pos() >= lo && v.Pos() < hi {
+				return true // declared inside the stage: its own state
+			}
+			sv := st.byVar[v]
+			if sv == nil {
+				sv = &stageVar{v: v, display: stageVarDisplay(v)}
+				st.byVar[v] = sv
+				st.vars = append(st.vars, sv)
+			}
+			sv.accesses = append(sv.accesses, stageAccess{
+				stage:   stage,
+				pos:     n.Pos(),
+				pkgPath: pkg.PkgPath,
+				write:   writes[n],
+			})
+		case *ast.CallExpr:
+			f := calleeFunc(info, n)
+			if f == nil {
+				return true
+			}
+			if callee := g.nodes[f]; callee != nil && callee.Stage != "" && callee.Stage != stage {
+				st.calls = append(st.calls, stageCall{
+					fromStage: stage,
+					toStage:   callee.Stage,
+					callee:    f,
+					pos:       n.Pos(),
+					pkgPath:   pkg.PkgPath,
+				})
+			}
+		}
+		return true
+	})
+}
+
+// baseIdent walks selector/index/star/paren chains to the root identifier:
+// p.stats.frames → p, xs[i].y → xs. Returns nil when the root is not a
+// plain identifier (a call result, for instance).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// stageVarDisplay renders a tracked variable for diagnostics, qualifying
+// package-level variables with their package name.
+func stageVarDisplay(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return "captured variable \"" + v.Name() + "\""
+}

@@ -1,0 +1,47 @@
+// Package atomichygiene mixes legacy sync/atomic access with plain access
+// to the same field, misaligns a 64-bit atomic for 32-bit targets, and
+// includes the clean shapes: aligned atomic-only fields, composite-literal
+// construction, and a justified plain read.
+package atomichygiene
+
+import "sync/atomic"
+
+// Counter's n is atomically accessed but sits at offset 4 under GOARCH=386
+// — the int32 ahead of it breaks the 8-byte alignment 64-bit atomics need.
+type Counter struct {
+	pad int32
+	n   int64 // want "64-bit atomic field"
+}
+
+// Inc is the sanctioned access.
+func Inc(c *Counter) { atomic.AddInt64(&c.n, 1) }
+
+// Peek reads the same field plainly: a data race no matter the timing.
+func Peek(c *Counter) int64 {
+	return c.n // want "accessed via sync/atomic"
+}
+
+// NewCounter constructs before publication: composite keys are exempt.
+func NewCounter() *Counter { return &Counter{n: 0} }
+
+// gauge is a package-level atomic with one justified plain read.
+var gauge uint32
+
+func Bump() { atomic.AddUint32(&gauge, 1) }
+
+// Snapshot runs after every writer has joined.
+func Snapshot() uint32 {
+	//adavp:atomic-ok fixture: read after all writers joined
+	return gauge
+}
+
+// Aligned keeps its 64-bit word at offset 0 and accesses it atomically
+// everywhere: clean on both counts.
+type Aligned struct {
+	hits int64
+	pad  int32
+}
+
+func Hit(a *Aligned) { atomic.AddInt64(&a.hits, 1) }
+
+func Load(a *Aligned) int64 { return atomic.LoadInt64(&a.hits) }

@@ -1,0 +1,38 @@
+// Named functions and method values passed to the fan-outs resolve through
+// the call graph and are held to the same band rules as literals.
+package bandsafe
+
+import "adavp/internal/par"
+
+var namedTotal int
+
+// sumBand writes a package-level accumulator: concurrent bands race on it.
+func sumBand(y0, y1 int) {
+	namedTotal += y1 - y0 // want "band function bandsafe.sumBand writes captured variable \"namedTotal\""
+}
+
+// nestedBand fans out again from inside a band body.
+func nestedBand(y0, y1 int) {
+	par.Rows(y1-y0, func(a, b int) { // want "reentrant par.Rows inside a band function bandsafe.nestedBand"
+		_ = a
+	})
+}
+
+type acc struct {
+	cells []float64
+}
+
+// fill writes only band-indexed elements of receiver state: clean.
+func (a *acc) fill(y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		a.cells[y] = 1
+	}
+}
+
+// RunNamed passes the named functions and a method value to the pool.
+func RunNamed(n int) {
+	par.Rows(n, sumBand)
+	par.Rows(n, nestedBand) // the reentrant fan-out is reported inside nestedBand
+	a := &acc{cells: make([]float64, n)}
+	par.Rows(n, a.fill)
+}

@@ -1,0 +1,47 @@
+// Package callgraph is the construction fixture for BuildCallGraph: each
+// function below pins one edge shape — direct call, function reference,
+// method value, interface dispatch — that the construction tests assert on.
+package callgraph
+
+// Worker has two module implementations; Dispatch must grow one EdgeIface
+// per implementation.
+type Worker interface{ Work() }
+
+// A implements Worker by value.
+type A struct{}
+
+// Work is one dispatch candidate.
+func (A) Work() {}
+
+// B implements Worker by pointer.
+type B struct{}
+
+// Work is the other dispatch candidate.
+func (*B) Work() {}
+
+// Dispatch calls through the interface.
+func Dispatch(w Worker) { w.Work() }
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+// UseMethodValue binds a method value: bump escapes into f, so the graph
+// must carry an EdgeRef to it even though the call site resolves to a
+// variable.
+func UseMethodValue() {
+	c := &counter{}
+	f := c.bump
+	f()
+}
+
+func helper() {}
+
+// Direct is the plain EdgeCall shape.
+func Direct() { helper() }
+
+// Ref passes helper as a value; only an EdgeRef links it.
+func Ref() {
+	f := helper
+	f()
+}

@@ -1,0 +1,32 @@
+// Package hot exercises the transitive hotalloc check: the kernels below
+// are locally allocation-free — the PR 3 analyzer passes them — but one
+// calls into an allocation hidden two hops away.
+package hot
+
+import "adavp/internal/lint/testdata/src/interproc/helper"
+
+var sink []float32
+
+// Fill is a per-frame kernel whose allocation hides in deep.Grow.
+//
+//adavp:hotpath
+func Fill(n int) {
+	sink = helper.Build(n) // want "//adavp:hotpath function hot.Fill calls into an allocating path: helper.Build"
+	_ = helper.Pure(n)
+}
+
+// Reuse composes through an //adavp:amortized helper: the trail stops at
+// deep.Ensure, so this stays clean.
+//
+//adavp:hotpath
+func Reuse(n int) {
+	sink = helper.Reserve(n)
+}
+
+// Prewarm allocates deliberately at setup time and says so.
+//
+//adavp:hotpath
+func Prewarm(n int) {
+	//adavp:alloc-ok fixture: cold-path warmup allocation is deliberate
+	sink = helper.Build(n)
+}

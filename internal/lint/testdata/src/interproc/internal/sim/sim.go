@@ -1,0 +1,27 @@
+// Package sim shadows the real internal/sim by path suffix, so it is held
+// to the determinism contract. Every violation here is two hops away from
+// its sink — invisible to the per-package analyzer, caught only through
+// the call graph.
+package sim
+
+import "adavp/internal/lint/testdata/src/interproc/helper"
+
+// Timeline is two hops from time.Now: sim → helper.Jitter → deep.Stamp.
+func Timeline() int64 {
+	return helper.Jitter() // want "deterministic package reaches a wall-clock sink: helper.Jitter"
+}
+
+// Draw is two hops from math/rand: sim → helper.Choose → deep.Pick.
+func Draw(n int) int {
+	return helper.Choose(n) // want "deterministic package reaches a math/rand sink: helper.Choose"
+}
+
+// Span is clean: helper.Pure reaches no sink on any path.
+func Span(x int) int { return helper.Pure(x) }
+
+// Justified suppresses the edge with a reason, the same escape hatch the
+// direct checks honour.
+func Justified() int64 {
+	//adavp:detrand-ok fixture: demonstrates sink suppression at the call edge
+	return helper.Jitter()
+}

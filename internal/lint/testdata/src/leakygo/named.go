@@ -1,0 +1,21 @@
+// Named goroutine targets resolve through the call graph: the declaration
+// body is searched for the same shutdown shapes a literal would show.
+package leakygo
+
+// drainNamed ranges over its channel: collectible once the producer closes.
+func drainNamed(ch <-chan int) {
+	for range ch {
+	}
+}
+
+// spinNamed never observes shutdown.
+func spinNamed() {
+	for {
+	}
+}
+
+// RunNamed launches both named targets.
+func RunNamed(ch chan int) {
+	go drainNamed(ch)
+	go spinNamed() // want "goroutine has no visible shutdown path"
+}

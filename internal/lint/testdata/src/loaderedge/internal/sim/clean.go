@@ -1,0 +1,16 @@
+// Package sim is the loader edge-case fixture: it pairs a clean file with a
+// build-tag-excluded file and a generated file that each carry blatant
+// determinism violations. The loader must keep both violations out of the
+// diagnostics — the tagged file by never selecting it, the generated file by
+// dropping reports at its positions.
+package sim
+
+// Steps is deterministic; the only violations in this package live in files
+// the analyzers must not report from.
+func Steps(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+//go:build adavp_never
+
+// This file's build constraint is never satisfied, so the loader must not
+// select it: the wall-clock read below would otherwise be a detrand finding
+// (and the undefined helper a type error).
+package sim
+
+import "time"
+
+// TaggedNow would violate detrand if this file were ever loaded.
+func TaggedNow() time.Time {
+	return time.Now()
+}

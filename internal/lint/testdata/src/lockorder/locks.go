@@ -1,0 +1,70 @@
+// Package lockorder seeds a two-lock order inversion, a self-deadlock
+// (direct and through a helper call), and the clean shapes the analyzer
+// must not flag: one-directional nesting, and anonymous local mutexes.
+package lockorder
+
+import "sync"
+
+type LA struct{ mu sync.Mutex }
+
+type LB struct{ mu sync.Mutex }
+
+type LC struct{ mu sync.Mutex }
+
+// AB nests B under A; together with BA below this is half of an inversion,
+// so the witness here is flagged too.
+func AB(a *LA, b *LB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock order inversion: lockorder.LB.mu acquired while holding lockorder.LA.mu"
+	defer b.mu.Unlock()
+}
+
+// BA nests A under B: the opposite order.
+func BA(a *LA, b *LB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want "lock order inversion: lockorder.LA.mu acquired while holding lockorder.LB.mu"
+	defer a.mu.Unlock()
+}
+
+// Re reacquires a lock it already holds.
+func Re(a *LA) {
+	a.mu.Lock()
+	a.mu.Lock() // want "lockorder.LA.mu acquired while already held"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockA(a *LA) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// ReVia holds LA.mu and calls a helper that acquires it again: the
+// self-deadlock is one call away.
+func ReVia(a *LA) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockA(a) // want "lockorder.LA.mu acquired while already held via call to lockorder.lockA"
+}
+
+func lockC(c *LC) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// BThenC nests C under B through a helper — one direction only, clean.
+func BThenC(b *LB, c *LC) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockC(c)
+}
+
+// Local anonymous mutexes cannot participate in a cross-function order.
+func local(n int) int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return n
+}

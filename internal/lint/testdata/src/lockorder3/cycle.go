@@ -1,0 +1,33 @@
+// Package lockorder3 closes a three-lock cycle with no two-lock
+// inversion: every pair is consistent in isolation, so only the strongly
+// connected component of the order graph reveals the deadlock.
+package lockorder3
+
+import "sync"
+
+type L1 struct{ mu sync.Mutex }
+
+type L2 struct{ mu sync.Mutex }
+
+type L3 struct{ mu sync.Mutex }
+
+func Step12(a *L1, b *L2) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock order cycle: acquiring lockorder3.L2.mu while holding lockorder3.L1.mu"
+	defer b.mu.Unlock()
+}
+
+func Step23(b *L2, c *L3) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c.mu.Lock() // want "lock order cycle: acquiring lockorder3.L3.mu while holding lockorder3.L2.mu"
+	defer c.mu.Unlock()
+}
+
+func Step31(c *L3, a *L1) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a.mu.Lock() // want "lock order cycle: acquiring lockorder3.L1.mu while holding lockorder3.L3.mu"
+	defer a.mu.Unlock()
+}

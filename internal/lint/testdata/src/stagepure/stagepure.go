@@ -1,0 +1,63 @@
+// Package stagepure wires annotated pipeline stages that illegally share a
+// captured counter, a stage that calls another stage's function inline, and
+// the sanctioned shapes: channel handoffs, shared reads, and a justified
+// cross-stage accumulator.
+package stagepure
+
+// Run starts two stage closures that both write the same captured counter:
+// exactly the coupling the channels between them exist to prevent.
+func Run() {
+	frames := 0
+	out := make(chan int, 8)
+	done := make(chan struct{})
+	//adavp:stage produce
+	go func() {
+		for i := 0; i < 8; i++ {
+			frames++ // want "stage \"produce\" writes captured variable \"frames\""
+			out <- i
+		}
+		close(out)
+	}()
+	//adavp:stage consume
+	go func() {
+		defer close(done)
+		for v := range out {
+			frames += v // want "stage \"consume\" writes captured variable \"frames\""
+		}
+	}()
+	<-done
+	_ = frames // the coordinator is not a stage; its reads are free
+}
+
+// encodeLoop owns the encode stage.
+//
+//adavp:stage encode
+func encodeLoop(in <-chan int) {
+	for range in {
+	}
+}
+
+// drawLoop runs another stage's code inline instead of handing off.
+//
+//adavp:stage draw
+func drawLoop(in <-chan int) {
+	encodeLoop(in) // want "stage \"draw\" calls stagepure.encodeLoop"
+}
+
+// total is a sanctioned cross-stage accumulator; the write is justified.
+var total int
+
+//adavp:stage sum
+func sumLoop(in <-chan int) {
+	for v := range in {
+		//adavp:stage-ok fixture: demonstrates the suppression
+		total += v
+	}
+}
+
+//adavp:stage drain
+func drainLoop(in <-chan int) {
+	for range in {
+		_ = total // reading another stage's state is a touch, not a write
+	}
+}

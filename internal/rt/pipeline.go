@@ -152,6 +152,7 @@ func RunPipelined(ctx context.Context, v *video.Video, cfg PipelineConfig) (*Pip
 	inflight := cfg.Obs.Gauge(obs.MetricFramesInFlight, labels()...)
 	prefetchHist := cfg.Obs.StageHistogram(obs.StagePrefetch, labels()...)
 	var scratch imgproc.Scratch
+	//adavp:stage prefetch
 	prefetch := func(i int, pyr *imgproc.Pyramid, slot *pipeSlot) {
 		t0 := time.Now()
 		f := v.FrameWithPixels(i)
@@ -178,6 +179,7 @@ func RunPipelined(ctx context.Context, v *video.Video, cfg PipelineConfig) (*Pip
 		for i := 0; i < depth; i++ {
 			slots <- struct{}{}
 		}
+		//adavp:stage prefetch
 		go func() {
 			defer close(prefetchDone)
 			defer close(filled)

@@ -360,6 +360,7 @@ func (p *pipeline) run(ctx context.Context) (*Result, error) {
 	// coarse OS timer resolution cannot skew the frame rate relative to the
 	// scaled component latencies.
 	wg.Add(1)
+	//adavp:stage camera
 	go func() {
 		defer wg.Done()
 		defer p.buffer.close()
@@ -389,6 +390,7 @@ func (p *pipeline) run(ctx context.Context) (*Result, error) {
 
 	// Object detector thread.
 	wg.Add(1)
+	//adavp:stage detector
 	go func() {
 		defer wg.Done()
 		defer close(p.work)
@@ -397,6 +399,7 @@ func (p *pipeline) run(ctx context.Context) (*Result, error) {
 
 	// Object tracker thread.
 	wg.Add(1)
+	//adavp:stage tracker
 	go func() {
 		defer wg.Done()
 		p.trackerLoop(ctx)
@@ -476,6 +479,8 @@ func (p *pipeline) superviseDetect(ctx context.Context, frameIdx int, setting co
 // newest frame, acquire a detector slot (the nil-Slots default grants
 // instantly, making single-stream the N=1, K=1 special case), adapt the
 // setting, detect (supervised), release the slot, hand off to the tracker.
+//
+//adavp:stage detector
 func (p *pipeline) detectorLoop(ctx context.Context) {
 	setting := p.cfg.Setting
 	prevFrame := -1
@@ -597,6 +602,8 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 // trackerLoop is the CPU thread: process each cycle's buffered frames under
 // panic supervision, validating every velocity sample before it can reach
 // the adaptation model.
+//
+//adavp:stage tracker
 func (p *pipeline) trackerLoop(ctx context.Context) {
 	for w := range p.work {
 		if ctx.Err() != nil {

@@ -126,9 +126,10 @@ func Run(ctx context.Context, streams []StreamSpec, cfg RunConfig) (*RunResult, 
 		c.Slots = pool
 		c.Guard.Budget = budget
 		wg.Add(1)
+		//adavp:stage stream
 		go func(i int, s StreamSpec, c rt.Config) {
 			defer wg.Done()
-			r, err := rt.Run(ctx, s.Video, c)
+			r, err := rt.Run(ctx, s.Video, c) //adavp:detrand-ok rt owns the pacing clock; serve's own outputs stay deterministic per stream seed
 			res.Streams[i] = StreamResult{ID: s.ID, Result: r, Err: err}
 		}(i, s, c)
 	}
