@@ -11,6 +11,10 @@
 #                     the committed ESCAPES.baseline
 #   make cover        whole-tree coverage, failing below the COVER_FLOOR baseline
 #   make bench-json   run the pixel-pipeline benchmark harness, write BENCH_pixel.json
+#   make loadgen-bench regenerate the committed serving-layer SLO artifact
+#                     (BENCH_serve.json) from the canonical loadgen matrix
+#   make loadgen-smoke run the loadgen bench matrix to a throwaway file with
+#                     the schema check on — proves the harness end to end
 #   make soak         bounded chaos soak under the race detector: same-seed sim
 #                     soak pair (byte parity) then a wall-clock live soak, both
 #                     ending in machine-checked invariant reports
@@ -26,7 +30,7 @@ GO ?= go
 # while a PR that lands a subsystem without tests fails the gate.
 COVER_FLOOR ?= 78.0
 
-.PHONY: build test race vet lint escapecheck cover check bench-json bench-json-smoke soak clean
+.PHONY: build test race vet lint escapecheck cover check bench-json bench-json-smoke loadgen-bench loadgen-smoke soak clean
 
 build:
 	$(GO) build ./...
@@ -44,7 +48,7 @@ race:
 	$(GO) test -race ./internal/rt/ ./internal/fault/ ./internal/guard/ ./internal/sim/ \
 		./internal/par/ ./internal/imgproc/ ./internal/flow/ ./internal/video/ \
 		./internal/detect/ ./internal/track/ ./internal/obs/ ./internal/serve/ \
-		./internal/chaos/
+		./internal/serve/loadtest/ ./internal/chaos/
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +91,22 @@ bench-json-smoke:
 	$(GO) test -run TestPixelBenchJSON -benchjson-iters 1 \
 		-benchjson $(or $(TMPDIR),/tmp)/adavp_bench_smoke.json .
 
+# Serving-layer SLO benchmark: the canonical load-generator matrix (1000
+# streams over 8 slots with churn, flash crowds and setting skew, batch
+# sweep B=1/4/8) into the committed BENCH_serve.json. The harness is
+# virtual-clock deterministic, so the artifact only changes when the
+# scheduler or latency model does — and then the diff is the review story.
+# The run fails unless every batched scenario beats the unbatched baseline
+# on p95 slot-wait and SLO attainment.
+loadgen-bench:
+	$(GO) run ./cmd/adavp-loadgen -bench -out BENCH_serve.json
+
+# Same matrix to a throwaway file: proves the load generator, the schema
+# check and the batched-beats-unbatched gate end to end (sub-second run).
+loadgen-smoke:
+	$(GO) run ./cmd/adavp-loadgen -bench \
+		-out $(or $(TMPDIR),/tmp)/adavp_bench_serve_smoke.json
+
 # Hostile-scenario chaos soak (DESIGN.md §13), bounded to ~90s of live soak
 # on top of the deterministic sim pair, run under the race detector: 8 streams
 # over 2 detector slots with scenario churn, identity churn and the full
@@ -96,7 +116,7 @@ soak:
 	$(GO) run -race ./cmd/adavp -soak -streams 8 -detector-slots 2 \
 		-churn-rate 0.25 -fault-rate 0.08 -fault-burst 2 -soak-minutes 1 -seed 1
 
-check: build vet lint escapecheck test race bench-json-smoke
+check: build vet lint escapecheck test race bench-json-smoke loadgen-smoke
 
 clean:
 	$(GO) clean ./...

@@ -341,6 +341,14 @@ type ServeOptions struct {
 	// grows instead of memory). Default: one entry per stream, which never
 	// refuses.
 	QueueBound int
+	// BatchSize is B, the maximum number of compatible requests (same model
+	// setting) one slot grant drains from the wait queue and executes as a
+	// single fused inference. Values < 1 mean 1 — the unbatched executor.
+	BatchSize int
+	// BatchLinger is how long a partially-filled batch may hold its slot
+	// waiting for compatible arrivals. Honored exactly by the virtual-clock
+	// scheduler; the live pool is work-conserving and ignores it.
+	BatchLinger time.Duration
 	// MaxStreams is the admission-control cap: larger stream sets are
 	// rejected up front. 0 means unlimited.
 	MaxStreams int
@@ -381,8 +389,13 @@ type MultiResult struct {
 	MaxQueueDepth int
 	// FairnessBound is the guaranteed maximum calibration age for the run's
 	// observed slot occupancy (virtual-clock runs): no stream's MaxCalibAge
-	// exceeds it.
+	// exceeds it. Under batching this is the generalized
+	// serve.FairnessBoundBatched.
 	FairnessBound time.Duration
+	// Batches counts slot grants and MaxBatch the largest number of
+	// requests one grant fused (virtual-clock runs; 1 means batching never
+	// engaged).
+	Batches, MaxBatch int
 }
 
 // RunMulti executes one stream per video against a shared detector pool on
@@ -416,18 +429,24 @@ func RunMulti(videos []*Video, opts Options, so ServeOptions) (*MultiResult, err
 		}
 		streams[i] = sim.MultiStream{ID: fmt.Sprintf("s%d", i), Video: v, Config: cfg}
 	}
-	r, err := sim.RunMulti(streams, sim.MultiConfig{Slots: so.Slots, QueueBound: so.QueueBound, Obs: opts.Obs})
+	batch := serve.BatchConfig{Size: so.BatchSize, Linger: so.BatchLinger}
+	r, err := sim.RunMulti(streams, sim.MultiConfig{Slots: so.Slots, QueueBound: so.QueueBound, Batch: batch, Obs: opts.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("adavp: %w", err)
 	}
-	out := &MultiResult{Streams: make([]StreamRun, len(r.Streams)), MaxQueueDepth: r.MaxQueueDepth}
+	out := &MultiResult{
+		Streams:       make([]StreamRun, len(r.Streams)),
+		MaxQueueDepth: r.MaxQueueDepth,
+		Batches:       r.Batches,
+		MaxBatch:      r.MaxBatch,
+	}
 	var frameInterval time.Duration
 	for _, v := range videos {
 		if v.FrameInterval() > frameInterval {
 			frameInterval = v.FrameInterval()
 		}
 	}
-	out.FairnessBound = serve.FairnessBound(len(videos), so.Slots, r.MaxOccupancy, frameInterval)
+	out.FairnessBound = serve.FairnessBoundBatched(len(videos), so.Slots, batch.Size, r.MaxSingleOccupancy, frameInterval, batch.Linger)
 	for i, s := range r.Streams {
 		out.Streams[i] = StreamRun{
 			ID: s.ID,
@@ -480,6 +499,7 @@ func RunLiveMulti(ctx context.Context, videos []*Video, opts Options, timeScale 
 	r, err := serve.Run(ctx, specs, serve.RunConfig{
 		Slots:           so.Slots,
 		QueueBound:      so.QueueBound,
+		Batch:           serve.BatchConfig{Size: so.BatchSize, Linger: so.BatchLinger},
 		MaxStreams:      so.MaxStreams,
 		DowngradeBudget: so.DowngradeBudget,
 		DowngradeRefill: so.DowngradeRefill,

@@ -37,6 +37,7 @@ import (
 	"adavp/internal/imgproc"
 	"adavp/internal/metrics"
 	"adavp/internal/overlay"
+	"adavp/internal/serve"
 	"adavp/internal/sim"
 	"adavp/internal/video"
 )
@@ -64,6 +65,8 @@ type cliOpts struct {
 	soak                   bool
 	soakMinutes            float64
 	churnRate              float64
+	batchSize              int
+	batchLinger            time.Duration
 }
 
 // newFlagSet registers every flag on a fresh FlagSet writing into o. The
@@ -101,6 +104,23 @@ func newFlagSet(o *cliOpts, eh flag.ErrorHandling) *flag.FlagSet {
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. :9090) for the duration of the run")
 	fs.IntVar(&o.streams, "streams", 1, "serve this many concurrent streams against the shared detector pool (adavp|mpdt; stream i uses seed+i)")
 	fs.IntVar(&o.detectorSlots, "detector-slots", 1, "detector slots shared by all streams (K < streams queues requests oldest-calibration-first)")
+	o.batchSize = 1
+	fs.Func("batch-size", "detector batch capacity B: one slot grant fuses up to B same-setting requests (integer in 1..64; default 1, unbatched)", func(s string) error {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > 64 {
+			return fmt.Errorf("batch size %q out of range (use an integer in 1..64)", s)
+		}
+		o.batchSize = n
+		return nil
+	})
+	fs.Func("batch-timeout", "how long a partial batch lingers for compatible arrivals (positive duration, e.g. 5ms|20ms; honored by virtual-clock runs — the live pool is work-conserving)", func(s string) error {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("batch timeout %q is not a positive duration (use e.g. 5ms, 20ms)", s)
+		}
+		o.batchLinger = d
+		return nil
+	})
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "fault-injection rate (probability per burst block); 0 disables")
 	fs.IntVar(&o.faultBurst, "fault-burst", 1, "consecutive calls per injected fault")
 	fs.Func("fault-kinds", "comma-separated fault kinds to inject ("+fault.KindList()+"; default: all)", func(s string) error {
@@ -283,9 +303,9 @@ func runMulti(kind adavp.Scenario, opts adavp.Options, o cliOpts) error {
 	for i := range videos {
 		videos[i] = adavp.GenerateVideo(kind, o.seed+uint64(i), o.frames)
 	}
-	fmt.Printf("serving: %d %s streams (%d frames each) over %d detector slot(s)\n",
-		o.streams, kind, o.frames, o.detectorSlots)
-	so := adavp.ServeOptions{Slots: o.detectorSlots}
+	fmt.Printf("serving: %d %s streams (%d frames each) over %d detector slot(s), batch capacity %d\n",
+		o.streams, kind, o.frames, o.detectorSlots, o.batchSize)
+	so := adavp.ServeOptions{Slots: o.detectorSlots, BatchSize: o.batchSize, BatchLinger: o.batchLinger}
 
 	if o.live {
 		res, err := adavp.RunLiveMulti(context.Background(), videos, opts, o.timeScale, so)
@@ -335,6 +355,7 @@ func runSoak(opts adavp.Options, o cliOpts) error {
 	cfg := chaos.Config{
 		Streams:    streams,
 		Slots:      o.detectorSlots,
+		Batch:      serve.BatchConfig{Size: o.batchSize, Linger: o.batchLinger},
 		ChurnRate:  o.churnRate,
 		Fault:      opts.Fault,
 		Seed:       o.seed,

@@ -151,3 +151,47 @@ func TestRunMultiStreamSmoke(t *testing.T) {
 		t.Fatalf("multi-stream run failed: %v", err)
 	}
 }
+
+// TestBatchSizeFlagValidatesAtParseTime: an out-of-range -batch-size must
+// fail the flag parse itself with an error naming the valid range.
+func TestBatchSizeFlagValidatesAtParseTime(t *testing.T) {
+	for _, bad := range []string{"0", "-1", "65", "four", "2.0"} {
+		var o cliOpts
+		fs := newFlagSet(&o, flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		err := fs.Parse([]string{"-batch-size", bad})
+		if err == nil {
+			t.Errorf("-batch-size %s parsed without error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "1..64") {
+			t.Errorf("-batch-size %s: error %q does not name the valid range", bad, err)
+		}
+	}
+	var o cliOpts
+	fs := newFlagSet(&o, flag.ContinueOnError)
+	if err := fs.Parse([]string{"-batch-size", "8"}); err != nil {
+		t.Fatalf("-batch-size 8 rejected: %v", err)
+	}
+	if o.batchSize != 8 {
+		t.Fatalf("-batch-size 8 parsed to %d", o.batchSize)
+	}
+}
+
+// TestBatchTimeoutFlagValidatesAtParseTime: a non-positive or malformed
+// -batch-timeout must fail the parse with an error showing valid examples.
+func TestBatchTimeoutFlagValidatesAtParseTime(t *testing.T) {
+	for _, bad := range []string{"0", "0s", "-5ms", "10", "never"} {
+		var o cliOpts
+		fs := newFlagSet(&o, flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		err := fs.Parse([]string{"-batch-timeout", bad})
+		if err == nil {
+			t.Errorf("-batch-timeout %s parsed without error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "positive duration") {
+			t.Errorf("-batch-timeout %s: error %q does not explain the valid range", bad, err)
+		}
+	}
+}

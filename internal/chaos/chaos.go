@@ -26,6 +26,7 @@ import (
 	"adavp/internal/experiments"
 	"adavp/internal/fault"
 	"adavp/internal/rng"
+	"adavp/internal/serve"
 	"adavp/internal/video"
 )
 
@@ -35,6 +36,13 @@ type Config struct {
 	Streams int
 	// Slots is K, the number of shared detector slots. Default 2.
 	Slots int
+	// Batch configures the batching executor preset: each slot grant drains
+	// up to Batch.Size compatible requests and fuses them into one batched
+	// inference (serve.BatchConfig). The zero value is the unbatched pool;
+	// Batch.Linger is honored by the sim soak only (the live pool is
+	// work-conserving). The fairness invariant is checked against the
+	// generalized serve.FairnessBoundBatched in both modes.
+	Batch serve.BatchConfig
 	// Rounds is the number of churn rounds a sim soak runs. Default 4.
 	// (An rt soak runs rounds until WallBudget expires instead.)
 	Rounds int
@@ -85,6 +93,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Slots <= 0 {
 		c.Slots = 2
+	}
+	if c.Batch.Size < 1 {
+		c.Batch.Size = 1
+	}
+	if c.Batch.Linger < 0 {
+		c.Batch.Linger = 0
 	}
 	if c.Rounds <= 0 {
 		c.Rounds = 4

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adavp/internal/fault"
+	"adavp/internal/serve"
 	"adavp/internal/video"
 )
 
@@ -152,5 +153,73 @@ func TestSoakRTCancel(t *testing.T) {
 	}
 	for _, v := range rep.Violations {
 		t.Errorf("cancelled soak reported violation: %s", v)
+	}
+}
+
+// TestSoakSimBatchedPreset: the batched-pool preset — B>1 under scenario
+// churn, identity churn and fault injection — keeps every machine-checked
+// invariant: same-seed byte parity, the generalized fairness bound under
+// batching, and the per-scenario F1 floors. Batching must actually engage
+// (some grant fuses more than one request) for the preset to prove anything.
+func TestSoakSimBatchedPreset(t *testing.T) {
+	rep, err := SoakSimParity(Config{
+		Streams:       8,
+		Slots:         2,
+		Batch:         serve.BatchConfig{Size: 3},
+		Rounds:        2,
+		SegmentFrames: 40,
+		Fault:         testFault(),
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatalf("SoakSimParity(batched): %v", err)
+	}
+	if testing.Verbose() {
+		rep.Print(os.Stderr)
+	}
+	if !rep.OK() {
+		t.Fatalf("batched sim soak violated invariants:\n%v", rep.Violations)
+	}
+	if rep.BatchSize != 3 {
+		t.Fatalf("report batch size %d, want 3", rep.BatchSize)
+	}
+	if rep.MaxBatch < 2 {
+		t.Fatalf("MaxBatch = %d: batching never engaged under churn", rep.MaxBatch)
+	}
+	if rep.Batches == 0 || rep.Batches >= rep.Grants {
+		t.Fatalf("batches %d vs grants %d: fusing should shrink the grant count", rep.Batches, rep.Grants)
+	}
+}
+
+// TestSoakRTBatchedPreset: the live batched pool under churn and faults
+// keeps the rt survival invariants — zero goroutine growth, bounded heap,
+// the batched fairness bound, budget refill — while actually fusing grants.
+func TestSoakRTBatchedPreset(t *testing.T) {
+	rep, err := SoakRT(context.Background(), Config{
+		Streams:       8,
+		Slots:         2,
+		Batch:         serve.BatchConfig{Size: 3},
+		SegmentFrames: 25,
+		WallBudget:    3 * time.Second,
+		Fault:         testFault(),
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatalf("SoakRT(batched): %v", err)
+	}
+	if testing.Verbose() {
+		rep.Print(os.Stderr)
+	}
+	if !rep.OK() {
+		t.Fatalf("batched rt soak violated invariants:\n%v", rep.Violations)
+	}
+	if rep.MaxBatch < 2 {
+		t.Fatalf("MaxBatch = %d: live batching never engaged", rep.MaxBatch)
+	}
+	if rep.GoroutinesAfter > rep.GoroutinesBefore {
+		t.Errorf("goroutines grew %d -> %d under batching", rep.GoroutinesBefore, rep.GoroutinesAfter)
+	}
+	if rep.BudgetRecovered != rep.BudgetCapacity {
+		t.Errorf("budget recovered %d of %d", rep.BudgetRecovered, rep.BudgetCapacity)
 	}
 }

@@ -35,6 +35,10 @@ type Report struct {
 	// MaxQueueDepth is the deepest the wait queue got (sim only — the live
 	// pool publishes depth to the registry instead).
 	Grants, Deferred, MaxQueueDepth int
+	// BatchSize echoes the configured batch capacity B (1 = unbatched);
+	// Batches counts slot grants and MaxBatch the largest number of requests
+	// one grant fused — MaxBatch > 1 proves batching engaged under churn.
+	BatchSize, Batches, MaxBatch int
 	// MaxOccupancy is the longest single slot occupancy observed;
 	// MaxCalibAge the worst calibration staleness; FairnessBound the
 	// loosest bound that was enforced (max over rounds, plus slack in rt
@@ -77,6 +81,10 @@ func (r *Report) Print(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "  frames %d  grants %d  deferred %d  max queue depth %d\n",
 		r.Frames, r.Grants, r.Deferred, r.MaxQueueDepth)
+	if r.BatchSize > 1 {
+		fmt.Fprintf(w, "  batching: capacity %d  batches %d  max fused %d\n",
+			r.BatchSize, r.Batches, r.MaxBatch)
+	}
 	fmt.Fprintf(w, "  occupancy max %v  calib age max %v  fairness bound %v\n",
 		r.MaxOccupancy, r.MaxCalibAge, r.FairnessBound)
 	if r.Mode == "sim" {

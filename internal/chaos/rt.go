@@ -38,7 +38,7 @@ func SoakRT(ctx context.Context, cfg Config) (*Report, error) {
 	reg := obs.NewRegistry()
 	st := newChurnState(cfg.Streams)
 	acc := newF1Acc()
-	rep := &Report{Mode: "rt", Seed: cfg.Seed, Streams: cfg.Streams, Slots: cfg.Slots}
+	rep := &Report{Mode: "rt", Seed: cfg.Seed, Streams: cfg.Streams, Slots: cfg.Slots, BatchSize: cfg.Batch.Size}
 	budget := guard.NewEscalationBudgetWithRefill(cfg.DowngradeBudget, cfg.DowngradeRefill)
 	rep.BudgetCapacity = cfg.DowngradeBudget
 
@@ -64,11 +64,15 @@ func SoakRT(ctx context.Context, cfg Config) (*Report, error) {
 				},
 			}
 		}
-		res, err := serve.Run(ctx, specs, serve.RunConfig{Slots: cfg.Slots, Budget: budget, Obs: reg})
+		res, err := serve.Run(ctx, specs, serve.RunConfig{Slots: cfg.Slots, Batch: cfg.Batch, Budget: budget, Obs: reg})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: round %d: %w", round, err)
 		}
 		rep.Rounds++
+		rep.Batches += int(res.Stats.Batches)
+		if int(res.Stats.MaxBatch) > rep.MaxBatch {
+			rep.MaxBatch = int(res.Stats.MaxBatch)
+		}
 		// Refill credit accrues on soak time, which only moves forward, so
 		// concurrent rounds could share the budget safely too.
 		budget.Advance(time.Since(start))
@@ -83,7 +87,13 @@ func SoakRT(ctx context.Context, cfg Config) (*Report, error) {
 			rep.MaxOccupancy = maxOcc
 		}
 		scaledInterval := time.Duration(float64(plans[0].Video.FrameInterval()) * cfg.TimeScale)
-		bound := serve.FairnessBound(len(plans), cfg.Slots, maxOcc, scaledInterval) + cfg.FairnessSlack
+		// Fairness under batching: rt occupancies are measured per member
+		// (grant → own release) while the slot frees at the *last* member's
+		// release, so the generalized bound stretches the measured span by
+		// the batch capacity (≥ any release skew) exactly as the latency
+		// model does; FairnessSlack still absorbs wall-clock noise. Linger
+		// is zero: the live pool is work-conserving.
+		bound := serve.FairnessBoundBatched(len(plans), cfg.Slots, cfg.Batch.Size, maxOcc, scaledInterval, 0) + cfg.FairnessSlack
 		if bound > rep.FairnessBound {
 			rep.FairnessBound = bound
 		}

@@ -27,7 +27,7 @@ func SoakSim(cfg Config) (*Report, error) {
 	reg := obs.NewRegistry()
 	st := newChurnState(cfg.Streams)
 	acc := newF1Acc()
-	rep := &Report{Mode: "sim", Seed: cfg.Seed, Rounds: cfg.Rounds, Streams: cfg.Streams, Slots: cfg.Slots}
+	rep := &Report{Mode: "sim", Seed: cfg.Seed, Rounds: cfg.Rounds, Streams: cfg.Streams, Slots: cfg.Slots, BatchSize: cfg.Batch.Size}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		plans := planRound(root, cfg, round, st)
@@ -43,11 +43,14 @@ func SoakSim(cfg Config) (*Report, error) {
 				},
 			}
 		}
-		res, err := sim.RunMulti(streams, sim.MultiConfig{Slots: cfg.Slots, Obs: reg})
+		res, err := sim.RunMulti(streams, sim.MultiConfig{Slots: cfg.Slots, Batch: cfg.Batch, Obs: reg})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: round %d: %w", round, err)
 		}
-		bound := serve.FairnessBound(len(plans), cfg.Slots, res.MaxOccupancy, plans[0].Video.FrameInterval())
+		// Fairness under batching: the generalized bound from the round's
+		// longest single-request span (equal to FairnessBound at B=1).
+		bound := serve.FairnessBoundBatched(len(plans), cfg.Slots, cfg.Batch.Size,
+			res.MaxSingleOccupancy, plans[0].Video.FrameInterval(), cfg.Batch.Linger)
 		if bound > rep.FairnessBound {
 			rep.FairnessBound = bound
 		}
@@ -56,6 +59,10 @@ func SoakSim(cfg Config) (*Report, error) {
 		}
 		if res.MaxOccupancy > rep.MaxOccupancy {
 			rep.MaxOccupancy = res.MaxOccupancy
+		}
+		rep.Batches += res.Batches
+		if res.MaxBatch > rep.MaxBatch {
+			rep.MaxBatch = res.MaxBatch
 		}
 		for i, s := range res.Streams {
 			rep.Grants += s.Grants

@@ -13,7 +13,7 @@ import (
 // fixtures under testdata exercise the same policy as the real tree.
 var detPackages = []string{
 	"sim", "detect", "adapt", "core", "imgproc", "flow", "track", "video",
-	"features", "metrics", "experiments", "obs", "serve",
+	"features", "metrics", "experiments", "obs", "serve", "loadtest",
 }
 
 // wallClockExempt lists deterministic packages that may read the wall

@@ -74,6 +74,17 @@ const (
 	MetricDetectDeferred = "adavp_detector_deferred_total"
 	// MetricStreams is the number of streams admitted to a serving run.
 	MetricStreams = "adavp_streams"
+	// MetricSlotExec is a histogram of how long a granted detection request
+	// held its detector slot — setting-switch overhead plus the (possibly
+	// batched) inference — in seconds, labeled stream=<id> in multi-stream
+	// runs. Together with MetricSlotWait it splits a request's life into
+	// queueing vs. execution time.
+	MetricSlotExec = "adavp_detector_slot_exec_seconds"
+	// MetricBatchSize is a histogram of how many compatible requests each
+	// slot grant drained from the wait queue and fused into one batched
+	// inference. Mass at 1 under batch capacity B>1 means setting skew (or an
+	// empty queue) is fragmenting batches.
+	MetricBatchSize = "adavp_detector_batch_size"
 	// MetricJournalDropped counts journal events evicted by the bounded ring
 	// once it wrapped — how much history /metrics scrapers lost. The series
 	// appears after the first drop; its absence means the journal is intact.
@@ -109,6 +120,10 @@ const (
 var DefLatencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
+
+// BatchSizeBuckets are the histogram bounds for MetricBatchSize: powers of
+// two up to the largest batch capacity any configuration uses.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32}
 
 // DefJournalCap bounds the event journal; older events are dropped.
 const DefJournalCap = 512

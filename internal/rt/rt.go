@@ -104,21 +104,24 @@ type Config struct {
 // other way around.
 type DetectorSlots interface {
 	// Acquire blocks until a detector slot is granted or ctx is cancelled.
-	// stream identifies the caller; lastCalib is the pipeline time its most
-	// recent calibration completed (zero before the first) — the
-	// oldest-calibration-first fairness key. The returned release must be
-	// called exactly once, when the inference is done. A non-ctx error is
-	// backpressure: the wait queue is full, and the caller skips this
-	// detection — it keeps tracking against its previous calibration and
-	// retries on a later frame, so staleness grows instead of memory.
-	Acquire(ctx context.Context, stream string, lastCalib time.Duration) (release func(), err error)
+	// stream identifies the caller; setting is the model setting it holds at
+	// request time — the batch compatibility key a batching pool fuses
+	// grants on (the caller's post-grant adaptation may still switch);
+	// lastCalib is the pipeline time its most recent calibration completed
+	// (zero before the first) — the oldest-calibration-first fairness key.
+	// The returned release must be called exactly once, when the inference
+	// is done. A non-ctx error is backpressure: the wait queue is full, and
+	// the caller skips this detection — it keeps tracking against its
+	// previous calibration and retries on a later frame, so staleness grows
+	// instead of memory.
+	Acquire(ctx context.Context, stream string, setting core.Setting, lastCalib time.Duration) (release func(), err error)
 }
 
 // exclusiveSlots is the nil-Slots default: a dedicated, always-free detector
 // slot with zero acquisition cost.
 type exclusiveSlots struct{}
 
-func (exclusiveSlots) Acquire(ctx context.Context, _ string, _ time.Duration) (func(), error) {
+func (exclusiveSlots) Acquire(ctx context.Context, _ string, _ core.Setting, _ time.Duration) (func(), error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -499,7 +502,7 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 		// Claim a shared detector slot before committing to the cycle. The
 		// wait is measured here — the slot pool itself is clock-free.
 		slotStart := time.Now()
-		release, err := slots.Acquire(ctx, p.cfg.StreamID, lastCalib)
+		release, err := slots.Acquire(ctx, p.cfg.StreamID, setting, lastCalib)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -569,10 +572,16 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 		dets, newSetting, detected := p.superviseDetect(ctx, frameIdx, setting)
 		setting = newSetting
 		p.sleep(p.latDet.Detect(setting))
-		if occ := time.Since(slotGranted); occ > p.maxSlotOcc {
+		occ := time.Since(slotGranted)
+		if occ > p.maxSlotOcc {
 			p.maxSlotOcc = occ
 		}
 		release()
+		// Execution time (grant → release) is the other half of the
+		// queueing/execution split: MetricSlotWait above measured the queue,
+		// this histogram measures the slot itself.
+		p.cfg.Obs.Histogram(obs.MetricSlotExec, obs.DefLatencyBuckets, p.obsLabels()...).
+			ObserveDuration(occ)
 		newCalib := time.Since(p.start)
 		if age := newCalib - lastCalib; age > p.maxCalibAge {
 			p.maxCalibAge = age

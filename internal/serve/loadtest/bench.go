@@ -1,0 +1,141 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"adavp/internal/core"
+	"adavp/internal/serve"
+)
+
+// Schema identifies the BENCH_serve.json layout. Bump on shape changes.
+const Schema = "adavp-serve-bench/1"
+
+// Suite is the committed BENCH_serve.json artifact: the canonical scenario
+// matrix's reports. Every field derives from the scenario configs through
+// the deterministic harness, so regenerating the suite from unchanged code
+// reproduces the committed file byte for byte — scheduler changes show up
+// in review as a diff.
+type Suite struct {
+	Schema    string    `json:"schema"`
+	Scenarios []*Report `json:"scenarios"`
+}
+
+// Validate checks the suite envelope and every scenario report.
+func (s *Suite) Validate() error {
+	if s.Schema != Schema {
+		return fmt.Errorf("loadtest: suite schema %q, want %q", s.Schema, Schema)
+	}
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("loadtest: suite has no scenarios")
+	}
+	seen := make(map[string]bool, len(s.Scenarios))
+	for _, r := range s.Scenarios {
+		if r == nil {
+			return fmt.Errorf("loadtest: suite holds a null scenario")
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("loadtest: duplicate scenario %q", r.Name)
+		}
+		seen[r.Name] = true
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the suite in the committed artifact format.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadSuite parses and validates a suite from the artifact format.
+func ReadSuite(r io.Reader) (*Suite, error) {
+	var s Suite
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("loadtest: parsing suite: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// BenchConfigs is the canonical BENCH_serve.json scenario matrix: 1000
+// streams over 8 slots with arrival churn, two flash crowds and mild
+// setting skew, swept across batch capacities. The unbatched scenario is
+// the baseline the batched ones must beat on p95 slot-wait; the lingering
+// variant additionally exercises the fill-timeout path.
+func BenchConfigs() []Config {
+	base := Config{
+		Streams:     1000,
+		Slots:       8,
+		Horizon:     3 * time.Minute,
+		Settings:    []core.Setting{core.Setting512, core.Setting416, core.Setting320},
+		SettingSkew: 0.15,
+		ChurnRate:   0.5,
+		FlashCrowds: 2,
+		SLO:         30 * time.Second,
+		Seed:        1,
+	}
+	mk := func(name string, b serve.BatchConfig) Config {
+		c := base
+		c.Name = name
+		c.Batch = b
+		return c
+	}
+	return []Config{
+		mk("unbatched-b1", serve.BatchConfig{Size: 1}),
+		mk("batched-b4-linger5ms", serve.BatchConfig{Size: 4, Linger: 5 * time.Millisecond}),
+		mk("batched-b8", serve.BatchConfig{Size: 8}),
+	}
+}
+
+// RunSuite executes a scenario matrix into a suite.
+func RunSuite(cfgs []Config) (*Suite, error) {
+	s := &Suite{Schema: Schema}
+	for _, cfg := range cfgs {
+		rep, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Scenarios = append(s.Scenarios, rep)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RunBench executes the canonical matrix and enforces the SLO story the
+// artifact exists to pin: every batched scenario must beat the unbatched
+// baseline on p95 slot-wait and SLO attainment under this contention.
+func RunBench() (*Suite, error) {
+	s, err := RunSuite(BenchConfigs())
+	if err != nil {
+		return nil, err
+	}
+	base := s.Scenarios[0]
+	for _, r := range s.Scenarios[1:] {
+		if r.Wait.P95 >= base.Wait.P95 {
+			return nil, fmt.Errorf("loadtest: %s p95 slot-wait %.1fms did not beat %s's %.1fms",
+				r.Name, r.Wait.P95, base.Name, base.Wait.P95)
+		}
+		if r.SLOAttainment < base.SLOAttainment {
+			return nil, fmt.Errorf("loadtest: %s SLO attainment %.3f under %s's %.3f",
+				r.Name, r.SLOAttainment, base.Name, base.SLOAttainment)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,559 @@
+// Package loadtest is the serving layer's load generator: a deterministic
+// discrete-event harness that drives thousands of synthetic detection
+// streams through the real scheduling primitives — serve.FairQueue,
+// FairQueue.PopBatch and serve.BatchLatency, the exact code the live pool
+// and the virtual-clock scheduler run — under arrival churn
+// (connect/disconnect cycles), flash crowds (cohorts connecting at once)
+// and setting skew (mixed model settings that fragment batches).
+//
+// Unlike sim.RunMulti it does not run tracker/detector engines per stream;
+// each grant's slot occupancy comes from the calibrated core.LatencyModel
+// (setting switch + one inference at the stream's setting), which makes a
+// 1000-stream, minutes-long horizon run in well under a second while
+// exercising the genuine queue ordering, batch-drain and linger logic. The
+// harness pins the SLO story: per-request slot-wait, execution and
+// end-to-end latency distributions (p50/p95/p99/max), SLO attainment, and
+// the generalized fairness bound serve.FairnessBoundBatched checked against
+// the worst observed calibration age.
+//
+// Determinism contract: the package is on the detrand deterministic-package
+// list — everything derives from Config.Seed through internal/rng on a
+// virtual clock; two same-config runs return identical Reports.
+package loadtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"adavp/internal/core"
+	"adavp/internal/rng"
+	"adavp/internal/serve"
+)
+
+// Config parameterizes one load-generation scenario. Zero-value fields take
+// the documented defaults.
+type Config struct {
+	// Name labels the scenario in the Report (and in BENCH_serve.json).
+	Name string
+	// Streams is N, the number of synthetic streams. Default 64.
+	Streams int
+	// Slots is K, the number of shared detector slots. Default 2.
+	Slots int
+	// QueueBound caps the wait queue (serve.NewFairQueue). Default: Streams,
+	// which never refuses — each stream keeps at most one request in flight.
+	QueueBound int
+	// Batch configures the batching executor under test; the zero value is
+	// the unbatched one-request-per-grant scheduler. Linger is honored
+	// exactly (the harness owns a virtual clock).
+	Batch serve.BatchConfig
+	// FrameInterval is the camera interval: a stream re-requests one interval
+	// after its previous calibration completes. Default 33ms (~30 FPS).
+	FrameInterval time.Duration
+	// Horizon is the virtual-time length of the run: no stream issues a new
+	// request past it (in-flight requests drain). Default 60s.
+	Horizon time.Duration
+	// Settings is the model-setting palette. The first entry is the dominant
+	// setting; SettingSkew routes a fraction of (re)connects to the rest.
+	// Default: {Setting512}.
+	Settings []core.Setting
+	// SettingSkew is the probability that a stream draws a non-dominant
+	// setting at connect/reconnect, fragmenting batches (PopBatch stops at
+	// the first incompatible head). 0 disables skew. Default 0.
+	SettingSkew float64
+	// ChurnRate is the expected number of disconnect/reconnect cycles per
+	// stream per virtual minute; off periods average a quarter of on
+	// periods. 0 disables churn. A reconnecting stream redraws its setting
+	// and restarts its staleness clock.
+	ChurnRate float64
+	// FlashCrowds is the number of cohorts that connect simultaneously,
+	// spread evenly across the horizon; each cohort is FlashFraction of the
+	// stream population held back until its crowd instant. 0 disables.
+	FlashCrowds int
+	// FlashFraction is the fraction of streams per flash crowd. Default 0.25.
+	FlashFraction float64
+	// SLO is the end-to-end (request → calibration published) latency target
+	// that attainment is measured against. Default 1s.
+	SLO time.Duration
+	// Seed derives every random choice. Default 1.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Streams <= 0 {
+		c.Streams = 64
+	}
+	if c.Slots <= 0 {
+		c.Slots = 2
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = c.Streams
+	}
+	if c.Batch.Size < 1 {
+		c.Batch.Size = 1
+	}
+	if c.Batch.Linger < 0 {
+		c.Batch.Linger = 0
+	}
+	if c.FrameInterval <= 0 {
+		c.FrameInterval = 33 * time.Millisecond
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 60 * time.Second
+	}
+	if len(c.Settings) == 0 {
+		c.Settings = []core.Setting{core.Setting512}
+	}
+	if c.FlashFraction <= 0 || c.FlashFraction > 1 {
+		c.FlashFraction = 0.25
+	}
+	if c.SLO <= 0 {
+		c.SLO = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Quantiles is one latency distribution, in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Report is one scenario's outcome — the JSON shape committed to
+// BENCH_serve.json. All durations are milliseconds of virtual time.
+type Report struct {
+	// Scenario echo.
+	Name            string  `json:"name"`
+	Streams         int     `json:"streams"`
+	Slots           int     `json:"slots"`
+	QueueBound      int     `json:"queue_bound"`
+	BatchSize       int     `json:"batch_size"`
+	LingerMS        float64 `json:"linger_ms"`
+	FrameIntervalMS float64 `json:"frame_interval_ms"`
+	HorizonMS       float64 `json:"horizon_ms"`
+	ChurnPerMin     float64 `json:"churn_per_min"`
+	FlashCrowds     int     `json:"flash_crowds"`
+	SettingSkew     float64 `json:"setting_skew"`
+	Seed            uint64  `json:"seed"`
+
+	// Flow accounting. Requests = Grants + Deferred.
+	Requests       int     `json:"requests"`
+	Grants         int     `json:"grants"`
+	Deferred       int     `json:"deferred"`
+	Reconnects     int     `json:"reconnects"`
+	Batches        int     `json:"batches"`
+	MaxBatch       int     `json:"max_batch"`
+	MeanBatchFill  float64 `json:"mean_batch_fill"`
+	PeakQueueDepth int     `json:"peak_queue_depth"`
+
+	// Latency distributions: queueing (request → grant), execution
+	// (grant → batch completion) and end-to-end (request → calibration),
+	// plus the staleness distribution between consecutive calibrations.
+	Wait     Quantiles `json:"slot_wait"`
+	Exec     Quantiles `json:"slot_exec"`
+	E2E      Quantiles `json:"e2e"`
+	CalibAge Quantiles `json:"calib_age"`
+
+	// The SLO story: fraction of granted requests whose end-to-end latency
+	// met the target.
+	SLOMS         float64 `json:"slo_ms"`
+	SLOAttainment float64 `json:"slo_attainment"`
+
+	// The fairness story: worst observed calibration age against the
+	// generalized bound computed from the worst single-request occupancy.
+	// The bound is enforceable only when nothing was deferred (a refused
+	// request retries a frame later, which the bound's derivation excludes).
+	MaxSingleOccMS   float64 `json:"max_single_occupancy_ms"`
+	FairnessBoundMS  float64 `json:"fairness_bound_ms"`
+	MaxCalibAgeMS    float64 `json:"max_calib_age_ms"`
+	BoundEnforceable bool    `json:"bound_enforceable"`
+	BoundHeld        bool    `json:"bound_held"`
+}
+
+// Validate checks a Report against the BENCH_serve.json schema: scenario
+// fields present, flow accounting consistent, distributions ordered, the
+// attainment a valid fraction, and the fairness bound held whenever it was
+// enforceable. The loadgen smoke gate and the committed-artifact test both
+// run every report through it.
+func (r *Report) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("loadtest: report missing name")
+	}
+	if r.Streams < 1 || r.Slots < 1 || r.BatchSize < 1 || r.QueueBound < 1 {
+		return fmt.Errorf("loadtest: %s: non-positive topology (streams %d, slots %d, batch %d, bound %d)",
+			r.Name, r.Streams, r.Slots, r.BatchSize, r.QueueBound)
+	}
+	if r.Grants < 1 {
+		return fmt.Errorf("loadtest: %s: no grants recorded", r.Name)
+	}
+	if r.Requests != r.Grants+r.Deferred {
+		return fmt.Errorf("loadtest: %s: flow imbalance: %d requests != %d grants + %d deferred",
+			r.Name, r.Requests, r.Grants, r.Deferred)
+	}
+	if r.Batches < 1 || r.MaxBatch < 1 || r.MaxBatch > r.BatchSize {
+		return fmt.Errorf("loadtest: %s: batch accounting out of range (batches %d, max %d, capacity %d)",
+			r.Name, r.Batches, r.MaxBatch, r.BatchSize)
+	}
+	if r.MeanBatchFill < 1 || r.MeanBatchFill > float64(r.BatchSize) {
+		return fmt.Errorf("loadtest: %s: mean batch fill %.3f outside [1, %d]", r.Name, r.MeanBatchFill, r.BatchSize)
+	}
+	for _, q := range []struct {
+		name string
+		q    Quantiles
+	}{{"slot_wait", r.Wait}, {"slot_exec", r.Exec}, {"e2e", r.E2E}, {"calib_age", r.CalibAge}} {
+		if q.q.P50 < 0 || q.q.P50 > q.q.P95 || q.q.P95 > q.q.P99 || q.q.P99 > q.q.Max {
+			return fmt.Errorf("loadtest: %s: %s quantiles not ordered: %+v", r.Name, q.name, q.q)
+		}
+	}
+	if r.SLOAttainment < 0 || r.SLOAttainment > 1 {
+		return fmt.Errorf("loadtest: %s: SLO attainment %.3f outside [0, 1]", r.Name, r.SLOAttainment)
+	}
+	if r.FairnessBoundMS <= 0 {
+		return fmt.Errorf("loadtest: %s: non-positive fairness bound", r.Name)
+	}
+	if r.BoundEnforceable && !r.BoundHeld {
+		return fmt.Errorf("loadtest: %s: fairness bound VIOLATED: max calib age %.1fms over bound %.1fms",
+			r.Name, r.MaxCalibAgeMS, r.FairnessBoundMS)
+	}
+	return nil
+}
+
+// lstream is one synthetic stream's generator state.
+type lstream struct {
+	id      string
+	lat     *core.LatencyModel // per-grant occupancy draws
+	churn   *rng.Stream        // on/off window draws
+	pick    *rng.Stream        // setting draws
+	setting core.Setting
+	queued  bool
+	done    bool          // past the horizon; never requests again
+	readyAt time.Duration // when the pending request was (or will be) issued
+	onUntil time.Duration // end of the current connected window
+	// calibValid gates staleness samples: false before the first calibration
+	// of a connected window, so ages never span a disconnect.
+	calibValid bool
+	lastCalib  time.Duration
+}
+
+// Run executes one scenario and returns its report. Pure function of cfg:
+// same config, same report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		Name:            cfg.Name,
+		Streams:         cfg.Streams,
+		Slots:           cfg.Slots,
+		QueueBound:      cfg.QueueBound,
+		BatchSize:       cfg.Batch.Size,
+		LingerMS:        ms(cfg.Batch.Linger),
+		FrameIntervalMS: ms(cfg.FrameInterval),
+		HorizonMS:       ms(cfg.Horizon),
+		ChurnPerMin:     cfg.ChurnRate,
+		FlashCrowds:     cfg.FlashCrowds,
+		SettingSkew:     cfg.SettingSkew,
+		Seed:            cfg.Seed,
+	}
+	if rep.Name == "" {
+		rep.Name = "adhoc"
+	}
+
+	root := rng.New(cfg.Seed).DeriveString("loadtest")
+	onMean := time.Duration(0)
+	if cfg.ChurnRate > 0 {
+		onMean = time.Duration(float64(time.Minute) / cfg.ChurnRate)
+	}
+
+	drawSetting := func(s *lstream) core.Setting {
+		if cfg.SettingSkew > 0 && len(cfg.Settings) > 1 && s.pick.Bool(cfg.SettingSkew) {
+			return cfg.Settings[1+s.pick.Intn(len(cfg.Settings)-1)]
+		}
+		return cfg.Settings[0]
+	}
+
+	// Flash crowds claim the tail of the stream population, one contiguous
+	// cohort per crowd; everyone else connects staggered across the first
+	// frame interval.
+	crowdSize := 0
+	if cfg.FlashCrowds > 0 {
+		crowdSize = int(cfg.FlashFraction * float64(cfg.Streams))
+		if crowdSize < 1 {
+			crowdSize = 1
+		}
+		if crowdSize*cfg.FlashCrowds > cfg.Streams/2 {
+			crowdSize = cfg.Streams / 2 / cfg.FlashCrowds
+			if crowdSize < 1 {
+				crowdSize = 1
+			}
+		}
+	}
+	crowdAt := func(c int) time.Duration {
+		return cfg.Horizon * time.Duration(c+1) / time.Duration(cfg.FlashCrowds+1)
+	}
+
+	ss := make([]*lstream, cfg.Streams)
+	for i := range ss {
+		sr := root.Derive(uint64(i)).DeriveString("stream")
+		s := &lstream{
+			id:    fmt.Sprintf("ld%d", i),
+			lat:   core.NewLatencyModel(sr.DeriveString("lat")),
+			churn: sr.DeriveString("churn"),
+			pick:  sr.DeriveString("pick"),
+		}
+		s.setting = drawSetting(s)
+		s.readyAt = cfg.FrameInterval * time.Duration(i) / time.Duration(cfg.Streams)
+		if crowd := crowdOf(i, cfg.Streams, crowdSize, cfg.FlashCrowds); crowd >= 0 {
+			s.readyAt = crowdAt(crowd)
+		}
+		if onMean > 0 {
+			s.onUntil = s.readyAt + expDur(s.churn, onMean)
+		}
+		ss[i] = s
+	}
+
+	// advance rolls a request instant forward through disconnect windows and
+	// the horizon: a request landing past the connected window slips to the
+	// next reconnect (staleness clock reset, setting redrawn), and a request
+	// past the horizon retires the stream.
+	advance := func(s *lstream, at time.Duration) {
+		if onMean > 0 {
+			for at >= s.onUntil {
+				off := expDur(s.churn, onMean/4)
+				start := s.onUntil + off
+				s.onUntil = start + expDur(s.churn, onMean)
+				if at < start {
+					at = start
+				}
+				s.calibValid = false
+				s.setting = drawSetting(s)
+				rep.Reconnects++
+			}
+		}
+		s.readyAt = at
+		if at > cfg.Horizon {
+			s.done = true
+		}
+	}
+
+	q := serve.NewFairQueue(cfg.QueueBound)
+	slots := make([]time.Duration, cfg.Slots)
+	var waits, execs, e2es, ages []float64
+	var maxSingle, maxAge time.Duration
+	batchSum := 0
+
+	noteDepth := func() {
+		if q.Len() > rep.PeakQueueDepth {
+			rep.PeakQueueDepth = q.Len()
+		}
+	}
+	// admit enqueues every stream whose request time has arrived, in
+	// (readyAt, index) order; a full queue defers by one frame interval.
+	admit := func(t time.Duration) {
+		for {
+			best := -1
+			for i, s := range ss {
+				if s.done || s.queued || s.readyAt > t {
+					continue
+				}
+				if best < 0 || s.readyAt < ss[best].readyAt {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			s := ss[best]
+			rep.Requests++
+			if q.Push(serve.Request{Stream: s.id, Index: best, Setting: s.setting, LastCalib: s.lastCalib}) {
+				s.queued = true
+			} else {
+				rep.Deferred++
+				advance(s, s.readyAt+cfg.FrameInterval)
+			}
+		}
+		noteDepth()
+	}
+
+	for {
+		// The earliest-free slot (lowest index among ties) serves next.
+		si := 0
+		for i := 1; i < len(slots); i++ {
+			if slots[i] < slots[si] {
+				si = i
+			}
+		}
+		t := slots[si]
+		admit(t)
+		if q.Len() == 0 {
+			earliest, found := time.Duration(0), false
+			for _, s := range ss {
+				if s.done || s.queued {
+					continue
+				}
+				if !found || s.readyAt < earliest {
+					earliest, found = s.readyAt, true
+				}
+			}
+			if !found {
+				break // every stream retired and nothing queued: drained
+			}
+			if earliest > t {
+				t = earliest
+			}
+			admit(t)
+			if q.Len() == 0 {
+				continue // the earliest arrivals all slipped past the horizon
+			}
+		}
+		reqs := q.PopBatch(cfg.Batch.Size)
+		// Linger: hold the partially-filled batch for compatible arrivals
+		// inside the window, exactly as sim.RunMulti does on its virtual
+		// clock.
+		if len(reqs) < cfg.Batch.Size && cfg.Batch.Linger > 0 {
+			deadline := t + cfg.Batch.Linger
+			for len(reqs) < cfg.Batch.Size {
+				earliest := time.Duration(-1)
+				for _, s := range ss {
+					if s.done || s.queued || s.readyAt > deadline {
+						continue
+					}
+					if earliest < 0 || s.readyAt < earliest {
+						earliest = s.readyAt
+					}
+				}
+				if earliest < 0 {
+					break
+				}
+				t = earliest
+				admit(t)
+				for len(reqs) < cfg.Batch.Size {
+					head, ok := q.Peek()
+					if !ok || head.Setting != reqs[0].Setting {
+						break
+					}
+					r, _ := q.Pop()
+					reqs = append(reqs, r)
+				}
+			}
+		}
+		noteDepth()
+
+		// Execute the fused batch: the longest member's single-request span
+		// (setting switch + one inference at the batch setting) stretched by
+		// the calibrated batch cost.
+		rep.Batches++
+		batchSum += len(reqs)
+		if len(reqs) > rep.MaxBatch {
+			rep.MaxBatch = len(reqs)
+		}
+		var maxSpan time.Duration
+		for _, r := range reqs {
+			s := ss[r.Index]
+			span := s.lat.SettingSwitch() + s.lat.Detect(r.Setting)
+			if span > maxSpan {
+				maxSpan = span
+			}
+			if span > maxSingle {
+				maxSingle = span
+			}
+		}
+		batchEnd := t + serve.BatchLatency(maxSpan, len(reqs))
+		for _, r := range reqs {
+			s := ss[r.Index]
+			s.queued = false
+			rep.Grants++
+			wait := t - s.readyAt
+			waits = append(waits, ms(wait))
+			execs = append(execs, ms(batchEnd-t))
+			e2e := batchEnd - s.readyAt
+			e2es = append(e2es, ms(e2e))
+			if e2e <= cfg.SLO {
+				rep.SLOAttainment++ // running count; normalized below
+			}
+			if s.calibValid {
+				age := batchEnd - s.lastCalib
+				ages = append(ages, ms(age))
+				if age > maxAge {
+					maxAge = age
+				}
+			}
+			s.calibValid = true
+			s.lastCalib = batchEnd
+			advance(s, batchEnd+cfg.FrameInterval)
+		}
+		slots[si] = batchEnd
+	}
+
+	if rep.Grants == 0 {
+		return nil, fmt.Errorf("loadtest: %s: horizon %v granted nothing", rep.Name, cfg.Horizon)
+	}
+	rep.MeanBatchFill = float64(batchSum) / float64(rep.Batches)
+	rep.SLOAttainment /= float64(rep.Grants)
+	rep.Wait = quantiles(waits)
+	rep.Exec = quantiles(execs)
+	rep.E2E = quantiles(e2es)
+	rep.CalibAge = quantiles(ages)
+	rep.SLOMS = ms(cfg.SLO)
+	rep.MaxSingleOccMS = ms(maxSingle)
+	bound := serve.FairnessBoundBatched(cfg.Streams, cfg.Slots, cfg.Batch.Size, maxSingle, cfg.FrameInterval, cfg.Batch.Linger)
+	rep.FairnessBoundMS = ms(bound)
+	rep.MaxCalibAgeMS = ms(maxAge)
+	rep.BoundEnforceable = rep.Deferred == 0
+	rep.BoundHeld = maxAge <= bound
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// crowdOf returns the flash-crowd index stream i belongs to, or -1. Crowds
+// claim contiguous cohorts from the tail of the population: crowd 0 takes
+// the last crowdSize streams, crowd 1 the crowdSize before them, and so on.
+func crowdOf(i, streams, crowdSize, crowds int) int {
+	if crowds <= 0 || crowdSize <= 0 {
+		return -1
+	}
+	fromEnd := streams - 1 - i
+	c := fromEnd / crowdSize
+	if c < crowds {
+		return c
+	}
+	return -1
+}
+
+// expDur draws an exponential duration with the given mean, floored at one
+// millisecond so on/off windows always make progress.
+func expDur(r *rng.Stream, mean time.Duration) time.Duration {
+	d := time.Duration(r.Exp(float64(mean)))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// quantiles reduces samples (milliseconds) to the reported distribution,
+// using the ceil-rank convention: Pq is the smallest sample with at least
+// q of the mass at or below it.
+func quantiles(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pick := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return Quantiles{P50: pick(0.50), P95: pick(0.95), P99: pick(0.99), Max: s[len(s)-1]}
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

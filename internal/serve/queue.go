@@ -14,14 +14,21 @@
 //     it is shared verbatim by the live pool below and by the virtual-clock
 //     scheduler in internal/sim (sim.RunMulti), so both engines queue in the
 //     exact same order.
-//   - Pool: the live K-slot semaphore around FairQueue that rt's detector
-//     loop blocks on. Bounded waiting with backpressure: when the wait queue
-//     is full Acquire fails fast and the stream skips the detection instead
-//     of queueing unboundedly.
+//   - Pool: the live K-slot batching executor around FairQueue that rt's
+//     detector loop blocks on. Bounded waiting with backpressure: when the
+//     wait queue is full Acquire fails fast and the stream skips the
+//     detection instead of queueing unboundedly. Each slot grant drains up
+//     to B compatible requests (same model setting, PopBatch) and grants
+//     them as one fused batch; the slot frees when the last member releases.
 //   - Run: the live multi-stream runner — one supervised rt pipeline per
 //     stream against a shared Pool, a shared observability registry
 //     (per-stream series labeled stream=<id>) and a shared guard escalation
 //     budget.
+//
+// A request's life is an explicit staged pipeline —
+// admit → queue → batch → detect → publish — with per-stage flow counters in
+// Stats (stats.go) and the queueing vs. execution split published as the
+// MetricSlotWait / MetricSlotExec histograms by the clock-owning callers.
 //
 // Determinism contract: this package never reads a clock (it is on the
 // detrand deterministic-package list). All queue ordering derives from
@@ -29,7 +36,11 @@
 // sim — and wait durations are measured by the callers that own the clock.
 package serve
 
-import "time"
+import (
+	"time"
+
+	"adavp/internal/core"
+)
 
 // Request is one stream's claim on a detector slot.
 type Request struct {
@@ -38,6 +49,13 @@ type Request struct {
 	// Index is an opaque caller-side identifier: the waiter slot in the live
 	// pool, the stream index in the virtual-clock scheduler.
 	Index int
+	// Setting is the model setting the requester intends to run — the batch
+	// compatibility key. A slot grant fuses only requests that share one
+	// setting into a batched inference (PopBatch); the requester reports the
+	// setting it holds *before* its post-grant adaptation decision, so two
+	// members of one batch are compatible at grant time even if one of them
+	// switches afterwards.
+	Setting core.Setting
 	// LastCalib is the pipeline time at which the stream's most recent
 	// calibration completed (zero before the first). The fairness key:
 	// oldest calibration is served first, so no stream starves — a stream
@@ -101,6 +119,39 @@ func (q *FairQueue) Pop() (Request, bool) {
 		q.down(0)
 	}
 	return top, true
+}
+
+// Peek returns the request Pop would return next without removing it; ok is
+// false on an empty queue.
+func (q *FairQueue) Peek() (Request, bool) {
+	if len(q.heap) == 0 {
+		return Request{}, false
+	}
+	return q.heap[0], true
+}
+
+// PopBatch removes and returns up to max requests that can execute as one
+// batched inference: the head request (oldest calibration, FIFO among ties)
+// plus subsequent requests in pop order for as long as they carry the head's
+// Setting. The first head with a different setting stops the drain — a batch
+// never reaches past it, so the strict oldest-calibration-first grant order
+// of Pop is preserved exactly and setting skew fragments batches instead of
+// reordering them. max < 1 is clamped to 1, making PopBatch(1) ≡ Pop. Returns
+// nil on an empty queue.
+func (q *FairQueue) PopBatch(max int) []Request {
+	first, ok := q.Pop()
+	if !ok {
+		return nil
+	}
+	batch := []Request{first}
+	for len(batch) < max {
+		if len(q.heap) == 0 || q.heap[0].Setting != first.Setting {
+			break
+		}
+		next, _ := q.Pop()
+		batch = append(batch, next)
+	}
+	return batch
 }
 
 // less orders the heap: oldest calibration first, then FIFO.

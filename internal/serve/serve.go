@@ -36,6 +36,12 @@ type RunConfig struct {
 	// skips the detection and keeps tracking (backpressure). Default: the
 	// number of streams, which never refuses.
 	QueueBound int
+	// Batch configures the batching executor: each slot grant drains up to
+	// Batch.Size compatible requests (same model setting) from the wait queue
+	// and runs them as one fused inference. The zero value (Size 0 → 1) is
+	// the pre-batching one-request-per-grant pool. The live pool is
+	// work-conserving and ignores Batch.Linger (serve owns no clock).
+	Batch BatchConfig
 	// MaxStreams is the admission-control cap: stream sets larger than this
 	// are rejected up front. 0 means unlimited.
 	MaxStreams int
@@ -69,6 +75,9 @@ type StreamResult struct {
 // RunResult is a completed multi-stream live run, in input-stream order.
 type RunResult struct {
 	Streams []StreamResult
+	// Stats is the pool's final per-stage pipeline accounting
+	// (admit → queue → batch → detect → publish).
+	Stats StatsSnapshot
 }
 
 // Run executes N live streams against K shared detector slots: admission
@@ -115,7 +124,7 @@ func Run(ctx context.Context, streams []StreamSpec, cfg RunConfig) (*RunResult, 
 	if cfg.Obs != nil {
 		cfg.Obs.Gauge(obs.MetricStreams).Set(float64(len(streams)))
 	}
-	pool := NewPool(cfg.Slots, bound, cfg.Obs)
+	pool := NewBatchPool(cfg.Slots, bound, cfg.Batch, cfg.Obs)
 
 	res := &RunResult{Streams: make([]StreamResult, len(streams))}
 	var wg sync.WaitGroup
@@ -134,5 +143,6 @@ func Run(ctx context.Context, streams []StreamSpec, cfg RunConfig) (*RunResult, 
 		}(i, s, c)
 	}
 	wg.Wait()
+	res.Stats = pool.Stats()
 	return res, nil
 }

@@ -16,14 +16,14 @@ import (
 func TestPoolGrantAndRelease(t *testing.T) {
 	p := NewPool(1, 4, nil)
 	ctx := context.Background()
-	rel1, err := p.Acquire(ctx, "a", 0)
+	rel1, err := p.Acquire(ctx, "a", core.Setting512, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second acquire must block until the first releases.
 	granted := make(chan struct{})
 	go func() {
-		rel2, err := p.Acquire(ctx, "b", time.Second)
+		rel2, err := p.Acquire(ctx, "b", core.Setting512, time.Second)
 		if err != nil {
 			t.Error(err)
 			close(granted)
@@ -53,7 +53,7 @@ func TestPoolGrantAndRelease(t *testing.T) {
 func TestPoolBackpressure(t *testing.T) {
 	p := NewPool(1, 1, obs.NewRegistry())
 	ctx := context.Background()
-	rel, err := p.Acquire(ctx, "holder", 0)
+	rel, err := p.Acquire(ctx, "holder", core.Setting512, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestPoolBackpressure(t *testing.T) {
 	waiterDone := make(chan struct{})
 	go func() {
 		defer close(waiterDone)
-		r, err := p.Acquire(ctx, "waiter", time.Second)
+		r, err := p.Acquire(ctx, "waiter", core.Setting512, time.Second)
 		if err != nil {
 			t.Error(err)
 			return
@@ -76,7 +76,7 @@ func TestPoolBackpressure(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// ...the next request must be refused, not queued.
-	if _, err := p.Acquire(ctx, "overflow", 2*time.Second); err != ErrQueueFull {
+	if _, err := p.Acquire(ctx, "overflow", core.Setting512, 2*time.Second); err != ErrQueueFull {
 		t.Fatalf("Acquire over the bound returned %v, want ErrQueueFull", err)
 	}
 	rel()
@@ -86,7 +86,7 @@ func TestPoolBackpressure(t *testing.T) {
 func TestPoolCancelledWaiterSkipped(t *testing.T) {
 	p := NewPool(1, 4, nil)
 	ctx := context.Background()
-	rel, err := p.Acquire(ctx, "holder", 0)
+	rel, err := p.Acquire(ctx, "holder", core.Setting512, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestPoolCancelledWaiterSkipped(t *testing.T) {
 	cancelCtx, cancel := context.WithCancel(ctx)
 	cancelledDone := make(chan error, 1)
 	go func() {
-		_, err := p.Acquire(cancelCtx, "doomed", 0)
+		_, err := p.Acquire(cancelCtx, "doomed", core.Setting512, 0)
 		cancelledDone <- err
 	}()
 	for p.QueueDepth() != 1 {
@@ -104,7 +104,7 @@ func TestPoolCancelledWaiterSkipped(t *testing.T) {
 	survivorDone := make(chan struct{})
 	go func() {
 		defer close(survivorDone)
-		r, err := p.Acquire(ctx, "survivor", time.Second)
+		r, err := p.Acquire(ctx, "survivor", core.Setting512, time.Second)
 		if err != nil {
 			t.Error(err)
 			return

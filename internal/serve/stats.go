@@ -1,0 +1,98 @@
+package serve
+
+import "sync/atomic"
+
+// Stats are the per-stage counters of the staged serve pipeline
+// (admit → queue → batch → detect → publish), in the style of stagedpipe's
+// stats.go: one lock-free row per stage, updated inline by the pool and read
+// at any time via Snapshot. A request's life maps onto the stages as
+//
+//	admit    Acquire called (Admitted), or refused by backpressure (Refused)
+//	queue    entered the bounded wait queue (Queued) or abandoned while
+//	         waiting (Cancelled)
+//	batch    fused into a slot grant — Batches counts grants, Granted counts
+//	         members, MaxBatch the largest fusion
+//	detect   executing between grant and release (Executing, a level)
+//	publish  released its slot (Released)
+//
+// The struct is clock-free like everything else in serve: stage *durations*
+// are published by the clock-owning callers as the MetricSlotWait /
+// MetricSlotExec histograms; these counters carry the flow accounting.
+type Stats struct {
+	admitted  atomic.Int64
+	refused   atomic.Int64
+	queued    atomic.Int64
+	cancelled atomic.Int64
+	batches   atomic.Int64
+	granted   atomic.Int64
+	maxBatch  atomic.Int64
+	executing atomic.Int64
+	released  atomic.Int64
+}
+
+// StatsSnapshot is one consistent-enough read of the stage counters (each
+// cell individually atomic; cross-cell skew is at most the in-flight work).
+type StatsSnapshot struct {
+	// Admitted counts Acquire calls that passed the admit stage.
+	Admitted int64 `json:"admitted"`
+	// Refused counts Acquire calls bounced by queue backpressure.
+	Refused int64 `json:"refused"`
+	// Queued counts requests that entered the wait queue.
+	Queued int64 `json:"queued"`
+	// Cancelled counts waiters abandoned by their context while queued.
+	Cancelled int64 `json:"cancelled"`
+	// Batches counts slot grants (each drains one batch).
+	Batches int64 `json:"batches"`
+	// Granted counts requests granted across all batches.
+	Granted int64 `json:"granted"`
+	// MaxBatch is the largest number of requests one grant fused.
+	MaxBatch int64 `json:"max_batch"`
+	// Executing is the number of requests currently between grant and
+	// release — the detect stage's level, at most Slots × batch size.
+	Executing int64 `json:"executing"`
+	// Released counts requests that completed the publish stage.
+	Released int64 `json:"released"`
+}
+
+// MeanBatchFill is the average number of requests fused per slot grant
+// (0 before the first grant).
+func (s StatsSnapshot) MeanBatchFill() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Granted) / float64(s.Batches)
+}
+
+// Snapshot reads the current stage counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Admitted:  s.admitted.Load(),
+		Refused:   s.refused.Load(),
+		Queued:    s.queued.Load(),
+		Cancelled: s.cancelled.Load(),
+		Batches:   s.batches.Load(),
+		Granted:   s.granted.Load(),
+		MaxBatch:  s.maxBatch.Load(),
+		Executing: s.executing.Load(),
+		Released:  s.released.Load(),
+	}
+}
+
+// noteBatch records one slot grant fusing n requests.
+func (s *Stats) noteBatch(n int) {
+	s.batches.Add(1)
+	s.granted.Add(int64(n))
+	s.executing.Add(int64(n))
+	for {
+		cur := s.maxBatch.Load()
+		if int64(n) <= cur || s.maxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// noteRelease records one request leaving the detect stage.
+func (s *Stats) noteRelease() {
+	s.executing.Add(-1)
+	s.released.Add(1)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"adavp/internal/core"
 	"adavp/internal/obs"
 	"adavp/internal/serve"
 	"adavp/internal/video"
@@ -39,6 +40,15 @@ type MultiConfig struct {
 	// (backpressure — staleness grows instead of memory). Default: number
 	// of streams, which never overflows.
 	QueueBound int
+	// Batch configures the batching executor: each slot grant drains up to
+	// Batch.Size compatible requests (same model setting) from the wait
+	// queue and fuses them into one batched inference lasting
+	// serve.BatchLatency(longest member span, members). On the virtual
+	// clock Batch.Linger is honored exactly: a partially-filled batch holds
+	// its slot for compatible arrivals within the linger window before
+	// executing. The zero value (Size 0 → 1, Linger 0) is the pre-batching
+	// scheduler, byte-identical to PR 5's.
+	Batch serve.BatchConfig
 	// Obs, when set, receives every stream's telemetry under the shared
 	// schema with stream=<id> labels, plus the aggregate scheduler series:
 	// queue depth gauge, per-stream slot-wait histograms and deferral
@@ -60,8 +70,9 @@ type StreamOutcome struct {
 	Deferred int
 	// MaxWait is the longest a granted request waited for a slot.
 	MaxWait time.Duration
-	// MaxOccupancy is the stream's longest single slot occupancy
-	// (setting-switch overhead plus detection).
+	// MaxOccupancy is the stream's longest slot occupancy from grant to
+	// release (setting-switch overhead plus the possibly-batched detection,
+	// including any linger the grant absorbed).
 	MaxOccupancy time.Duration
 	// MaxCalibAge is the longest gap between consecutive calibration
 	// completions (the first measured from time zero). The fairness
@@ -76,9 +87,19 @@ type MultiResult struct {
 	Streams []StreamOutcome
 	// MaxQueueDepth is the deepest the wait queue ever got.
 	MaxQueueDepth int
-	// MaxOccupancy is the longest single slot occupancy across all streams —
-	// the maxOccupancy term to feed serve.FairnessBound.
+	// MaxOccupancy is the longest grant-to-release slot occupancy across all
+	// streams (batched: the whole fused batch plus any linger).
 	MaxOccupancy time.Duration
+	// MaxSingleOccupancy is the longest *single-request* span (setting-switch
+	// overhead plus one unbatched inference) across all grants — the
+	// maxOccupancy term to feed serve.FairnessBoundBatched. Equal to
+	// MaxOccupancy when batching is off.
+	MaxSingleOccupancy time.Duration
+	// Batches counts slot grants; each drained one batch of compatible
+	// requests from the queue.
+	Batches int
+	// MaxBatch is the largest number of requests one grant fused.
+	MaxBatch int
 }
 
 // mstream is one stream's scheduler-side state.
@@ -93,6 +114,16 @@ type mstream struct {
 	readyAt  time.Duration // when the pending request was (or will be) issued
 	lastCalib time.Duration
 	out      StreamOutcome
+}
+
+// reqSetting is the model setting the stream's next grant will run at absent
+// a post-grant adaptation switch — the batch compatibility key it enqueues
+// with.
+func (m *mstream) reqSetting() core.Setting {
+	if !m.started {
+		return m.e.cfg.Setting
+	}
+	return m.st.setting
 }
 
 // RunMulti executes N streams against K shared detector slots on the virtual
@@ -113,6 +144,14 @@ func RunMulti(streams []MultiStream, cfg MultiConfig) (res *MultiResult, err err
 	bound := cfg.QueueBound
 	if bound <= 0 {
 		bound = len(streams)
+	}
+	bmax := cfg.Batch.Size
+	if bmax < 1 {
+		bmax = 1
+	}
+	linger := cfg.Batch.Linger
+	if linger < 0 {
+		linger = 0
 	}
 	seen := make(map[string]bool, len(streams))
 	ms := make([]*mstream, len(streams))
@@ -181,7 +220,7 @@ func RunMulti(streams []MultiStream, cfg MultiConfig) (res *MultiResult, err err
 				break
 			}
 			m := ms[best]
-			if q.Push(serve.Request{Stream: m.id, Index: best, LastCalib: m.lastCalib}) {
+			if q.Push(serve.Request{Stream: m.id, Index: best, Setting: m.reqSetting(), LastCalib: m.lastCalib}) {
 				m.queued = true
 			} else {
 				m.out.Deferred++
@@ -235,56 +274,142 @@ func RunMulti(streams []MultiStream, cfg MultiConfig) (res *MultiResult, err err
 			}
 			admit(t)
 		}
-		req, ok := q.Pop()
-		if !ok {
+		reqs := q.PopBatch(bmax)
+		if len(reqs) == 0 {
 			break // unreachable: admit above guaranteed at least one entry
 		}
+		// Linger: a partially-filled batch may hold its slot for compatible
+		// arrivals inside the window; on the virtual clock the grant simply
+		// slips to each arrival's request time. Incompatible arrivals stay
+		// queued (and an incompatible head stops the drain), so strict
+		// oldest-calibration-first order is preserved.
+		if len(reqs) < bmax && linger > 0 {
+			deadline := t + linger
+			for len(reqs) < bmax {
+				earliest := time.Duration(-1)
+				for _, m := range ms {
+					if m.done || m.queued || m.readyAt > deadline {
+						continue
+					}
+					if earliest < 0 || m.readyAt < earliest {
+						earliest = m.readyAt
+					}
+				}
+				if earliest < 0 {
+					break
+				}
+				t = earliest
+				admit(t)
+				for len(reqs) < bmax {
+					head, ok := q.Peek()
+					if !ok || head.Setting != reqs[0].Setting {
+						break
+					}
+					r, _ := q.Pop()
+					reqs = append(reqs, r)
+				}
+			}
+		}
 		setDepth()
-		m := ms[req.Index]
-		m.queued = false
 
-		grant := t
-		if m.readyAt > grant {
-			grant = m.readyAt
-		}
-		wait := grant - m.readyAt
-		var end time.Duration
-		var done bool
-		if !m.started {
-			end = m.e.bootstrapCycle(m.st, grant)
-			m.started = true
-		} else {
-			end, done = m.e.nextCycle(m.st, m.adaptive, grant)
-		}
-		slots[si] = end
-		occupancy := end - grant
-
-		m.out.Grants++
-		if wait > m.out.MaxWait {
-			m.out.MaxWait = wait
-		}
-		if occupancy > m.out.MaxOccupancy {
-			m.out.MaxOccupancy = occupancy
-		}
-		if occupancy > result.MaxOccupancy {
-			result.MaxOccupancy = occupancy
+		// Plan every member at its grant time, then fuse: the batch executes
+		// in serve.BatchLatency(longest single span, members) and every
+		// detecting member holds the slot until the fused batch completes.
+		result.Batches++
+		if len(reqs) > result.MaxBatch {
+			result.MaxBatch = len(reqs)
 		}
 		if cfg.Obs != nil {
-			cfg.Obs.Histogram(obs.MetricSlotWait, obs.DefLatencyBuckets, obs.L("stream", m.id)).ObserveDuration(wait)
+			cfg.Obs.Histogram(obs.MetricBatchSize, obs.BatchSizeBuckets).Observe(float64(len(reqs)))
 		}
-		if done {
-			m.done = true
-			m.e.run.Duration = maxDuration(end, time.Duration(m.e.v.NumFrames())*m.e.delta)
-			continue
+		type member struct {
+			m     *mstream
+			plan  cyclePlan
+			grant time.Duration
 		}
-		// A completed calibration: account its age and re-request for the
-		// next cycle immediately (the live pipeline's detector loop likewise
-		// turns around as soon as a newer frame exists).
-		if age := end - m.lastCalib; age > m.out.MaxCalibAge {
-			m.out.MaxCalibAge = age
+		detecting := make([]member, 0, len(reqs))
+		var maxSpan, doneEnd time.Duration
+		for _, req := range reqs {
+			m := ms[req.Index]
+			m.queued = false
+			grant := t
+			if m.readyAt > grant {
+				grant = m.readyAt
+			}
+			wait := grant - m.readyAt
+			var p cyclePlan
+			if !m.started {
+				p = m.e.planBootstrap(grant)
+				m.started = true
+			} else {
+				p = m.e.planCycle(m.st, m.adaptive, grant)
+			}
+			m.out.Grants++
+			if wait > m.out.MaxWait {
+				m.out.MaxWait = wait
+			}
+			if cfg.Obs != nil {
+				cfg.Obs.Histogram(obs.MetricSlotWait, obs.DefLatencyBuckets, obs.L("stream", m.id)).ObserveDuration(wait)
+			}
+			if span := p.span(); span > result.MaxSingleOccupancy {
+				result.MaxSingleOccupancy = span
+			}
+			if p.done {
+				// Video exhausted: no detection — the member leaves after at
+				// most a setting-switch residue and never re-requests.
+				occupancy := p.now - grant
+				if occupancy > m.out.MaxOccupancy {
+					m.out.MaxOccupancy = occupancy
+				}
+				if occupancy > result.MaxOccupancy {
+					result.MaxOccupancy = occupancy
+				}
+				if p.now > doneEnd {
+					doneEnd = p.now
+				}
+				m.done = true
+				m.e.run.Duration = maxDuration(p.now, time.Duration(m.e.v.NumFrames())*m.e.delta)
+				continue
+			}
+			if span := p.span(); span > maxSpan {
+				maxSpan = span
+			}
+			detecting = append(detecting, member{m: m, plan: p, grant: grant})
 		}
-		m.lastCalib = end
-		m.readyAt = end
+
+		slotEnd := doneEnd
+		if len(detecting) > 0 {
+			batchEnd := t + serve.BatchLatency(maxSpan, len(detecting))
+			if batchEnd > slotEnd {
+				slotEnd = batchEnd
+			}
+			for _, me := range detecting {
+				m := me.m
+				m.e.execCycle(m.st, me.plan, batchEnd)
+				occupancy := batchEnd - me.grant
+				if occupancy > m.out.MaxOccupancy {
+					m.out.MaxOccupancy = occupancy
+				}
+				if occupancy > result.MaxOccupancy {
+					result.MaxOccupancy = occupancy
+				}
+				if cfg.Obs != nil {
+					cfg.Obs.Histogram(obs.MetricSlotExec, obs.DefLatencyBuckets, obs.L("stream", m.id)).ObserveDuration(occupancy)
+				}
+				// A completed calibration: account its age and re-request for
+				// the next cycle immediately (the live pipeline's detector
+				// loop likewise turns around as soon as a newer frame exists).
+				if age := batchEnd - m.lastCalib; age > m.out.MaxCalibAge {
+					m.out.MaxCalibAge = age
+				}
+				m.lastCalib = batchEnd
+				m.readyAt = batchEnd
+			}
+		}
+		if slotEnd < t {
+			slotEnd = t
+		}
+		slots[si] = slotEnd
 	}
 
 	for i, m := range ms {

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"adavp/internal/obs"
+	"adavp/internal/par"
+	"adavp/internal/serve"
+)
+
+// TestRunMultiBatchedDeterministic is the batched acceptance test: two runs
+// at two different worker-pool sizes with batching and lingering enabled
+// must produce byte-identical observability snapshots — the batch executor
+// lives entirely on the virtual clock, so the wall-clock worker count can
+// never leak into results.
+func TestRunMultiBatchedDeterministic(t *testing.T) {
+	defer par.SetWorkers(0)
+	run := func(workers int) (*MultiResult, []byte) {
+		par.SetWorkers(workers)
+		reg := obs.NewRegistry()
+		res, err := RunMulti(testStreams(8), MultiConfig{
+			Slots: 2,
+			Batch: serve.BatchConfig{Size: 4, Linger: 5 * time.Millisecond},
+			Obs:   reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, snapshotBytes(t, reg)
+	}
+	resA, snapA := run(1)
+	resB, snapB := run(4)
+	if !bytes.Equal(snapA, snapB) {
+		t.Error("same-seed batched runs diverged across worker counts")
+	}
+	if len(snapA) == 0 {
+		t.Error("instrumented batched run produced an empty snapshot")
+	}
+	for i := range resA.Streams {
+		a, b := resA.Streams[i], resB.Streams[i]
+		if a.Grants != b.Grants || a.MaxWait != b.MaxWait || a.MaxCalibAge != b.MaxCalibAge ||
+			a.Result.MeanF1 != b.Result.MeanF1 {
+			t.Errorf("stream %s: batched outcomes differ across worker counts:\n%+v\n%+v", a.ID, a, b)
+		}
+	}
+	if resA.Batches != resB.Batches || resA.MaxBatch != resB.MaxBatch ||
+		resA.MaxSingleOccupancy != resB.MaxSingleOccupancy {
+		t.Errorf("batch accounting differs: %+v vs %+v", resA, resB)
+	}
+}
+
+// TestRunMultiBatchSizeOnePinsUnbatched is the degenerate pin: Batch{Size:1}
+// must be byte-identical to the zero-value (pre-batching) configuration —
+// same snapshots, same scheduling accounting. This is what keeps PR 5's
+// behavior reachable as the B=1 special case instead of a separate code
+// path.
+func TestRunMultiBatchSizeOnePinsUnbatched(t *testing.T) {
+	run := func(batch serve.BatchConfig) (*MultiResult, []byte) {
+		reg := obs.NewRegistry()
+		res, err := RunMulti(testStreams(6), MultiConfig{Slots: 2, Batch: batch, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, snapshotBytes(t, reg)
+	}
+	zero, zeroSnap := run(serve.BatchConfig{})
+	one, oneSnap := run(serve.BatchConfig{Size: 1})
+	if !bytes.Equal(zeroSnap, oneSnap) {
+		t.Error("Batch{Size:1} snapshot differs from the zero-value configuration")
+	}
+	for i := range zero.Streams {
+		a, b := zero.Streams[i], one.Streams[i]
+		if a.Grants != b.Grants || a.MaxWait != b.MaxWait || a.MaxCalibAge != b.MaxCalibAge ||
+			a.MaxOccupancy != b.MaxOccupancy {
+			t.Errorf("stream %s: B=1 scheduling differs from unbatched:\n%+v\n%+v", a.ID, a, b)
+		}
+	}
+	if zero.MaxOccupancy != one.MaxOccupancy || zero.MaxQueueDepth != one.MaxQueueDepth {
+		t.Errorf("aggregate B=1 accounting differs: %+v vs %+v", zero, one)
+	}
+	// Unbatched runs must still fill the batch accounting consistently:
+	// every grant is a batch of one.
+	if one.MaxBatch != 1 || one.Batches == 0 {
+		t.Errorf("B=1 batch accounting: batches %d, max %d; want every grant a singleton", one.Batches, one.MaxBatch)
+	}
+	if zero.MaxSingleOccupancy != zero.MaxOccupancy {
+		t.Errorf("B=1 MaxSingleOccupancy %v != MaxOccupancy %v", zero.MaxSingleOccupancy, zero.MaxOccupancy)
+	}
+}
+
+// TestRunMultiBatchingEngages: with far more streams than slots and batch
+// capacity to spare, grants must actually fuse — and fusing must shrink the
+// number of batches below the grant count.
+func TestRunMultiBatchingEngages(t *testing.T) {
+	res, err := RunMulti(testStreams(8), MultiConfig{
+		Slots: 1,
+		Batch: serve.BatchConfig{Size: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxBatch < 2 {
+		t.Fatalf("MaxBatch = %d; 8 contending streams at B=4 never fused a batch", res.MaxBatch)
+	}
+	grants := 0
+	for _, s := range res.Streams {
+		grants += s.Grants
+	}
+	if res.Batches >= grants {
+		t.Errorf("batches %d not below grants %d despite fusing", res.Batches, grants)
+	}
+	if res.MaxOccupancy <= res.MaxSingleOccupancy {
+		t.Errorf("batched MaxOccupancy %v not above MaxSingleOccupancy %v — the batch stretch never showed",
+			res.MaxOccupancy, res.MaxSingleOccupancy)
+	}
+}
+
+// TestRunMultiFairnessBoundBatched asserts the generalized no-starvation
+// guarantee under batching (with linger): no stream's calibration age
+// exceeds serve.FairnessBoundBatched computed from the longest observed
+// single-request span.
+func TestRunMultiFairnessBoundBatched(t *testing.T) {
+	streams := testStreams(8)
+	batch := serve.BatchConfig{Size: 3, Linger: 10 * time.Millisecond}
+	res, err := RunMulti(streams, MultiConfig{Slots: 2, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frameInterval time.Duration
+	for _, s := range streams {
+		if fi := s.Video.FrameInterval(); fi > frameInterval {
+			frameInterval = fi
+		}
+	}
+	bound := serve.FairnessBoundBatched(len(streams), 2, batch.Size,
+		res.MaxSingleOccupancy, frameInterval, batch.Linger)
+	for _, s := range res.Streams {
+		if s.MaxCalibAge > bound {
+			t.Errorf("stream %s: MaxCalibAge %v exceeds batched fairness bound %v (maxSingle %v)",
+				s.ID, s.MaxCalibAge, bound, res.MaxSingleOccupancy)
+		}
+		if s.MaxCalibAge == 0 {
+			t.Errorf("stream %s: MaxCalibAge = 0 — it never calibrated", s.ID)
+		}
+	}
+}

@@ -304,30 +304,52 @@ type parallelState struct {
 	cycle        int
 }
 
-// bootstrapCycle runs the mandatory first cycle — detect frame 0 — starting
-// at the given virtual time, and returns when the detection completes.
-func (e *engine) bootstrapCycle(st *parallelState, start time.Duration) time.Duration {
-	setting := e.cfg.Setting
-	dur := e.lat.Detect(setting)
-	end := e.busy(trace.ResourceGPU, setting, start, dur)
-	dets := e.detect(e.frame(0), setting)
-	e.outputs[0] = core.FrameOutput{FrameIndex: 0, Source: core.SourceDetector, Setting: setting, Detections: dets, Ready: end}
-	e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: 0, Setting: setting, DetectedFrame: 0, Start: start, End: end, Velocity: -1})
-	st.prevFrame = 0
-	st.prevDets = dets
-	st.setting = setting
-	st.lastVelocity = -1
-	st.cycle = 1
-	return end
+// cyclePlan is the pre-execution half of one detection cycle: everything the
+// scheduler must know *before* committing GPU time — the adaptation decision
+// (applied to st), the frame to detect and the single-request detection
+// duration draw. Splitting plan from exec is what lets the batching
+// scheduler plan every member of a batch first, fuse their durations through
+// serve.BatchLatency, and then execute each member against the shared batch
+// end time; the unbatched path recombines them with end = now+detDur, and
+// because plan and exec together perform the engine's rng draws in exactly
+// the pre-split order, the B=1 schedule is byte-identical to the
+// one-request-per-grant scheduler.
+type cyclePlan struct {
+	bootstrap bool
+	start     time.Duration // grant time, before any setting switch
+	now       time.Duration // detection start: grant plus switch overhead
+	frame     int           // frame to detect
+	setting   core.Setting  // setting the detection runs at
+	detDur    time.Duration // single-request detection duration draw
+	done      bool          // video exhausted: no detection, slot frees at now
 }
 
-// nextCycle runs one detection-and-tracking cycle starting at the given
-// virtual time: the adaptation decision (AdaVP), then one detection on the
-// GPU with the buffered frames tracked concurrently on the CPU. It returns
-// the time the cycle's slot frees up and whether the video is exhausted (a
-// done cycle performs no detection; its returned end covers at most a
-// setting-switch overhead).
-func (e *engine) nextCycle(st *parallelState, adaptive bool, start time.Duration) (time.Duration, bool) {
+// span is the plan's single-request slot span: switch overhead plus one
+// unbatched inference (zero-detection for a done plan).
+func (p cyclePlan) span() time.Duration {
+	return p.now - p.start + p.detDur
+}
+
+// planBootstrap plans the mandatory first cycle — detect frame 0 at the
+// configured setting — starting at the given virtual time.
+func (e *engine) planBootstrap(start time.Duration) cyclePlan {
+	setting := e.cfg.Setting
+	return cyclePlan{bootstrap: true, start: start, now: start, frame: 0, setting: setting, detDur: e.lat.Detect(setting)}
+}
+
+// bootstrapCycle plans and immediately executes the first cycle — the
+// unbatched path — and returns when the detection completes.
+func (e *engine) bootstrapCycle(st *parallelState, start time.Duration) time.Duration {
+	p := e.planBootstrap(start)
+	return e.execCycle(st, p, p.now+p.detDur)
+}
+
+// planCycle plans one detection-and-tracking cycle starting at the given
+// virtual time: the adaptation decision (AdaVP, applied to st), the frame to
+// detect and the detection duration draw. A done plan means the video is
+// exhausted — no detection runs and the slot frees at plan.now (at most a
+// setting-switch overhead past the grant).
+func (e *engine) planCycle(st *parallelState, adaptive bool, start time.Duration) cyclePlan {
 	n := e.v.NumFrames()
 	now := start
 
@@ -350,19 +372,35 @@ func (e *engine) nextCycle(st *parallelState, adaptive bool, start time.Duration
 		nextFrame = st.prevFrame + 1
 	}
 	if nextFrame >= n {
-		return now, true
+		return cyclePlan{start: start, now: now, setting: st.setting, done: true}
+	}
+	return cyclePlan{start: start, now: now, frame: nextFrame, setting: st.setting, detDur: e.lat.Detect(st.setting)}
+}
+
+// execCycle executes a planned cycle with the slot held until end: the
+// detection on the GPU (end ≥ now+detDur under batching — the fused batch
+// stretches every member to the batch's completion) with the buffered frames
+// tracked concurrently on the CPU inside the same window. It returns end.
+func (e *engine) execCycle(st *parallelState, p cyclePlan, end time.Duration) time.Duration {
+	detEnd := e.busy(trace.ResourceGPU, p.setting, p.now, end-p.now)
+	dets := e.detect(e.frame(p.frame), p.setting)
+
+	if p.bootstrap {
+		e.outputs[0] = core.FrameOutput{FrameIndex: 0, Source: core.SourceDetector, Setting: p.setting, Detections: dets, Ready: detEnd}
+		e.run.Cycles = append(e.run.Cycles, trace.Cycle{Index: 0, Setting: p.setting, DetectedFrame: 0, Start: p.now, End: detEnd, Velocity: -1})
+		st.prevFrame = 0
+		st.prevDets = dets
+		st.setting = p.setting
+		st.lastVelocity = -1
+		st.cycle = 1
+		return detEnd
 	}
 
-	// GPU: detect nextFrame with the (possibly new) setting.
-	detDur := e.lat.Detect(st.setting)
-	detEnd := e.busy(trace.ResourceGPU, st.setting, now, detDur)
-	nextDets := e.detect(e.frame(nextFrame), st.setting)
-
 	// CPU, concurrently: track the buffered frames (prevFrame+1 ..
-	// nextFrame-1) against prevFrame's detections, within the detection
-	// budget.
-	buffered := nextFrame - 1 - st.prevFrame
-	tracked, velocity := e.trackCycle(st.prevFrame, st.prevDets, nextFrame, st.setting, now, detDur)
+	// frame-1) against prevFrame's detections, within the detection
+	// window.
+	buffered := p.frame - 1 - st.prevFrame
+	tracked, velocity := e.trackCycle(st.prevFrame, st.prevDets, p.frame, p.setting, p.now, end-p.now)
 	if buffered > 0 {
 		e.selector.Update(tracked, buffered)
 	}
@@ -378,16 +416,27 @@ func (e *engine) nextCycle(st *parallelState, adaptive bool, start time.Duration
 	}
 
 	e.run.Cycles = append(e.run.Cycles, trace.Cycle{
-		Index: st.cycle, Setting: st.setting, DetectedFrame: nextFrame,
-		Start: now, End: detEnd,
+		Index: st.cycle, Setting: p.setting, DetectedFrame: p.frame,
+		Start: p.now, End: detEnd,
 		FramesBuffered: buffered, FramesTracked: tracked, Velocity: velocity,
 	})
-	e.outputs[nextFrame] = core.FrameOutput{FrameIndex: nextFrame, Source: core.SourceDetector, Setting: st.setting, Detections: nextDets, Ready: detEnd}
+	e.outputs[p.frame] = core.FrameOutput{FrameIndex: p.frame, Source: core.SourceDetector, Setting: p.setting, Detections: dets, Ready: detEnd}
 
-	st.prevFrame = nextFrame
-	st.prevDets = nextDets
+	st.prevFrame = p.frame
+	st.prevDets = dets
 	st.cycle++
-	return detEnd, false
+	return detEnd
+}
+
+// nextCycle plans and immediately executes one cycle — the unbatched path.
+// It returns the time the cycle's slot frees up and whether the video is
+// exhausted.
+func (e *engine) nextCycle(st *parallelState, adaptive bool, start time.Duration) (time.Duration, bool) {
+	p := e.planCycle(st, adaptive, start)
+	if p.done {
+		return p.now, true
+	}
+	return e.execCycle(st, p, p.now+p.detDur), false
 }
 
 // runParallel implements MPDT and AdaVP: GPU and CPU work concurrently. It

@@ -1,0 +1,75 @@
+package adavp
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"adavp/internal/serve/loadtest"
+)
+
+// TestBenchServeArtifact pins the committed BENCH_serve.json: it must parse
+// under the schema check, tell the SLO story the batching executor exists
+// for (every batched scenario beats the unbatched baseline on p95 slot-wait
+// and SLO attainment, with the fairness bound held), and — because the load
+// generator is virtual-clock deterministic — byte-match a fresh run of the
+// canonical matrix. A scheduler change that shifts the distributions fails
+// here until the artifact is regenerated (make loadgen-bench), so the perf
+// story always shows up in review as a diff.
+func TestBenchServeArtifact(t *testing.T) {
+	committed, err := os.ReadFile("BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("reading committed artifact: %v", err)
+	}
+	suite, err := loadtest.ReadSuite(bytes.NewReader(committed))
+	if err != nil {
+		t.Fatalf("committed artifact failed the schema check: %v", err)
+	}
+
+	base := suite.Scenarios[0]
+	if base.BatchSize != 1 {
+		t.Fatalf("first scenario %q is not the unbatched baseline (batch %d)", base.Name, base.BatchSize)
+	}
+	if base.Streams < 1000 {
+		t.Fatalf("baseline runs %d streams; the artifact must cover at least 1000", base.Streams)
+	}
+	if base.Reconnects == 0 || base.FlashCrowds == 0 {
+		t.Fatal("baseline scenario carries no arrival churn; the artifact must cover churn")
+	}
+	batched := 0
+	for _, r := range suite.Scenarios[1:] {
+		if r.BatchSize < 2 {
+			continue
+		}
+		batched++
+		if r.MaxBatch < 2 {
+			t.Errorf("%s: batching never engaged (max batch %d)", r.Name, r.MaxBatch)
+		}
+		if r.Wait.P95 >= base.Wait.P95 {
+			t.Errorf("%s p95 slot-wait %.1fms does not beat unbatched %.1fms",
+				r.Name, r.Wait.P95, base.Wait.P95)
+		}
+		if r.SLOAttainment < base.SLOAttainment {
+			t.Errorf("%s SLO attainment %.3f under unbatched %.3f",
+				r.Name, r.SLOAttainment, base.SLOAttainment)
+		}
+	}
+	if batched == 0 {
+		t.Fatal("artifact holds no batched (B>1) scenario")
+	}
+
+	if testing.Short() {
+		return // the byte-parity regeneration is the slow half
+	}
+	fresh, err := loadtest.RunBench()
+	if err != nil {
+		t.Fatalf("regenerating the canonical matrix: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), committed) {
+		t.Fatal("BENCH_serve.json is stale: the scheduler or latency model changed; regenerate with `make loadgen-bench` and review the diff")
+	}
+}
