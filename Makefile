@@ -93,11 +93,13 @@ bench-json-smoke:
 
 # Serving-layer SLO benchmark: the canonical load-generator matrix (1000
 # streams over 8 slots with churn, flash crowds and setting skew, batch
-# sweep B=1/4/8) into the committed BENCH_serve.json. The harness is
+# sweep B=1/4/8, plus the request-bound pipelined pair at prepare depth
+# 1 vs 3) into the committed BENCH_serve.json. The harness is
 # virtual-clock deterministic, so the artifact only changes when the
 # scheduler or latency model does — and then the diff is the review story.
 # The run fails unless every batched scenario beats the unbatched baseline
-# on p95 slot-wait and SLO attainment.
+# on p95 slot-wait and SLO attainment, and the pipelined scenario beats
+# its sequential-prepare reference on throughput with prepare time hidden.
 loadgen-bench:
 	$(GO) run ./cmd/adavp-loadgen -bench -out BENCH_serve.json
 

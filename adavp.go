@@ -196,6 +196,17 @@ type Options struct {
 	// the current setting, default NumCPU). The pool only affects wall
 	// time: kernels are bitwise-deterministic at any worker count.
 	Workers int
+	// PipelineDepth, when > 1, runs the staged frame-prefetch pipeline on
+	// the live paths: a pixel-mode RunLive stream renders up to PipelineDepth
+	// upcoming frames ahead of its detector/tracker threads, and a
+	// RunLiveMulti stream keeps that prefetch running even while blocked
+	// waiting for a shared detector slot — overlapping its frame builds with
+	// other streams' detections without ever touching the slot queue, so
+	// grant order and the fairness bound are unchanged. On the virtual-clock
+	// RunMulti the same depth enables the scheduler's prefetch accounting
+	// (frames banked while waiting), which never alters the schedule.
+	// Values <= 1 keep the sequential paths.
+	PipelineDepth int
 	// Obs, when set, receives the run's telemetry (see NewMetricsRegistry).
 	// Virtual-clock runs publish virtual timestamps and stay byte-for-byte
 	// deterministic; live runs publish wall-clock latencies.
@@ -246,6 +257,10 @@ type Result struct {
 	// Partial marks a live run cut short by context cancellation; the
 	// metrics cover the frames that completed before the cut.
 	Partial bool
+	// PrefetchedWhileWaiting counts frames whose prefetch completed while
+	// the live stream was blocked waiting for a shared detector slot
+	// (Options.PipelineDepth > 1 in pixel mode; zero otherwise).
+	PrefetchedWhileWaiting int
 }
 
 // Run executes a policy over a video on the deterministic virtual clock.
@@ -293,13 +308,14 @@ func Run(v *Video, opts Options) (*Result, error) {
 // cancelled run returns its partial Result alongside the error.
 func RunLive(ctx context.Context, v *Video, opts Options, timeScale float64) (*Result, error) {
 	cfg := rt.Config{
-		Setting:   opts.Setting,
-		Seed:      opts.Seed,
-		TimeScale: timeScale,
-		PixelMode: opts.PixelMode,
-		Fault:     opts.Fault,
-		Workers:   opts.Workers,
-		Obs:       opts.Obs,
+		Setting:       opts.Setting,
+		Seed:          opts.Seed,
+		TimeScale:     timeScale,
+		PixelMode:     opts.PixelMode,
+		Fault:         opts.Fault,
+		Workers:       opts.Workers,
+		Obs:           opts.Obs,
+		PipelineDepth: opts.PipelineDepth,
 	}
 	if opts.Policy == sim.PolicyInvalid || opts.Policy == PolicyAdaVP {
 		cfg.Adaptation = adapt.DefaultModel()
@@ -323,6 +339,8 @@ func RunLive(ctx context.Context, v *Video, opts Options, timeScale float64) (*R
 		Guard:    r.Faults,
 		Health:   r.Health,
 		Partial:  r.Partial,
+
+		PrefetchedWhileWaiting: r.PrefetchedWhileWaiting,
 	}
 	if err != nil {
 		return res, fmt.Errorf("adavp: %w", err)
@@ -376,6 +394,11 @@ type StreamRun struct {
 	// scheduler's per-stream accounting (zero for live runs, which publish
 	// slot waits to the registry instead).
 	MaxWait, MaxOccupancy, MaxCalibAge time.Duration
+	// PrefetchedWhileWaiting counts frames the staged prefetch banked while
+	// this stream waited for a detector slot (Options.PipelineDepth > 1).
+	// Live pixel streams count real prefetched frame builds; the
+	// virtual-clock scheduler counts its schedule-neutral accounting model's.
+	PrefetchedWhileWaiting int
 	// Err is the stream's pipeline error, if any (live cancellation).
 	Err error
 }
@@ -396,6 +419,10 @@ type MultiResult struct {
 	// requests one grant fused (virtual-clock runs; 1 means batching never
 	// engaged).
 	Batches, MaxBatch int
+	// SlotUtilization is the fraction of slot-time spent executing
+	// detections over the run's horizon (virtual-clock runs; live runs
+	// publish the equivalent series to Options.Obs instead).
+	SlotUtilization float64
 }
 
 // RunMulti executes one stream per video against a shared detector pool on
@@ -430,15 +457,22 @@ func RunMulti(videos []*Video, opts Options, so ServeOptions) (*MultiResult, err
 		streams[i] = sim.MultiStream{ID: fmt.Sprintf("s%d", i), Video: v, Config: cfg}
 	}
 	batch := serve.BatchConfig{Size: so.BatchSize, Linger: so.BatchLinger}
-	r, err := sim.RunMulti(streams, sim.MultiConfig{Slots: so.Slots, QueueBound: so.QueueBound, Batch: batch, Obs: opts.Obs})
+	r, err := sim.RunMulti(streams, sim.MultiConfig{
+		Slots:         so.Slots,
+		QueueBound:    so.QueueBound,
+		Batch:         batch,
+		PipelineDepth: opts.PipelineDepth,
+		Obs:           opts.Obs,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("adavp: %w", err)
 	}
 	out := &MultiResult{
-		Streams:       make([]StreamRun, len(r.Streams)),
-		MaxQueueDepth: r.MaxQueueDepth,
-		Batches:       r.Batches,
-		MaxBatch:      r.MaxBatch,
+		Streams:         make([]StreamRun, len(r.Streams)),
+		MaxQueueDepth:   r.MaxQueueDepth,
+		Batches:         r.Batches,
+		MaxBatch:        r.MaxBatch,
+		SlotUtilization: r.SlotUtilization,
 	}
 	var frameInterval time.Duration
 	for _, v := range videos {
@@ -463,6 +497,8 @@ func RunMulti(videos []*Video, opts Options, so ServeOptions) (*MultiResult, err
 			MaxWait:      s.MaxWait,
 			MaxOccupancy: s.MaxOccupancy,
 			MaxCalibAge:  s.MaxCalibAge,
+
+			PrefetchedWhileWaiting: s.PrefetchedWhileWaiting,
 		}
 	}
 	return out, nil
@@ -503,6 +539,7 @@ func RunLiveMulti(ctx context.Context, videos []*Video, opts Options, timeScale 
 		MaxStreams:      so.MaxStreams,
 		DowngradeBudget: so.DowngradeBudget,
 		DowngradeRefill: so.DowngradeRefill,
+		PipelineDepth:   opts.PipelineDepth,
 		Obs:             opts.Obs,
 	})
 	if err != nil {
@@ -521,8 +558,11 @@ func RunLiveMulti(ctx context.Context, videos []*Video, opts Options, timeScale 
 				Guard:    s.Result.Faults,
 				Health:   s.Result.Health,
 				Partial:  s.Result.Partial,
+
+				PrefetchedWhileWaiting: s.Result.PrefetchedWhileWaiting,
 			}
 			sr.Deferred = s.Result.Deferred
+			sr.PrefetchedWhileWaiting = s.Result.PrefetchedWhileWaiting
 		}
 		out.Streams[i] = sr
 	}

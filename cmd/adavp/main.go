@@ -67,6 +67,7 @@ type cliOpts struct {
 	churnRate              float64
 	batchSize              int
 	batchLinger            time.Duration
+	pipelineDepth          int
 }
 
 // newFlagSet registers every flag on a fresh FlagSet writing into o. The
@@ -121,6 +122,15 @@ func newFlagSet(o *cliOpts, eh flag.ErrorHandling) *flag.FlagSet {
 		o.batchLinger = d
 		return nil
 	})
+	o.pipelineDepth = 1
+	fs.Func("pipeline-depth", "staged frame-prefetch depth for -live and -streams runs (integer in 1..16; >1 renders that many upcoming frames ahead of the detector/tracker — and keeps rendering while the stream waits for a shared slot; 1 keeps the sequential path)", func(s string) error {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > 16 {
+			return fmt.Errorf("pipeline depth %q out of range (use an integer in 1..16)", s)
+		}
+		o.pipelineDepth = n
+		return nil
+	})
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "fault-injection rate (probability per burst block); 0 disables")
 	fs.IntVar(&o.faultBurst, "fault-burst", 1, "consecutive calls per injected fault")
 	fs.Func("fault-kinds", "comma-separated fault kinds to inject ("+fault.KindList()+"; default: all)", func(s string) error {
@@ -166,7 +176,7 @@ func run(o cliOpts) error {
 	}
 	opts := adavp.Options{
 		Policy: policy, Setting: o.setting, Seed: o.seed, PixelMode: o.pixel,
-		Workers: o.workers,
+		Workers: o.workers, PipelineDepth: o.pipelineDepth,
 	}
 	effective := adavp.SetWorkers(o.workers)
 	if o.metricsAddr != "" {
@@ -287,6 +297,9 @@ func runLive(v *adavp.Video, opts adavp.Options, o cliOpts) error {
 	g := res.Guard
 	fmt.Printf("guard: %d timeouts, %d panics, %d empty bursts, %d retries, %d downgrades, %d recoveries\n",
 		g.Timeouts, g.Panics, g.EmptyBursts, g.Retries, g.Downgrades, g.Recoveries)
+	if res.PrefetchedWhileWaiting > 0 {
+		fmt.Printf("pipelined: %d frames prefetched while waiting for the detector\n", res.PrefetchedWhileWaiting)
+	}
 	printFaults(res.Faults)
 	return nil
 }
@@ -312,6 +325,7 @@ func runMulti(kind adavp.Scenario, opts adavp.Options, o cliOpts) error {
 		if err != nil {
 			return err
 		}
+		prefetched := 0
 		for _, s := range res.Streams {
 			if s.Err != nil {
 				fmt.Printf("stream %s: interrupted: %v\n", s.ID, s.Err)
@@ -320,6 +334,10 @@ func runMulti(kind adavp.Scenario, opts adavp.Options, o cliOpts) error {
 			r := s.Result
 			fmt.Printf("stream %s: accuracy %.3f, mean F1 %.3f, deferred %d, health %s, %d downgrades\n",
 				s.ID, r.Accuracy, r.MeanF1, s.Deferred, r.Health, r.Guard.Downgrades)
+			prefetched += s.PrefetchedWhileWaiting
+		}
+		if prefetched > 0 {
+			fmt.Printf("pipelined: %d frames prefetched while streams waited for a slot\n", prefetched)
 		}
 		return nil
 	}
@@ -353,14 +371,15 @@ func runSoak(opts adavp.Options, o cliOpts) error {
 		streams = 8 // a soak without slot contention proves nothing
 	}
 	cfg := chaos.Config{
-		Streams:    streams,
-		Slots:      o.detectorSlots,
-		Batch:      serve.BatchConfig{Size: o.batchSize, Linger: o.batchLinger},
-		ChurnRate:  o.churnRate,
-		Fault:      opts.Fault,
-		Seed:       o.seed,
-		WallBudget: time.Duration(o.soakMinutes * float64(time.Minute)),
-		TimeScale:  o.timeScale,
+		Streams:       streams,
+		Slots:         o.detectorSlots,
+		Batch:         serve.BatchConfig{Size: o.batchSize, Linger: o.batchLinger},
+		ChurnRate:     o.churnRate,
+		Fault:         opts.Fault,
+		Seed:          o.seed,
+		WallBudget:    time.Duration(o.soakMinutes * float64(time.Minute)),
+		TimeScale:     o.timeScale,
+		PipelineDepth: o.pipelineDepth,
 	}
 	fmt.Printf("chaos soak: %d streams x %d detector slot(s), churn rate %.2f, seed %d\n",
 		streams, o.detectorSlots, o.churnRate, o.seed)

@@ -85,6 +85,13 @@ type Config struct {
 	// calibration ages without inflating the occupancies the bound is
 	// computed from. Default 250ms.
 	FairnessSlack time.Duration
+	// PipelineDepth, when > 1, runs the rt soak's streams on the pixel
+	// pipeline (blob detector, pixel tracker) with the staged frame prefetch
+	// at this depth (rt.Config.PipelineDepth via serve.RunConfig). The
+	// fairness invariant is then checked with prefetch stages running
+	// concurrently with the shared pool — re-verifying that prefetch never
+	// changes the queue's pop order. <= 1 keeps the emulated streams.
+	PipelineDepth int
 }
 
 func (c Config) withDefaults() Config {

@@ -156,6 +156,39 @@ func TestSoakRTCancel(t *testing.T) {
 	}
 }
 
+// TestSoakRTPipelined: the pipelined preset — pixel streams with staged
+// frame prefetch contending for one shared slot. The prefetch stage keeps
+// running while streams block in Pool.Acquire (the soak must bank
+// prefetched frames to prove it), and because prefetch never touches the
+// pool the fairness bound must hold exactly as it does sequentially —
+// along with the usual rt survival invariants (zero goroutine growth,
+// bounded heap).
+func TestSoakRTPipelined(t *testing.T) {
+	rep, err := SoakRT(context.Background(), Config{
+		Streams:       4,
+		Slots:         1,
+		SegmentFrames: 20,
+		WallBudget:    2 * time.Second,
+		PipelineDepth: 3,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatalf("SoakRT(pipelined): %v", err)
+	}
+	if testing.Verbose() {
+		rep.Print(os.Stderr)
+	}
+	if !rep.OK() {
+		t.Fatalf("pipelined rt soak violated invariants:\n%v", rep.Violations)
+	}
+	if rep.Rounds == 0 || rep.Frames == 0 {
+		t.Fatalf("pipelined soak did no work: %+v", rep)
+	}
+	if rep.Prefetched == 0 {
+		t.Error("four pixel streams over one slot banked no prefetched frames while waiting")
+	}
+}
+
 // TestSoakSimBatchedPreset: the batched-pool preset — B>1 under scenario
 // churn, identity churn and fault injection — keeps every machine-checked
 // invariant: same-seed byte parity, the generalized fairness bound under

@@ -35,6 +35,10 @@ type Report struct {
 	// MaxQueueDepth is the deepest the wait queue got (sim only — the live
 	// pool publishes depth to the registry instead).
 	Grants, Deferred, MaxQueueDepth int
+	// Prefetched counts frames whose prefetch completed while a stream was
+	// blocked in Pool.Acquire (rt pipelined preset only — Config.PipelineDepth
+	// > 1): the overlap the staged pipeline banked under contention.
+	Prefetched int
 	// BatchSize echoes the configured batch capacity B (1 = unbatched);
 	// Batches counts slot grants and MaxBatch the largest number of requests
 	// one grant fused — MaxBatch > 1 proves batching engaged under churn.
@@ -81,6 +85,9 @@ func (r *Report) Print(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "  frames %d  grants %d  deferred %d  max queue depth %d\n",
 		r.Frames, r.Grants, r.Deferred, r.MaxQueueDepth)
+	if r.Prefetched > 0 {
+		fmt.Fprintf(w, "  pipelined: %d frames prefetched while waiting for a slot\n", r.Prefetched)
+	}
 	if r.BatchSize > 1 {
 		fmt.Fprintf(w, "  batching: capacity %d  batches %d  max fused %d\n",
 			r.BatchSize, r.Batches, r.MaxBatch)

@@ -7,10 +7,12 @@ import (
 	"time"
 
 	"adavp/internal/adapt"
+	"adavp/internal/detect"
 	"adavp/internal/guard"
 	"adavp/internal/obs"
 	"adavp/internal/rt"
 	"adavp/internal/serve"
+	"adavp/internal/track"
 )
 
 // SoakRT runs the chaos soak on the live goroutine pipeline: rounds of
@@ -53,18 +55,25 @@ func SoakRT(ctx context.Context, cfg Config) (*Report, error) {
 		plans := planRound(root, cfg, round, st)
 		specs := make([]serve.StreamSpec, len(plans))
 		for i, p := range plans {
-			specs[i] = serve.StreamSpec{
-				ID:    p.ID,
-				Video: p.Video,
-				Config: rt.Config{
-					Adaptation: adapt.DefaultModel(),
-					Seed:       p.Seed,
-					TimeScale:  cfg.TimeScale,
-					Fault:      p.Fault,
-				},
+			c := rt.Config{
+				Adaptation: adapt.DefaultModel(),
+				Seed:       p.Seed,
+				TimeScale:  cfg.TimeScale,
+				Fault:      p.Fault,
 			}
+			if cfg.PipelineDepth > 1 {
+				// Pipelined preset: the prefetch stage only exists on the
+				// pixel path, so the soak swaps in the real kernels.
+				c.PixelMode = true
+				c.Detector = detect.NewBlobDetector()
+				c.NewTracker = func(uint64) track.Tracker { return track.NewPixelTracker() }
+			}
+			specs[i] = serve.StreamSpec{ID: p.ID, Video: p.Video, Config: c}
 		}
-		res, err := serve.Run(ctx, specs, serve.RunConfig{Slots: cfg.Slots, Batch: cfg.Batch, Budget: budget, Obs: reg})
+		res, err := serve.Run(ctx, specs, serve.RunConfig{
+			Slots: cfg.Slots, Batch: cfg.Batch, Budget: budget, Obs: reg,
+			PipelineDepth: cfg.PipelineDepth,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: round %d: %w", round, err)
 		}
@@ -108,6 +117,7 @@ func SoakRT(ctx context.Context, cfg Config) (*Report, error) {
 			rep.Grants += s.Result.Cycles
 			rep.Deferred += s.Result.Deferred
 			rep.Frames += len(s.Result.Outputs)
+			rep.Prefetched += s.Result.PrefetchedWhileWaiting
 			if s.Result.MaxCalibAge > rep.MaxCalibAge {
 				rep.MaxCalibAge = s.Result.MaxCalibAge
 			}

@@ -60,22 +60,11 @@ func BlobScratchDrops() int64 { return blobDrops.Load() }
 // DetectCtx implements ContextDetector. ctx carries the supervision layer's
 // abandonment signal; the detection itself never blocks on it.
 func (d *BlobDetector) DetectCtx(ctx context.Context, f core.Frame, s core.Setting) []core.Detection {
-	if f.Pixels == nil || f.Pixels.W == 0 || f.Pixels.H == 0 {
+	w, h, ok := d.inputDims(f, s)
+	if !ok {
 		return nil
-	}
-	scale := float64(s.InputSize()) / referenceInput
-	if scale <= 0 {
-		return nil
-	}
-	if scale > 1 {
-		scale = 1
 	}
 	img := f.Pixels
-	w := int(math.Round(float64(img.W) * scale))
-	h := int(math.Round(float64(img.H) * scale))
-	if w < 4 || h < 4 {
-		return nil
-	}
 	// Per-call scratch from a pool rather than a detector field: under the
 	// supervision layer a watchdog-abandoned Detect call may still be
 	// running when its retry starts, so the detector must tolerate
@@ -88,23 +77,8 @@ func (d *BlobDetector) DetectCtx(ctx context.Context, f core.Frame, s core.Setti
 		img.ResizeInto(resized)
 		small = resized
 	}
-	comps := d.components(small, bs)
-	back := float64(img.W) / float64(w)
-	out := make([]core.Detection, 0, len(comps))
-	for _, c := range comps {
-		det, ok := d.classify(c, back)
-		if !ok {
-			continue
-		}
-		det.Box = det.Box.Clip(geom.Rect{W: float64(img.W), H: float64(img.H)})
-		if det.Box.Empty() {
-			continue
-		}
-		out = append(out, det)
-	}
-	// Strongest (largest) first, matching the score ordering Match expects.
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
-	// comps aliases bs.comps, so the scratch stays ours until this point.
+	out := d.detectOn(small, img, bs)
+	// comps alias bs.comps, so the scratch stays ours until this point.
 	if ctx.Err() != nil {
 		// The watchdog abandoned this call: the supervised retry may already
 		// hold a scratch of its own, and Put-ting ours back would let a
@@ -116,6 +90,101 @@ func (d *BlobDetector) DetectCtx(ctx context.Context, f core.Frame, s core.Setti
 	}
 	bs.img.Put(resized)
 	blobPool.Put(bs)
+	return out
+}
+
+// inputDims returns the detector-input dimensions for a frame at a setting;
+// ok is false when the frame has no pixels or the scaled input is degenerate.
+func (d *BlobDetector) inputDims(f core.Frame, s core.Setting) (w, h int, ok bool) {
+	if f.Pixels == nil || f.Pixels.W == 0 || f.Pixels.H == 0 {
+		return 0, 0, false
+	}
+	scale := float64(s.InputSize()) / referenceInput
+	if scale <= 0 {
+		return 0, 0, false
+	}
+	if scale > 1 {
+		scale = 1
+	}
+	w = int(math.Round(float64(f.Pixels.W) * scale))
+	h = int(math.Round(float64(f.Pixels.H) * scale))
+	if w < 4 || h < 4 {
+		return 0, 0, false
+	}
+	return w, h, true
+}
+
+// PrepareInput renders the setting-scaled detector input for a frame into
+// dst, growing dst's buffer as needed. It returns false — leaving dst
+// untouched — when the setting reads the frame at native resolution (no
+// resize to prefetch) or the frame cannot be detected on. This is the
+// setting-DEPENDENT half of the staged pipeline's prefetch work: the raster
+// it produces is only valid for the (frame, setting) pair it was built for,
+// which is what the adaptive pipeline's cancel-and-refill keys on.
+func (d *BlobDetector) PrepareInput(f core.Frame, s core.Setting, dst *imgproc.Gray) bool {
+	w, h, ok := d.inputDims(f, s)
+	if !ok || (w == f.Pixels.W && h == f.Pixels.H) {
+		return false
+	}
+	if cap(dst.Pix) < w*h {
+		dst.Pix = make([]float32, w*h)
+	}
+	dst.Pix = dst.Pix[:w*h]
+	dst.W, dst.H = w, h
+	f.Pixels.ResizeInto(dst)
+	return true
+}
+
+// DetectPrepared is Detect with the setting-scaled input already rendered by
+// PrepareInput: bitwise-identical detections, no resize on the caller's
+// critical path. A nil, mis-sized or stale prepared raster (built for a
+// different setting) falls back to resizing inline — the cancel-and-refill
+// degenerate case — so the result never depends on whether the prefetched
+// raster was usable.
+func (d *BlobDetector) DetectPrepared(f core.Frame, s core.Setting, prepared *imgproc.Gray) []core.Detection {
+	w, h, ok := d.inputDims(f, s)
+	if !ok {
+		return nil
+	}
+	img := f.Pixels
+	bs := blobPool.Get().(*blobScratch) //adavp:pool-drop released below: DetectPrepared calls are never watchdog-abandoned
+	small := img
+	var resized *imgproc.Gray
+	if w != img.W || h != img.H {
+		if prepared != nil && prepared.W == w && prepared.H == h {
+			small = prepared
+		} else {
+			resized = bs.img.Take(w, h)
+			img.ResizeInto(resized)
+			small = resized
+		}
+	}
+	out := d.detectOn(small, img, bs)
+	bs.img.Put(resized)
+	blobPool.Put(bs)
+	return out
+}
+
+// detectOn runs segmentation and classification over the (already resized)
+// detector input. native is the full-resolution frame the boxes are mapped
+// back into.
+func (d *BlobDetector) detectOn(small, native *imgproc.Gray, bs *blobScratch) []core.Detection {
+	comps := d.components(small, bs)
+	back := float64(native.W) / float64(small.W)
+	out := make([]core.Detection, 0, len(comps))
+	for _, c := range comps {
+		det, ok := d.classify(c, back)
+		if !ok {
+			continue
+		}
+		det.Box = det.Box.Clip(geom.Rect{W: float64(native.W), H: float64(native.H)})
+		if det.Box.Empty() {
+			continue
+		}
+		out = append(out, det)
+	}
+	// Strongest (largest) first, matching the score ordering Match expects.
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"adavp/internal/core"
+	"adavp/internal/imgproc"
 	"adavp/internal/par"
 	"adavp/internal/video"
 )
@@ -49,6 +50,61 @@ func TestBlobDetectorParityAcrossWorkerCounts(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestBlobDetectorPreparedParity pins the prepared-input contract the staged
+// pipeline relies on: DetectPrepared over a PrepareInput raster is bitwise
+// Detect — and so is every degenerate prepared argument (nil, wrong-setting
+// raster), because the fallback resizes inline through the very same kernel.
+func TestBlobDetectorPreparedParity(t *testing.T) {
+	v := video.GenerateKind("blob-prep", video.KindCityStreet, 7, 20)
+	d := NewBlobDetector()
+	var prep imgproc.Gray
+	same := func(a, b []core.Detection) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Class != b[i].Class || a[i].Box != b[i].Box ||
+				math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range []core.Setting{core.Setting320, core.Setting512, core.Setting608} {
+		for _, fi := range []int{0, 9, 19} {
+			f := v.FrameWithPixels(fi)
+			want := d.Detect(f, s)
+			if !d.PrepareInput(f, s, &prep) {
+				t.Fatalf("setting=%v frame=%d: PrepareInput refused a resizable frame", s, fi)
+			}
+			if got := d.DetectPrepared(f, s, &prep); !same(got, want) {
+				t.Fatalf("setting=%v frame=%d: prepared path diverged: %+v vs %+v", s, fi, got, want)
+			}
+			if got := d.DetectPrepared(f, s, nil); !same(got, want) {
+				t.Fatalf("setting=%v frame=%d: nil-prepared fallback diverged", s, fi)
+			}
+			// A raster prepared for a different setting is mis-sized for this
+			// one: the fallback must ignore it, not consume it.
+			var stale imgproc.Gray
+			d.PrepareInput(f, core.Setting416, &stale)
+			if got := d.DetectPrepared(f, s, &stale); !same(got, want) {
+				t.Fatalf("setting=%v frame=%d: stale-prepared fallback diverged", s, fi)
+			}
+		}
+	}
+	// At the reference input size there is nothing to resize: PrepareInput
+	// reports no raster, and the prepared path reads the native frame.
+	f := v.FrameWithPixels(3)
+	if f.Pixels.W == 704 {
+		if d.PrepareInput(f, core.Setting704, &prep) {
+			t.Fatal("PrepareInput produced a raster at native resolution")
+		}
+		if got := d.DetectPrepared(f, core.Setting704, nil); !same(got, d.Detect(f, core.Setting704)) {
+			t.Fatal("native-resolution prepared path diverged")
 		}
 	}
 }

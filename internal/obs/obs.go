@@ -99,6 +99,29 @@ const (
 	// seconds — the realized cross-frame overlap. Identically zero at
 	// pipeline depth 1; its sum is wall time the pipeline saved.
 	MetricStageOverlap = "adavp_stage_overlap_seconds"
+	// MetricPrefetchStale counts prefetched detector-input rasters cancelled
+	// because a calibration decision moved the setting on before the frame
+	// reached the detector; MetricPrefetchRefill counts the inline rebuilds
+	// at the live setting that replaced them. Stale ≤ refill by construction
+	// (a refill also covers slots whose prefetch skipped the raster). Both
+	// are bookkeeping about wasted prefetch work, never about outputs.
+	MetricPrefetchStale  = "adavp_prefetch_stale_cancelled_total"
+	MetricPrefetchRefill = "adavp_prefetch_refill_total"
+	// MetricPrefetchedWaiting counts frames whose prefetch (render + pyramid)
+	// completed while the stream's detector loop was blocked waiting for a
+	// shared detector slot — the overlap the serve-path pipeline buys: a
+	// stream's detect sleep is another stream's pyramid build.
+	MetricPrefetchedWaiting = "adavp_frames_prefetched_while_waiting_total"
+	// MetricFramesInFlightWaiting is a gauge of prefetched-but-unconsumed
+	// frames held by a stream currently blocked in slot acquisition. It tops
+	// out at the configured pipeline depth; nonzero values are exactly the
+	// work the stream banked while queueing.
+	MetricFramesInFlightWaiting = "adavp_frames_in_flight_while_waiting"
+	// MetricSlotUtilization is the fraction of slot-time spent executing
+	// detections over a completed run: total occupancy divided by slots ×
+	// horizon. Published by the deterministic schedulers (sim, loadgen),
+	// where both numerator and denominator are exact virtual-clock sums.
+	MetricSlotUtilization = "adavp_slot_utilization"
 )
 
 // Stage label values of MetricStageLatency.

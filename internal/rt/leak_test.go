@@ -51,3 +51,38 @@ func TestRunLeaksNoGoroutines(t *testing.T) {
 	}
 	requireBaselineGoroutines(t, base)
 }
+
+// TestRunPipelinedLeaksNoGoroutines is the satellite regression for the
+// staged pipeline's shutdown: the prefetcher goroutine must exit on every
+// cancellation path — including mid-run cancellation at depth>1, where the
+// pre-fix prefetcher dropped its in-flight pyramid and the ownership audit
+// now proves nothing leaked (pyramidsFree == pyramidsTotal). Run under -race
+// via make race: a racy teardown fails here even when the count recovers.
+func TestRunPipelinedLeaksNoGoroutines(t *testing.T) {
+	v := pipelineTestVideo("hw", video.KindHighway, 5, 120)
+	base := runtime.NumGoroutine()
+
+	// Cancelled mid-run, repeatedly: the cancellation window is narrow, so
+	// several staggered cancels sweep it.
+	for _, after := range []time.Duration{5, 20, 60} {
+		ctx, cancel := context.WithCancel(context.Background())
+		time.AfterFunc(after*time.Millisecond, cancel)
+		res, _ := RunPipelined(ctx, v, PipelineConfig{Depth: 3, DetectEvery: 8, TimeScale: 0.001})
+		cancel()
+		requireBaselineGoroutines(t, base)
+		if res.pyramidsTotal != 0 && res.pyramidsFree != res.pyramidsTotal {
+			t.Fatalf("cancel@%vms: %d of %d pyramids back in the free pool — cancellation dropped pyramids",
+				after, res.pyramidsFree, res.pyramidsTotal)
+		}
+	}
+
+	// Completing normally.
+	res, err := RunPipelined(context.Background(), v, PipelineConfig{Depth: 3, DetectEvery: 8, TimeScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBaselineGoroutines(t, base)
+	if res.pyramidsFree != res.pyramidsTotal {
+		t.Fatalf("clean run: %d of %d pyramids back in the free pool", res.pyramidsFree, res.pyramidsTotal)
+	}
+}

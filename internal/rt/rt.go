@@ -96,6 +96,16 @@ type Config struct {
 	// Nil runs against a dedicated always-free slot — the single-stream
 	// special case (N=1, K=1).
 	Slots DetectorSlots
+	// PipelineDepth, when >1 in pixel mode, runs the staged frame-prefetch
+	// ahead of the detector/tracker threads: up to PipelineDepth upcoming
+	// frames are rendered (raster only — a pure function of the frame index)
+	// while the stream is blocked elsewhere, most importantly inside
+	// Slots.Acquire. A stream queueing for a shared detector slot keeps its
+	// prefetch stage running, so another stream's detect sleep overlaps with
+	// this stream's renders. Behavior-neutral by construction: consumers that
+	// miss the cache render inline, and the prefetcher never touches the slot
+	// pool, so grant order is exactly as without it. Depth ≤ 1 disables.
+	PipelineDepth int
 }
 
 // DetectorSlots grants shared detector slots to competing streams. The live
@@ -148,9 +158,10 @@ type Result struct {
 	// changes (AdaVP only).
 	Cycles   int
 	Switches int
-	// Deferred counts detections skipped because the shared slot pool
-	// refused the request (bounded-queue backpressure). Always zero without
-	// Config.Slots.
+	// Deferred counts detections deferred because the shared slot pool
+	// refused the request (bounded-queue backpressure). A pending detection
+	// refused across consecutive attempts counts once — frames, not retries.
+	// Always zero without Config.Slots.
 	Deferred int
 	// MaxCalibAge is the longest wall-clock gap between consecutive
 	// calibration completions (the first measured from run start) — the
@@ -173,6 +184,10 @@ type Result struct {
 	// Partial marks a run cut short by context cancellation: Outputs and
 	// the metrics cover the frames that completed before the cut.
 	Partial bool
+	// PrefetchedWhileWaiting counts frames whose prefetch completed while
+	// this stream was blocked in slot acquisition — the overlap the serve
+	// pipeline buys. Always zero when Config.PipelineDepth ≤ 1.
+	PrefetchedWhileWaiting int
 }
 
 // frameBuffer is the shared camera buffer: the camera thread publishes the
@@ -221,6 +236,101 @@ func (b *frameBuffer) waitNewer(than int) (int, bool) {
 		return b.latest, true
 	}
 	return 0, false
+}
+
+// framePrefetcher is the serve-path prefetch stage: a single goroutine that
+// follows the camera cursor and renders the next PipelineDepth frames ahead
+// of it into a bounded cache, so the detector and tracker threads fetch warm
+// rasters instead of rendering on their critical path. The rendered frame is
+// a pure function of its index, so a cache hit and an inline render are
+// interchangeable — the stage is behavior-neutral and needs no draining on
+// shutdown beyond its goroutine exiting with the camera.
+//
+// Its reason to exist is the blocked-stream overlap: while the detector loop
+// is parked inside DetectorSlots.Acquire waiting for a shared slot, the
+// prefetcher keeps rendering — another stream's emulated detect sleep is this
+// stream's pyramid-and-raster budget. The waiting flag brackets exactly that
+// window, and the accounting (frames completed inside it, cache population
+// while it is up) feeds the serve observability.
+type framePrefetcher struct {
+	v     *video.Video
+	depth int
+
+	mu    sync.Mutex
+	cache map[int]core.Frame
+
+	waiting     atomic.Bool
+	builtWhile  atomic.Int64 // frames whose render completed while waiting
+	inflightG   *obs.Gauge
+	prefetchedC *obs.Counter
+}
+
+func newFramePrefetcher(v *video.Video, depth int, reg *obs.Registry, labels []obs.Label) *framePrefetcher {
+	return &framePrefetcher{
+		v:           v,
+		depth:       depth,
+		cache:       make(map[int]core.Frame, 2*depth),
+		inflightG:   reg.Gauge(obs.MetricFramesInFlightWaiting, labels...),
+		prefetchedC: reg.Counter(obs.MetricPrefetchedWaiting, labels...),
+	}
+}
+
+// run follows the camera: each time a newer frame is published, render up to
+// depth frames ahead of it. Exits when the buffer closes (camera done or run
+// cancelled — the camera owns ctx observation).
+//
+//adavp:stage prefetch
+func (pf *framePrefetcher) run(buf *frameBuffer) {
+	n := pf.v.NumFrames()
+	cursor := -1
+	rendered := -1
+	for {
+		latest, ok := buf.waitNewer(cursor)
+		if !ok {
+			return
+		}
+		cursor = latest
+		for i := latest + 1; i <= latest+pf.depth && i < n; i++ {
+			if i <= rendered {
+				continue
+			}
+			f := pf.v.FrameWithPixels(i)
+			rendered = i
+			pf.mu.Lock()
+			pf.cache[i] = f
+			for k := range pf.cache {
+				if k <= i-2*pf.depth {
+					delete(pf.cache, k)
+				}
+			}
+			held := len(pf.cache)
+			pf.mu.Unlock()
+			if pf.waiting.Load() {
+				// This render landed while the stream was queueing for a
+				// detector slot: banked work, the whole point of the stage.
+				pf.builtWhile.Add(1)
+				pf.prefetchedC.Inc()
+				pf.inflightG.Set(float64(held))
+			}
+		}
+	}
+}
+
+// get returns the cached frame for index i, if the prefetcher got there.
+func (pf *framePrefetcher) get(i int) (core.Frame, bool) {
+	pf.mu.Lock()
+	f, ok := pf.cache[i]
+	pf.mu.Unlock()
+	return f, ok
+}
+
+// setWaiting brackets the detector loop's slot acquisition; leaving the
+// window resets the in-flight gauge (the banked frames are being consumed).
+func (pf *framePrefetcher) setWaiting(w bool) {
+	pf.waiting.Store(w)
+	if !w {
+		pf.inflightG.Set(0)
+	}
 }
 
 // cycleWork is one detection hand-off from the detector to the tracker:
@@ -303,6 +413,7 @@ type pipeline struct {
 	sup      *guard.Supervisor
 	fdet     *fault.Detector // non-nil when a fault profile is injected
 	ftrk     *fault.Tracker
+	prefetch *framePrefetcher // non-nil when PipelineDepth>1 in pixel mode
 	start    time.Time
 
 	work chan cycleWork
@@ -332,9 +443,16 @@ func (p *pipeline) obsLabels(ls ...obs.Label) []obs.Label {
 	return append(ls, obs.L("stream", p.cfg.StreamID))
 }
 
-// frame fetches a frame (with pixels only in pixel mode).
+// frame fetches a frame (with pixels only in pixel mode). With the prefetch
+// stage running, a warm render is returned as-is; a miss renders inline —
+// identical bytes either way, the stage only moves the work off this path.
 func (p *pipeline) frame(i int) core.Frame {
 	if p.cfg.PixelMode {
+		if p.prefetch != nil {
+			if f, ok := p.prefetch.get(i); ok {
+				return f
+			}
+		}
 		return p.v.FrameWithPixels(i)
 	}
 	return p.v.Frame(i)
@@ -390,6 +508,19 @@ func (p *pipeline) run(ctx context.Context) (*Result, error) {
 			}
 		}
 	}()
+
+	// Frame-prefetch stage (serve-path pipelining): renders ahead of the
+	// camera cursor so slot-wait time is spent building rasters. It exits
+	// with the camera (buffer close), needing no ctx plumbing of its own.
+	if p.cfg.PipelineDepth > 1 && p.cfg.PixelMode {
+		p.prefetch = newFramePrefetcher(p.v, p.cfg.PipelineDepth, p.cfg.Obs, p.obsLabels())
+		wg.Add(1)
+		//adavp:stage prefetch
+		go func() {
+			defer wg.Done()
+			p.prefetch.run(p.buffer)
+		}()
+	}
 
 	// Object detector thread.
 	wg.Add(1)
@@ -487,6 +618,15 @@ func (p *pipeline) superviseDetect(ctx context.Context, frameIdx int, setting co
 func (p *pipeline) detectorLoop(ctx context.Context) {
 	setting := p.cfg.Setting
 	prevFrame := -1
+	// lastFetched is the wait cursor: it advances on every fetch, granted or
+	// refused, so a refused bootstrap fetch (prevFrame still -1) waits for the
+	// NEXT captured frame instead of spinning on — and re-counting — the same
+	// one.
+	lastFetched := -1
+	// deferring marks a refusal streak already counted: consecutive refused
+	// attempts defer one pending detection, and the deferred counter counts
+	// the detection once, not once per retry.
+	deferring := false
 	var prevDets []core.Detection
 	var lastCalib time.Duration
 	slots := p.cfg.Slots
@@ -494,15 +634,24 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 		slots = exclusiveSlots{}
 	}
 	for ctx.Err() == nil {
-		frameIdx, ok := p.buffer.waitNewer(prevFrame)
+		frameIdx, ok := p.buffer.waitNewer(lastFetched)
 		if !ok {
 			return
 		}
+		lastFetched = frameIdx
 
 		// Claim a shared detector slot before committing to the cycle. The
-		// wait is measured here — the slot pool itself is clock-free.
+		// wait is measured here — the slot pool itself is clock-free. The
+		// prefetch stage keeps rendering through this block: the waiting
+		// bracket is what attributes its completions to the queueing window.
 		slotStart := time.Now()
+		if p.prefetch != nil {
+			p.prefetch.setWaiting(true)
+		}
 		release, err := slots.Acquire(ctx, p.cfg.StreamID, setting, lastCalib)
+		if p.prefetch != nil {
+			p.prefetch.setWaiting(false)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -511,8 +660,11 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 			// detection — hand the buffered frames to the tracker so it keeps
 			// extrapolating against the previous calibration — and re-request
 			// at the next captured frame. Staleness grows; memory does not.
-			p.deferred.Add(1)
-			p.cfg.Obs.Counter(obs.MetricDetectDeferred, p.obsLabels()...).Inc()
+			if !deferring {
+				deferring = true
+				p.deferred.Add(1)
+				p.cfg.Obs.Counter(obs.MetricDetectDeferred, p.obsLabels()...).Inc()
+			}
 			if prevFrame >= 0 {
 				gen := p.generation.Add(1)
 				select {
@@ -524,6 +676,7 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 			}
 			continue
 		}
+		deferring = false
 		p.cfg.Obs.Histogram(obs.MetricSlotWait, obs.DefLatencyBuckets, p.obsLabels()...).
 			ObserveDuration(time.Since(slotStart))
 		// Occupancy runs from the grant to the release: setting-switch
@@ -605,6 +758,9 @@ func (p *pipeline) detectorLoop(ctx context.Context) {
 		p.cycles.Add(1)
 		p.cfg.Obs.Counter(obs.MetricCycles, p.obsLabels()...).Inc()
 		prevFrame = frameIdx
+		if frameIdx > lastFetched {
+			lastFetched = frameIdx
+		}
 	}
 }
 
@@ -714,6 +870,9 @@ func (p *pipeline) finish() *Result {
 		Health:           p.sup.Health(),
 		Faults:           p.sup.Stats(),
 		Events:           p.sup.Events(),
+	}
+	if p.prefetch != nil {
+		res.PrefetchedWhileWaiting = int(p.prefetch.builtWhile.Load())
 	}
 	if p.fdet != nil {
 		res.Injected = make(map[string]int)

@@ -178,6 +178,85 @@ func TestPoolBatchSettingSkewSplitsGrants(t *testing.T) {
 	}
 }
 
+// TestPoolBatchFillsPastCancelledWaiter pins the PopBatch underfill fix: a
+// cancelled waiter sitting *inside* the same-setting prefix must not consume
+// batch capacity. With batch capacity 3 and three live compatible waiters
+// queued around a cancelled one, the freed slot must fuse all three — the
+// pre-fix drain counted the dead entry toward the capacity and granted only
+// two.
+func TestPoolBatchFillsPastCancelledWaiter(t *testing.T) {
+	p := NewBatchPool(1, 8, BatchConfig{Size: 3}, nil)
+	first, err := p.Acquire(context.Background(), "warm", core.Setting512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := acquireAsync(p, core.Setting512, 100*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	dead := make(chan grant, 1)
+	go func() {
+		r, err := p.Acquire(ctx, "dead", core.Setting512, 200*time.Millisecond)
+		dead <- grant{release: r, err: err}
+	}()
+	waitDepth(t, p, 2)
+	b := acquireAsync(p, core.Setting512, 300*time.Millisecond)
+	c := acquireAsync(p, core.Setting512, 400*time.Millisecond)
+	waitDepth(t, p, 4)
+	cancel()
+	if g := <-dead; g.err == nil {
+		t.Fatal("cancelled Acquire returned a grant")
+	}
+	first()
+	ga, gb, gc := <-a, <-b, <-c
+	if ga.err != nil || gb.err != nil || gc.err != nil {
+		t.Fatalf("grants errored: %v / %v / %v", ga.err, gb.err, gc.err)
+	}
+	if st := p.Stats(); st.MaxBatch != 3 {
+		t.Fatalf("MaxBatch = %d, want 3: the cancelled waiter consumed batch capacity", st.MaxBatch)
+	}
+	ga.release()
+	gb.release()
+	gc.release()
+	if st := p.Stats(); st.Executing != 0 || st.Released != st.Granted {
+		t.Fatalf("flow did not drain: %+v", st)
+	}
+}
+
+// TestPoolBatchScansPastIncompatibleCancelled: a cancelled waiter whose
+// setting differs from the batch's must not terminate the drain — it is dead,
+// so scanning past it cannot reorder any live grant. The pre-fix drain
+// stopped at the incompatible head and granted a singleton.
+func TestPoolBatchScansPastIncompatibleCancelled(t *testing.T) {
+	p := NewBatchPool(1, 8, BatchConfig{Size: 4}, nil)
+	first, err := p.Acquire(context.Background(), "warm", core.Setting512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := acquireAsync(p, core.Setting512, 100*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	dead := make(chan grant, 1)
+	go func() {
+		r, err := p.Acquire(ctx, "dead", core.Setting320, 200*time.Millisecond)
+		dead <- grant{release: r, err: err}
+	}()
+	waitDepth(t, p, 2)
+	b := acquireAsync(p, core.Setting512, 300*time.Millisecond)
+	waitDepth(t, p, 3)
+	cancel()
+	if g := <-dead; g.err == nil {
+		t.Fatal("cancelled Acquire returned a grant")
+	}
+	first()
+	ga, gb := <-a, <-b
+	if ga.err != nil || gb.err != nil {
+		t.Fatalf("grants errored: %v / %v", ga.err, gb.err)
+	}
+	if st := p.Stats(); st.MaxBatch != 2 {
+		t.Fatalf("MaxBatch = %d, want 2: the dead incompatible entry terminated the drain", st.MaxBatch)
+	}
+	ga.release()
+	gb.release()
+}
+
 // TestPoolBatchedCancelSkipped: a waiter whose context dies while queued is
 // skipped at grant time without consuming batch capacity or wedging the
 // group accounting.

@@ -11,7 +11,9 @@ import (
 )
 
 // Schema identifies the BENCH_serve.json layout. Bump on shape changes.
-const Schema = "adavp-serve-bench/1"
+// /2: per-scenario throughput + prepare-span accounting and the pipelined
+// scenario pair (staged frame-prefetch model).
+const Schema = "adavp-serve-bench/2"
 
 // Suite is the committed BENCH_serve.json artifact: the canonical scenario
 // matrix's reports. Every field derives from the scenario configs through
@@ -76,7 +78,11 @@ func ReadSuite(r io.Reader) (*Suite, error) {
 // streams over 8 slots with arrival churn, two flash crowds and mild
 // setting skew, swept across batch capacities. The unbatched scenario is
 // the baseline the batched ones must beat on p95 slot-wait; the lingering
-// variant additionally exercises the fill-timeout path.
+// variant additionally exercises the fill-timeout path. The final pair is
+// the pipelined column: a request-bound topology (one stream per slot, so
+// the per-cycle prepare span — not queueing — limits cadence) run once with
+// prepare sequential on the request path and once with the staged prefetch
+// overlapping it, whose throughput delta RunBench gates on.
 func BenchConfigs() []Config {
 	base := Config{
 		Streams:     1000,
@@ -95,10 +101,26 @@ func BenchConfigs() []Config {
 		c.Batch = b
 		return c
 	}
+	pipeBase := Config{
+		Streams:  8,
+		Slots:    8,
+		Horizon:  3 * time.Minute,
+		Settings: []core.Setting{core.Setting320},
+		SLO:      time.Second,
+		Seed:     1,
+	}
+	mkPipe := func(name string, depth int) Config {
+		c := pipeBase
+		c.Name = name
+		c.PipelineDepth = depth
+		return c
+	}
 	return []Config{
 		mk("unbatched-b1", serve.BatchConfig{Size: 1}),
 		mk("batched-b4-linger5ms", serve.BatchConfig{Size: 4, Linger: 5 * time.Millisecond}),
 		mk("batched-b8", serve.BatchConfig{Size: 8}),
+		mkPipe("sequential-prep-b1", 1),
+		mkPipe("pipelined-d3-b1", 3),
 	}
 }
 
@@ -118,16 +140,26 @@ func RunSuite(cfgs []Config) (*Suite, error) {
 	return s, nil
 }
 
-// RunBench executes the canonical matrix and enforces the SLO story the
+// RunBench executes the canonical matrix and enforces the stories the
 // artifact exists to pin: every batched scenario must beat the unbatched
-// baseline on p95 slot-wait and SLO attainment under this contention.
+// baseline on p95 slot-wait and SLO attainment under this contention, and
+// the pipelined column must beat its sequential-prepare reference on
+// throughput (with actual prepare time hidden, or the overlap model did
+// nothing).
 func RunBench() (*Suite, error) {
 	s, err := RunSuite(BenchConfigs())
 	if err != nil {
 		return nil, err
 	}
+	byName := make(map[string]*Report, len(s.Scenarios))
+	for _, r := range s.Scenarios {
+		byName[r.Name] = r
+	}
 	base := s.Scenarios[0]
 	for _, r := range s.Scenarios[1:] {
+		if r.BatchSize <= 1 {
+			continue // the pipelined pair runs a different topology
+		}
 		if r.Wait.P95 >= base.Wait.P95 {
 			return nil, fmt.Errorf("loadtest: %s p95 slot-wait %.1fms did not beat %s's %.1fms",
 				r.Name, r.Wait.P95, base.Name, base.Wait.P95)
@@ -136,6 +168,17 @@ func RunBench() (*Suite, error) {
 			return nil, fmt.Errorf("loadtest: %s SLO attainment %.3f under %s's %.3f",
 				r.Name, r.SLOAttainment, base.Name, base.SLOAttainment)
 		}
+	}
+	seq, pipe := byName["sequential-prep-b1"], byName["pipelined-d3-b1"]
+	if seq == nil || pipe == nil {
+		return nil, fmt.Errorf("loadtest: canonical matrix is missing the pipelined pair")
+	}
+	if pipe.ThroughputRPS <= seq.ThroughputRPS {
+		return nil, fmt.Errorf("loadtest: pipelined throughput %.2f rps did not beat sequential-prep %.2f rps",
+			pipe.ThroughputRPS, seq.ThroughputRPS)
+	}
+	if pipe.PrepareHiddenMS <= 0 {
+		return nil, fmt.Errorf("loadtest: pipelined column hid no prepare time")
 	}
 	return s, nil
 }

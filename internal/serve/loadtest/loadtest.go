@@ -78,6 +78,16 @@ type Config struct {
 	SLO time.Duration
 	// Seed derives every random choice. Default 1.
 	Seed uint64
+	// PipelineDepth models the staged frame-prefetch pipeline. 0 (default)
+	// is the legacy request model: frame preparation is not on the request
+	// path at all. 1 is the sequential staged reference: each cycle's
+	// prepare span (render + detector-input build, drawn from
+	// core.LatencyModel.FeatureExtract) sits on the critical path between a
+	// calibration completing and the next request issuing. >1 is the
+	// pipelined column: the prefetch stage runs while the stream waits for
+	// its slot and while its grant executes, so the prepare overlaps that
+	// span and only the un-overlapped remainder delays the next request.
+	PipelineDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +151,7 @@ type Report struct {
 	FlashCrowds     int     `json:"flash_crowds"`
 	SettingSkew     float64 `json:"setting_skew"`
 	Seed            uint64  `json:"seed"`
+	PipelineDepth   int     `json:"pipeline_depth"`
 
 	// Flow accounting. Requests = Grants + Deferred.
 	Requests       int     `json:"requests"`
@@ -159,6 +170,15 @@ type Report struct {
 	Exec     Quantiles `json:"slot_exec"`
 	E2E      Quantiles `json:"e2e"`
 	CalibAge Quantiles `json:"calib_age"`
+
+	// The throughput story: granted calibrations per second of virtual
+	// makespan, plus the prepare-span accounting behind the pipelined
+	// column — how much prepare time the model put on the request path and
+	// how much of it the staged prefetch hid by overlapping slot wait and
+	// execution. PrepareHiddenMS is zero unless PipelineDepth > 1.
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	PrepareMS       float64 `json:"prepare_total_ms"`
+	PrepareHiddenMS float64 `json:"prepare_hidden_ms"`
 
 	// The SLO story: fraction of granted requests whose end-to-end latency
 	// met the target.
@@ -214,6 +234,16 @@ func (r *Report) Validate() error {
 	if r.SLOAttainment < 0 || r.SLOAttainment > 1 {
 		return fmt.Errorf("loadtest: %s: SLO attainment %.3f outside [0, 1]", r.Name, r.SLOAttainment)
 	}
+	if r.ThroughputRPS <= 0 {
+		return fmt.Errorf("loadtest: %s: non-positive throughput %.3f rps", r.Name, r.ThroughputRPS)
+	}
+	if r.PrepareHiddenMS < 0 || r.PrepareHiddenMS > r.PrepareMS {
+		return fmt.Errorf("loadtest: %s: hidden prepare %.1fms outside [0, total %.1fms]",
+			r.Name, r.PrepareHiddenMS, r.PrepareMS)
+	}
+	if r.PipelineDepth <= 1 && r.PrepareHiddenMS != 0 {
+		return fmt.Errorf("loadtest: %s: sequential run hid %.1fms of prepare", r.Name, r.PrepareHiddenMS)
+	}
 	if r.FairnessBoundMS <= 0 {
 		return fmt.Errorf("loadtest: %s: non-positive fairness bound", r.Name)
 	}
@@ -258,6 +288,7 @@ func Run(cfg Config) (*Report, error) {
 		FlashCrowds:     cfg.FlashCrowds,
 		SettingSkew:     cfg.SettingSkew,
 		Seed:            cfg.Seed,
+		PipelineDepth:   cfg.PipelineDepth,
 	}
 	if rep.Name == "" {
 		rep.Name = "adhoc"
@@ -344,6 +375,7 @@ func Run(cfg Config) (*Report, error) {
 	slots := make([]time.Duration, cfg.Slots)
 	var waits, execs, e2es, ages []float64
 	var maxSingle, maxAge time.Duration
+	var prepTotal, prepHidden, makespan time.Duration
 	batchSum := 0
 
 	noteDepth := func() {
@@ -484,9 +516,31 @@ func Run(cfg Config) (*Report, error) {
 			}
 			s.calibValid = true
 			s.lastCalib = batchEnd
-			advance(s, batchEnd+cfg.FrameInterval)
+			next := batchEnd + cfg.FrameInterval
+			// The prepare model behind the pipelined column: sequentially
+			// (depth 1) the frame-prepare span delays the next request;
+			// pipelined (depth > 1), the prefetch stage ran during this
+			// cycle's slot wait and execution, so only the remainder the
+			// overlap could not cover stays on the path.
+			if cfg.PipelineDepth >= 1 {
+				prep := s.lat.FeatureExtract()
+				prepTotal += prep
+				if cfg.PipelineDepth > 1 {
+					overlap := batchEnd - s.readyAt // wait + exec this cycle
+					if overlap > prep {
+						overlap = prep
+					}
+					prep -= overlap
+					prepHidden += overlap
+				}
+				next += prep
+			}
+			advance(s, next)
 		}
 		slots[si] = batchEnd
+		if batchEnd > makespan {
+			makespan = batchEnd
+		}
 	}
 
 	if rep.Grants == 0 {
@@ -499,6 +553,11 @@ func Run(cfg Config) (*Report, error) {
 	rep.E2E = quantiles(e2es)
 	rep.CalibAge = quantiles(ages)
 	rep.SLOMS = ms(cfg.SLO)
+	if makespan > 0 {
+		rep.ThroughputRPS = float64(rep.Grants) / makespan.Seconds()
+	}
+	rep.PrepareMS = ms(prepTotal)
+	rep.PrepareHiddenMS = ms(prepHidden)
 	rep.MaxSingleOccMS = ms(maxSingle)
 	bound := serve.FairnessBoundBatched(cfg.Streams, cfg.Slots, cfg.Batch.Size, maxSingle, cfg.FrameInterval, cfg.Batch.Linger)
 	rep.FairnessBoundMS = ms(bound)

@@ -196,37 +196,36 @@ func (p *Pool) memberRelease(g *group) func() {
 }
 
 // grantNextLocked hands the freed slot to the next batch: it drains up to
-// Batch.Size compatible requests in oldest-calibration-first order (skipping
-// entries whose callers have been cancelled meanwhile) and grants them as
-// one group, or marks the slot free when nothing waits. Callers hold p.mu.
+// Batch.Size compatible requests in oldest-calibration-first order and grants
+// them as one group, or marks the slot free when nothing waits. Entries whose
+// callers have been cancelled meanwhile are dropped inside the drain itself
+// (PopBatchFunc's skip predicate), so they neither consume batch capacity nor
+// terminate the scan — the batch fills to Size from live waiters whenever
+// enough compatible ones are queued. Callers hold p.mu.
 func (p *Pool) grantNextLocked() {
-	for {
-		reqs := p.queue.PopBatch(p.batch.Size)
-		if len(reqs) == 0 {
-			p.free++
-			return
+	reqs := p.queue.PopBatchFunc(p.batch.Size, func(r Request) bool {
+		w := p.waiters[r.Index]
+		if w == nil || w.cancelled {
+			delete(p.waiters, r.Index)
+			return true
 		}
-		g := &group{}
-		grantees := make([]*waiter, 0, len(reqs))
-		for _, req := range reqs {
-			w := p.waiters[req.Index]
-			delete(p.waiters, req.Index)
-			if w == nil || w.cancelled {
-				continue
-			}
-			g.pending++
-			w.granted = true
-			w.g = g
-			grantees = append(grantees, w)
-		}
-		if g.pending == 0 {
-			// Every drained request had been abandoned; drain the next batch.
-			continue
-		}
-		p.observeBatch(g.pending)
-		for _, w := range grantees {
-			w.ch <- struct{}{}
-		}
+		return false
+	})
+	if len(reqs) == 0 {
+		p.free++
 		return
+	}
+	g := &group{pending: len(reqs)}
+	grantees := make([]*waiter, 0, len(reqs))
+	for _, req := range reqs {
+		w := p.waiters[req.Index]
+		delete(p.waiters, req.Index)
+		w.granted = true
+		w.g = g
+		grantees = append(grantees, w)
+	}
+	p.observeBatch(g.pending)
+	for _, w := range grantees {
+		w.ch <- struct{}{}
 	}
 }

@@ -139,17 +139,36 @@ func (q *FairQueue) Peek() (Request, bool) {
 // reordering them. max < 1 is clamped to 1, making PopBatch(1) ≡ Pop. Returns
 // nil on an empty queue.
 func (q *FairQueue) PopBatch(max int) []Request {
-	first, ok := q.Pop()
-	if !ok {
-		return nil
+	return q.PopBatchFunc(max, nil)
+}
+
+// PopBatchFunc is PopBatch with a skip predicate for abandoned entries:
+// a request for which skip returns true is removed from the queue and
+// discarded — it neither counts toward max nor supplies the batch's
+// compatibility setting, and the drain scans straight past it (even when its
+// setting differs from the batch's). Without this the live pool under-filled
+// batches: a cancelled waiter inside the same-setting prefix consumed batch
+// capacity, and one with a different setting terminated the drain early.
+// Skipping dead entries cannot reorder live grants — a skipped request is
+// never granted at all, so the batch is still a strict prefix of the pop
+// order restricted to live requests. A nil skip keeps every entry, making
+// PopBatchFunc(max, nil) ≡ the historical PopBatch byte for byte.
+func (q *FairQueue) PopBatchFunc(max int, skip func(Request) bool) []Request {
+	if max < 1 {
+		max = 1
 	}
-	batch := []Request{first}
-	for len(batch) < max {
-		if len(q.heap) == 0 || q.heap[0].Setting != first.Setting {
+	var batch []Request
+	for len(batch) < max && len(q.heap) > 0 {
+		head := q.heap[0]
+		if skip != nil && skip(head) {
+			q.Pop()
+			continue
+		}
+		if len(batch) > 0 && head.Setting != batch[0].Setting {
 			break
 		}
-		next, _ := q.Pop()
-		batch = append(batch, next)
+		q.Pop()
+		batch = append(batch, head)
 	}
 	return batch
 }

@@ -21,10 +21,10 @@ import (
 
 // qop is one queue operation.
 type qop struct {
-	kind    int           // 0: push, 1: pop, 2: popbatch
+	kind    int           // 0: push, 1: pop, 2: popbatch, 3: cancel
 	calib   time.Duration // push: LastCalib (coarse, to force ties)
 	setting core.Setting  // push: batch compatibility key
-	max     int           // popbatch: capacity
+	max     int           // popbatch: capacity; cancel: victim selector
 }
 
 // qscript is a generated operation sequence over a small-bounded queue.
@@ -38,7 +38,7 @@ func (qscript) Generate(rng *rand.Rand, size int) reflect.Value {
 	settings := []core.Setting{core.Setting320, core.Setting512, core.Setting608}
 	s := qscript{bound: 1 + rng.Intn(6), ops: make([]qop, 2+rng.Intn(60))}
 	for i := range s.ops {
-		op := qop{kind: rng.Intn(3)}
+		op := qop{kind: rng.Intn(4)}
 		switch op.kind {
 		case 0:
 			// Coarse timestamps so FIFO tie-breaking is actually exercised.
@@ -46,6 +46,8 @@ func (qscript) Generate(rng *rand.Rand, size int) reflect.Value {
 			op.setting = settings[rng.Intn(len(settings))]
 		case 2:
 			op.max = rng.Intn(5) // includes the <1 clamp
+		case 3:
+			op.max = rng.Intn(16) // selects which queued entry to cancel
 		}
 		s.ops[i] = op
 	}
@@ -80,6 +82,7 @@ func runScript(t *testing.T, s qscript) bool {
 	q := NewFairQueue(s.bound)
 	var model []modelReq
 	arrivals := 0
+	cancelled := map[int]bool{} // arrival ids abandoned by their callers
 	for opi, op := range s.ops {
 		switch op.kind {
 		case 0:
@@ -110,30 +113,26 @@ func runScript(t *testing.T, s qscript) bool {
 				return false
 			}
 		case 2:
-			got := q.PopBatch(op.max)
-			if len(model) == 0 {
-				if got != nil {
-					t.Logf("op %d: PopBatch on empty queue returned %d requests", opi, len(got))
-					return false
-				}
-				continue
-			}
-			// Model drain: the pop-order head, then subsequent pop-order
-			// requests while they share the head's setting, up to max
-			// (clamped to at least 1).
+			got := q.PopBatchFunc(op.max, func(r Request) bool { return cancelled[r.Index] })
+			// Model drain with cancelled entries transparent: walk the pop
+			// order, dropping cancelled entries without counting them; the
+			// first live request supplies the setting, then subsequent live
+			// requests join while they share it, up to max (clamped ≥ 1).
 			max := op.max
 			if max < 1 {
 				max = 1
 			}
-			head := modelPop(&model)
-			want := []modelReq{head}
+			var want []modelReq
 			for len(want) < max && len(model) > 0 {
 				// Peek the model's next pop without removing it yet.
-				next := model
-				cp := make([]modelReq, len(next))
-				copy(cp, next)
+				cp := make([]modelReq, len(model))
+				copy(cp, model)
 				peek := modelPop(&cp)
-				if peek.setting != head.setting {
+				if cancelled[peek.arrival] {
+					modelPop(&model) // dropped by the skip predicate
+					continue
+				}
+				if len(want) > 0 && peek.setting != want[0].setting {
 					break
 				}
 				want = append(want, modelPop(&model))
@@ -143,6 +142,10 @@ func runScript(t *testing.T, s qscript) bool {
 				return false
 			}
 			for i := range got {
+				if cancelled[got[i].Index] {
+					t.Logf("op %d: PopBatch returned cancelled arrival %d", opi, got[i].Index)
+					return false
+				}
 				if got[i].Index != want[i].arrival || got[i].Setting != want[i].setting {
 					t.Logf("op %d: PopBatch member %d is arrival %d setting %v, model wants %d %v",
 						opi, i, got[i].Index, got[i].Setting, want[i].arrival, want[i].setting)
@@ -152,6 +155,14 @@ func runScript(t *testing.T, s qscript) bool {
 					t.Logf("op %d: PopBatch mixed settings %v and %v in one batch", opi, got[0].Setting, got[i].Setting)
 					return false
 				}
+			}
+		case 3:
+			// Cancel one still-queued entry (a no-op on an empty queue). The
+			// entry stays in both the queue and the model — cancellation only
+			// marks it for the skip predicate, exactly like the live pool's
+			// waiter bookkeeping.
+			if len(model) > 0 {
+				cancelled[model[op.max%len(model)].arrival] = true
 			}
 		}
 		if q.Len() != len(model) {
@@ -197,38 +208,62 @@ func TestFairQueueQuickAgainstModel(t *testing.T) {
 	}
 }
 
-// TestFairQueueQuickBatchDrainPrefix: for any queue content, PopBatch
-// drains a strict prefix of the sequence repeated Pops would return — the
-// property the generalized fairness bound's proof rests on.
+// TestFairQueueQuickBatchDrainPrefix: for any queue content — including
+// entries abandoned by cancelled callers — the batch drain returns a strict
+// prefix of the live pop order (the sequence repeated Pops would return with
+// cancelled entries filtered out). This is the property the generalized
+// fairness bound's proof rests on: skipping dead entries must never let a
+// younger live request overtake an older one.
 func TestFairQueueQuickBatchDrainPrefix(t *testing.T) {
 	prop := func(s qscript) bool {
-		// Build two identical queues from the script's pushes only.
+		// Build two identical queues from the script's pushes only; the
+		// script's cancel ops mark a subset of arrivals as abandoned.
 		a, b := NewFairQueue(s.bound), NewFairQueue(s.bound)
+		cancelled := map[int]bool{}
 		n := 0
 		for _, op := range s.ops {
-			if op.kind != 0 {
-				continue
+			switch op.kind {
+			case 0:
+				r := Request{Stream: "s", Index: n, Setting: op.setting, LastCalib: op.calib}
+				pa, pb := a.Push(r), b.Push(r)
+				if pa != pb {
+					return false
+				}
+				n++
+			case 3:
+				if n > 0 {
+					cancelled[op.max%n] = true
+				}
 			}
-			r := Request{Stream: "s", Index: n, Setting: op.setting, LastCalib: op.calib}
-			pa, pb := a.Push(r), b.Push(r)
-			if pa != pb {
-				return false
-			}
-			n++
 		}
-		batch := a.PopBatch(3)
+		skip := func(r Request) bool { return cancelled[r.Index] }
+		// livePop pops q's next non-cancelled request, discarding dead ones.
+		livePop := func(q *FairQueue) (Request, bool) {
+			for {
+				r, ok := q.Pop()
+				if !ok {
+					return Request{}, false
+				}
+				if !cancelled[r.Index] {
+					return r, true
+				}
+			}
+		}
+		batch := a.PopBatchFunc(3, skip)
 		for i, r := range batch {
-			want, ok := b.Pop()
+			want, ok := livePop(b)
 			if !ok || want.Index != r.Index {
-				t.Logf("batch member %d is arrival %d, pop order wants %d", i, r.Index, want.Index)
+				t.Logf("batch member %d is arrival %d, live pop order wants %d", i, r.Index, want.Index)
 				return false
 			}
 		}
-		// Whatever remains must agree too: the drain took nothing out of
-		// order and left nothing extra.
+		// The remaining live requests must agree too: the drain took nothing
+		// out of order and left nothing extra. (Dead entries are compared out
+		// on both sides — they are never granted, so only the live sequence
+		// matters.)
 		for {
-			ra, oka := a.Pop()
-			rb, okb := b.Pop()
+			ra, oka := livePop(a)
+			rb, okb := livePop(b)
 			if oka != okb {
 				return false
 			}

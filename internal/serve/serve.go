@@ -62,6 +62,14 @@ type RunConfig struct {
 	// Obs, when set, receives every stream's telemetry (series labeled
 	// stream=<id>) plus the aggregate queue-depth gauge and stream count.
 	Obs *obs.Registry
+	// PipelineDepth is the default per-stream frame-prefetch depth
+	// (rt.Config.PipelineDepth) applied to every stream that leaves its own
+	// depth zero. With depth > 1 a stream blocked in Pool.Acquire keeps its
+	// prefetch stage rendering upcoming frames, so another stream's detect
+	// sleep overlaps its builds. Prefetch never touches the pool or the wait
+	// queue, so grant order — and the fairness bound — are unchanged. <= 1
+	// leaves the streams sequential.
+	PipelineDepth int
 }
 
 // StreamResult pairs one stream's outcome with any error its pipeline
@@ -134,6 +142,9 @@ func Run(ctx context.Context, streams []StreamSpec, cfg RunConfig) (*RunResult, 
 		c.StreamID = s.ID
 		c.Slots = pool
 		c.Guard.Budget = budget
+		if c.PipelineDepth == 0 {
+			c.PipelineDepth = cfg.PipelineDepth
+		}
 		wg.Add(1)
 		//adavp:stage stream
 		go func(i int, s StreamSpec, c rt.Config) {

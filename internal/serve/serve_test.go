@@ -7,9 +7,11 @@ import (
 	"time"
 
 	"adavp/internal/core"
+	"adavp/internal/detect"
 	"adavp/internal/guard"
 	"adavp/internal/obs"
 	"adavp/internal/rt"
+	"adavp/internal/track"
 	"adavp/internal/video"
 )
 
@@ -248,6 +250,61 @@ func TestServeBackpressureDefers(t *testing.T) {
 	}
 	if deferred == 0 {
 		t.Error("queue bound 1 over 4 streams never deferred a detection")
+	}
+}
+
+// TestServePipelinedPrefetchWhileWaiting is the serve half of the staged
+// pipeline: with RunConfig.PipelineDepth applied to pixel-mode streams
+// contending for one slot, a stream blocked in Pool.Acquire keeps its
+// prefetch stage rendering — so frames complete their builds during the
+// wait and are banked in the per-stream prefetched-while-waiting counter.
+// The prefetcher never touches the pool, so the scheduling contract is
+// unchanged: every stream still completes full-length outputs and the
+// queue drains.
+func TestServePipelinedPrefetchWhileWaiting(t *testing.T) {
+	reg := obs.NewRegistry()
+	kinds := []video.Kind{video.KindHighway, video.KindIntersection, video.KindCityStreet}
+	specs := make([]StreamSpec, 3)
+	for i := range specs {
+		id := fmt.Sprintf("p%d", i)
+		specs[i] = StreamSpec{
+			ID:    id,
+			Video: video.GenerateKind(id, kinds[i], uint64(i+1), 120),
+			Config: rt.Config{
+				TimeScale: 0.01,
+				Seed:      uint64(200 + i),
+				PixelMode: true,
+				Detector:  detect.NewBlobDetector(),
+				NewTracker: func(uint64) track.Tracker {
+					return track.NewPixelTracker()
+				},
+			},
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := Run(ctx, specs, RunConfig{Slots: 1, Obs: reg, PipelineDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked := 0
+	for i, s := range res.Streams {
+		if s.Err != nil {
+			t.Fatalf("stream %s failed: %v", s.ID, s.Err)
+		}
+		if len(s.Result.Outputs) != specs[i].Video.NumFrames() {
+			t.Errorf("stream %s: %d outputs for %d frames", s.ID, len(s.Result.Outputs), specs[i].Video.NumFrames())
+		}
+		if got := reg.Counter(obs.MetricPrefetchedWaiting, obs.L("stream", s.ID)).Value(); got != int64(s.Result.PrefetchedWhileWaiting) {
+			t.Errorf("stream %s: prefetched counter = %d, want %d", s.ID, got, s.Result.PrefetchedWhileWaiting)
+		}
+		banked += s.Result.PrefetchedWhileWaiting
+	}
+	if banked == 0 {
+		t.Error("three pixel streams over one slot banked no prefetched frames while waiting")
+	}
+	if got := reg.Gauge(obs.MetricQueueDepth).Value(); got != 0 {
+		t.Errorf("queue depth gauge = %v after all streams finished, want 0", got)
 	}
 }
 

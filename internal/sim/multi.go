@@ -54,6 +54,14 @@ type MultiConfig struct {
 	// queue depth gauge, per-stream slot-wait histograms and deferral
 	// counters.
 	Obs *obs.Registry
+	// PipelineDepth models the live path's staged prefetch: while a granted
+	// request waited for its slot, the stream's prefetch stage kept rendering
+	// frames, up to PipelineDepth deep. On the virtual clock this is pure
+	// accounting — timing and grant order are byte-identical with the field
+	// unset — but it quantifies the overlap the live pool gets for free: each
+	// grant banks min(wait/frameInterval, PipelineDepth) prefetched frames
+	// into the per-stream MetricPrefetchedWaiting counter. <= 1 disables.
+	PipelineDepth int
 }
 
 // StreamOutcome is one stream's result plus its scheduling accounting.
@@ -66,7 +74,9 @@ type StreamOutcome struct {
 	// Grants counts detector-slot grants (completed cycles, including the
 	// terminal empty one).
 	Grants int
-	// Deferred counts requests refused by the bounded queue.
+	// Deferred counts detections deferred by the bounded queue: a pending
+	// request refused across consecutive retry attempts counts once, when the
+	// streak starts — frames, not retries.
 	Deferred int
 	// MaxWait is the longest a granted request waited for a slot.
 	MaxWait time.Duration
@@ -79,6 +89,10 @@ type StreamOutcome struct {
 	// guarantee: MaxCalibAge never exceeds serve.FairnessBound for the
 	// run's observed maximum occupancy.
 	MaxCalibAge time.Duration
+	// PrefetchedWhileWaiting counts frames the stream's modeled prefetch
+	// stage built while its requests waited for a slot (capped at
+	// MultiConfig.PipelineDepth per grant). Zero when PipelineDepth <= 1.
+	PrefetchedWhileWaiting int
 }
 
 // MultiResult is a completed multi-stream run.
@@ -100,6 +114,10 @@ type MultiResult struct {
 	Batches int
 	// MaxBatch is the largest number of requests one grant fused.
 	MaxBatch int
+	// SlotUtilization is the fraction of total slot-time (Slots x the run's
+	// busy horizon) the slots spent executing grants — the figure the
+	// MetricSlotUtilization gauge publishes at run end.
+	SlotUtilization float64
 }
 
 // mstream is one stream's scheduler-side state.
@@ -110,10 +128,15 @@ type mstream struct {
 	adaptive bool
 	started  bool // bootstrap cycle granted
 	done     bool
-	queued   bool          // currently in the wait queue
-	readyAt  time.Duration // when the pending request was (or will be) issued
+	queued   bool // currently in the wait queue
+	// deferring marks a pending request already counted as deferred: the
+	// refusal→retry loop re-attempts the same detection at successive frame
+	// intervals, and the deferral counter counts the deferred detection once,
+	// not once per retry. Cleared when the request finally enqueues.
+	deferring bool
+	readyAt   time.Duration // when the pending request was (or will be) issued
 	lastCalib time.Duration
-	out      StreamOutcome
+	out       StreamOutcome
 }
 
 // reqSetting is the model setting the stream's next grant will run at absent
@@ -192,6 +215,7 @@ func RunMulti(streams []MultiStream, cfg MultiConfig) (res *MultiResult, err err
 	q := serve.NewFairQueue(bound)
 	slots := make([]time.Duration, cfg.Slots)
 	result := &MultiResult{Streams: make([]StreamOutcome, len(streams))}
+	var busy, horizon time.Duration // slot-time spent executing / last slot release
 
 	setDepth := func() {
 		if q.Len() > result.MaxQueueDepth {
@@ -222,15 +246,19 @@ func RunMulti(streams []MultiStream, cfg MultiConfig) (res *MultiResult, err err
 			m := ms[best]
 			if q.Push(serve.Request{Stream: m.id, Index: best, Setting: m.reqSetting(), LastCalib: m.lastCalib}) {
 				m.queued = true
+				m.deferring = false
 			} else {
-				m.out.Deferred++
+				// One pending detection refused across any number of retry
+				// attempts is ONE deferred detection: count the frame, not the
+				// retries (the deferring flag spans the whole streak).
+				if !m.deferring {
+					m.deferring = true
+					m.out.Deferred++
+					if cfg.Obs != nil {
+						cfg.Obs.Counter(obs.MetricDetectDeferred, obs.L("stream", m.id)).Inc()
+					}
+				}
 				m.readyAt += m.e.delta
-				if cfg.Obs != nil {
-					cfg.Obs.Counter(obs.MetricDetectDeferred, obs.L("stream", m.id)).Inc()
-				}
-				if m.readyAt > t {
-					continue
-				}
 			}
 		}
 		setDepth()
@@ -351,6 +379,23 @@ func RunMulti(streams []MultiStream, cfg MultiConfig) (res *MultiResult, err err
 			if cfg.Obs != nil {
 				cfg.Obs.Histogram(obs.MetricSlotWait, obs.DefLatencyBuckets, obs.L("stream", m.id)).ObserveDuration(wait)
 			}
+			// The staged-prefetch model: while the request waited, the
+			// stream's prefetch stage kept rendering camera frames — one per
+			// frame interval, at most PipelineDepth in flight. Pure
+			// accounting: nothing about the schedule changes.
+			if cfg.PipelineDepth > 1 && wait > 0 {
+				banked := int(wait / m.e.delta)
+				if banked > cfg.PipelineDepth {
+					banked = cfg.PipelineDepth
+				}
+				if banked > 0 {
+					m.out.PrefetchedWhileWaiting += banked
+					if cfg.Obs != nil {
+						cfg.Obs.Counter(obs.MetricPrefetchedWaiting, obs.L("stream", m.id)).Add(int64(banked))
+						cfg.Obs.Gauge(obs.MetricFramesInFlightWaiting, obs.L("stream", m.id)).Set(float64(banked))
+					}
+				}
+			}
 			if span := p.span(); span > result.MaxSingleOccupancy {
 				result.MaxSingleOccupancy = span
 			}
@@ -409,9 +454,19 @@ func RunMulti(streams []MultiStream, cfg MultiConfig) (res *MultiResult, err err
 		if slotEnd < t {
 			slotEnd = t
 		}
+		busy += slotEnd - t
+		if slotEnd > horizon {
+			horizon = slotEnd
+		}
 		slots[si] = slotEnd
 	}
 
+	if horizon > 0 {
+		result.SlotUtilization = float64(busy) / (float64(cfg.Slots) * float64(horizon))
+		if cfg.Obs != nil {
+			cfg.Obs.Gauge(obs.MetricSlotUtilization).Set(result.SlotUtilization)
+		}
+	}
 	for i, m := range ms {
 		m.out.Result = m.e.finish()
 		result.Streams[i] = m.out

@@ -195,6 +195,92 @@ func TestRunMultiBackpressure(t *testing.T) {
 	}
 }
 
+// TestRunMultiDeferredCountsFramesNotRetries pins the deferral-accounting
+// fix: a pending detection refused across consecutive retry attempts is ONE
+// deferred detection. The pre-fix scheduler incremented the counter on every
+// refused attempt — this exact scenario reported 164–189 deferrals per
+// stream (retry counts) instead of the 8–9 deferred detections below — so
+// any regression to retry counting snaps the pinned values immediately. The
+// published adavp_detector_deferred_total series must agree snapshot-exactly
+// with the per-stream outcome, and no stream can defer more detections than
+// it has grant opportunities (one open streak per grant, plus the run tail).
+func TestRunMultiDeferredCountsFramesNotRetries(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := RunMulti(testStreams(4), MultiConfig{Slots: 1, QueueBound: 1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"s0": 8, "s1": 8, "s2": 9, "s3": 8}
+	for _, s := range res.Streams {
+		if s.Deferred != want[s.ID] {
+			t.Errorf("stream %s: Deferred = %d, want %d deferred detections", s.ID, s.Deferred, want[s.ID])
+		}
+		if s.Deferred > s.Grants+1 {
+			t.Errorf("stream %s: Deferred %d exceeds Grants+1 (%d) — counting retries, not frames",
+				s.ID, s.Deferred, s.Grants+1)
+		}
+		if got := reg.Counter(obs.MetricDetectDeferred, obs.L("stream", s.ID)).Value(); got != int64(s.Deferred) {
+			t.Errorf("stream %s: deferred counter = %d, want %d", s.ID, got, s.Deferred)
+		}
+	}
+}
+
+// TestRunMultiPipelineDepthAccounting pins the staged-prefetch model's two
+// contracts: it is pure accounting (the schedule with PipelineDepth set is
+// identical to the schedule without — same grants, deferrals, waits,
+// calibration ages, evaluation), and the accounting itself is deterministic
+// and coherent — prefetched frames only accrue when requests actually
+// waited, never more than depth per grant, the published per-stream counter
+// agrees with the outcome, and the slot-utilization gauge matches the
+// result on both runs.
+func TestRunMultiPipelineDepthAccounting(t *testing.T) {
+	run := func(depth int) (*MultiResult, *obs.Registry) {
+		reg := obs.NewRegistry()
+		res, err := RunMulti(testStreams(8), MultiConfig{Slots: 2, Obs: reg, PipelineDepth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, reg
+	}
+	base, _ := run(0)
+	piped, reg := run(3)
+
+	banked := 0
+	for i := range base.Streams {
+		b, p := base.Streams[i], piped.Streams[i]
+		if b.Grants != p.Grants || b.Deferred != p.Deferred || b.MaxWait != p.MaxWait ||
+			b.MaxCalibAge != p.MaxCalibAge || b.Result.Accuracy != p.Result.Accuracy ||
+			b.Result.MeanF1 != p.Result.MeanF1 {
+			t.Errorf("stream %s: PipelineDepth changed the schedule:\n%+v\n%+v", b.ID, b, p)
+		}
+		if b.PrefetchedWhileWaiting != 0 {
+			t.Errorf("stream %s: banked %d prefetched frames with the model disabled", b.ID, b.PrefetchedWhileWaiting)
+		}
+		if p.PrefetchedWhileWaiting > 3*p.Grants {
+			t.Errorf("stream %s: %d prefetched frames over %d grants exceeds depth 3 per grant",
+				p.ID, p.PrefetchedWhileWaiting, p.Grants)
+		}
+		if got := reg.Counter(obs.MetricPrefetchedWaiting, obs.L("stream", p.ID)).Value(); got != int64(p.PrefetchedWhileWaiting) {
+			t.Errorf("stream %s: prefetched counter = %d, want %d", p.ID, got, p.PrefetchedWhileWaiting)
+		}
+		banked += p.PrefetchedWhileWaiting
+	}
+	// 8 streams contending for 2 slots wait often; the model must bank some
+	// overlap or the pipelined column has nothing to show.
+	if banked == 0 {
+		t.Error("8 streams over 2 slots banked no prefetched frames while waiting")
+	}
+	if base.SlotUtilization != piped.SlotUtilization {
+		t.Errorf("slot utilization diverged: %v vs %v", base.SlotUtilization, piped.SlotUtilization)
+	}
+	if piped.SlotUtilization <= 0 || piped.SlotUtilization > 1 {
+		t.Errorf("slot utilization %v outside (0, 1]", piped.SlotUtilization)
+	}
+	if got := reg.Gauge(obs.MetricSlotUtilization).Value(); got != piped.SlotUtilization {
+		t.Errorf("utilization gauge = %v, want %v", got, piped.SlotUtilization)
+	}
+}
+
 // TestRunMultiValidation: admission control rejects malformed stream sets.
 func TestRunMultiValidation(t *testing.T) {
 	v := testVideo(t)

@@ -58,6 +58,32 @@ func TestBenchServeArtifact(t *testing.T) {
 		t.Fatal("artifact holds no batched (B>1) scenario")
 	}
 
+	// The pipelined column: the staged-prefetch run must beat its
+	// sequential-prepare reference on throughput by actually hiding prepare
+	// time behind slot wait and execution.
+	var seq, pipe *loadtest.Report
+	for _, r := range suite.Scenarios {
+		switch {
+		case r.PipelineDepth == 1:
+			seq = r
+		case r.PipelineDepth > 1:
+			pipe = r
+		}
+	}
+	if seq == nil || pipe == nil {
+		t.Fatal("artifact is missing the sequential-prep/pipelined scenario pair")
+	}
+	if pipe.ThroughputRPS <= seq.ThroughputRPS {
+		t.Errorf("pipelined throughput %.2f rps does not beat sequential-prep %.2f rps",
+			pipe.ThroughputRPS, seq.ThroughputRPS)
+	}
+	if pipe.PrepareHiddenMS <= 0 || pipe.PrepareHiddenMS > pipe.PrepareMS {
+		t.Errorf("pipelined hid %.1fms of %.1fms prepare time", pipe.PrepareHiddenMS, pipe.PrepareMS)
+	}
+	if seq.PrepareHiddenMS != 0 {
+		t.Errorf("sequential-prep reference hid %.1fms of prepare time", seq.PrepareHiddenMS)
+	}
+
 	if testing.Short() {
 		return // the byte-parity regeneration is the slow half
 	}
